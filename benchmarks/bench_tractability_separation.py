@@ -1,0 +1,63 @@
+"""E7 — the tractability separation predicted by Theorems 4.1 / 4.12.
+
+Bounded-ghw degree-2 query classes (chains, cycles) are answered in
+polynomial time by the GHD-guided evaluator, while the unbounded-ghw jigsaw
+class makes the *generic* solver's work grow much faster with the instance
+size.  Absolute times depend on the Python substrate; the reproduced shape is
+who scales gracefully and who does not.
+"""
+
+import time
+
+from repro.cq import generators as cqgen
+from repro.cq.decomposition_eval import decomposition_boolean_answer
+from repro.cq.homomorphism import boolean_answer
+
+BOUNDED_CLASSES = {
+    "chain": lambda size: cqgen.chain_query(size),
+    "cycle": lambda size: cqgen.cycle_query(max(3, size)),
+}
+SIZES = [3, 5, 7]
+JIGSAW_DIMENSIONS = [(2, 2), (2, 3), (3, 3)]
+
+
+def timed(function) -> float:
+    start = time.perf_counter()
+    function()
+    return time.perf_counter() - start
+
+
+def run_separation():
+    rows = []
+    for name, factory in BOUNDED_CLASSES.items():
+        for size in SIZES:
+            query = factory(size)
+            database = cqgen.grid_constraint_database(query, colours=3)
+            elapsed = timed(lambda: decomposition_boolean_answer(query, database))
+            rows.append(("bounded-ghw/" + name, size, len(query.atoms), elapsed))
+    for rows_, cols in JIGSAW_DIMENSIONS:
+        query = cqgen.jigsaw_query(rows_, cols)
+        database = cqgen.planted_database(query, 3, 9, seed=rows_ * cols)
+        generic = timed(lambda: boolean_answer(query, database))
+        guided = timed(lambda: decomposition_boolean_answer(query, database))
+        rows.append((f"jigsaw-{rows_}x{cols}/generic", rows_ * cols, len(query.atoms), generic))
+        rows.append((f"jigsaw-{rows_}x{cols}/ghd", rows_ * cols, len(query.atoms), guided))
+    return rows
+
+
+def test_tractability_separation(benchmark, record_result):
+    rows = benchmark.pedantic(run_separation, rounds=1, iterations=1)
+    lines = [
+        "Tractability separation (Theorem 4.1 shape):",
+        "  class                       size  atoms  seconds",
+    ]
+    for name, size, atoms, elapsed in rows:
+        lines.append(f"  {name:<27} {size:<5} {atoms:<6} {elapsed:.4f}")
+    record_result("E7_separation", "\n".join(lines))
+
+    bounded_times = [t for name, _, _, t in rows if name.startswith("bounded")]
+    jigsaw_generic = [t for name, _, _, t in rows if name.endswith("/generic")]
+    # Bounded-ghw classes stay fast; the generic solver's cost on jigsaws
+    # grows with the dimension.
+    assert max(bounded_times) < 2.0
+    assert jigsaw_generic == sorted(jigsaw_generic) or jigsaw_generic[-1] >= jigsaw_generic[0]

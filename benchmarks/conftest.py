@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see DESIGN.md's
+per-experiment index).  Besides timing the relevant computation with
+pytest-benchmark, each bench writes the regenerated rows/series to
+``benchmarks/results/<experiment>.txt`` so the artefacts survive output
+capturing and can be diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Write (and echo) the regenerated artefact for one experiment."""
+
+    def _record(experiment: str, text: str) -> None:
+        path = results_dir / f"{experiment}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{experiment}]\n{text}")
+
+    return _record

@@ -1,0 +1,50 @@
+"""The Theorem 4.7 pipeline, step by step.
+
+Starting from a degree-2 hypergraph with high generalised hypertree width,
+the pipeline reduces it (Lemma 3.6), takes the dual, finds a grid minor, and
+pulls the minor back through Lemma 4.4 into a dilution onto a jigsaw — the
+degree-2 analogue of the Excluded Grid Theorem.
+
+Run with ``python examples/jigsaw_pipeline.py``.
+"""
+
+from repro.hypergraphs import generators
+from repro.jigsaws import dilute_to_jigsaw, planted_thickened_jigsaw_minor
+from repro.widths.ghw import ghw
+
+
+def run_automatic(rows: int, cols: int) -> None:
+    source = generators.thickened_jigsaw(rows, cols)
+    print(f"\n=== automatic grid-minor search: thickened {rows}x{cols} jigsaw ===")
+    print(f"source: {source}")
+    certificate = dilute_to_jigsaw(source, rows, cols)
+    if certificate is None:
+        print("no jigsaw dilution found within the search budget")
+        return
+    print(f"grid minor of the dual found: {certificate.grid_minor.is_valid()}")
+    print(f"dilution sequence length: {len(certificate.sequence)}")
+    print(f"result is the {rows}x{cols} jigsaw: {certificate.result_is_jigsaw()}")
+
+
+def run_planted(rows: int, cols: int) -> None:
+    print(f"\n=== planted minor route: thickened {rows}x{cols} jigsaw ===")
+    source, minor = planted_thickened_jigsaw_minor(rows, cols)
+    certificate = dilute_to_jigsaw(source, rows, cols, minor=minor)
+    print(f"planted minor map valid: {minor.is_valid()}")
+    print(f"result is the {rows}x{cols} jigsaw: {certificate.result_is_jigsaw()}")
+    jigsaw_bounds = ghw(certificate.result, separator_budget=min(3, rows))
+    print(
+        "ghw lower bound transferred to the source by Lemma 3.2(3): "
+        f">= {jigsaw_bounds.lower}"
+    )
+
+
+def main() -> None:
+    run_automatic(2, 2)
+    run_automatic(3, 2)
+    run_planted(4, 4)
+    run_planted(5, 5)
+
+
+if __name__ == "__main__":
+    main()

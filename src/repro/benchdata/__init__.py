@@ -1,0 +1,17 @@
+"""The HyperBench-substitute corpus used by the Table 1 experiment."""
+
+from repro.benchdata.hyperbench import (
+    CorpusEntry,
+    corpus_statistics,
+    degree2_ghw_table,
+    generate_corpus,
+    render_table1,
+)
+
+__all__ = [
+    "CorpusEntry",
+    "generate_corpus",
+    "corpus_statistics",
+    "degree2_ghw_table",
+    "render_table1",
+]

@@ -1,0 +1,48 @@
+"""Conjunctive queries, databases, and query answering.
+
+This subpackage is the query-answering substrate the paper's theorems are
+about: Boolean conjunctive query answering (BCQ), answer enumeration, and
+answer counting (#CQ), each available both through a generic backtracking
+solver (the ground-truth baseline) and through decomposition-guided evaluation
+(the Proposition 2.2 / 4.14 upper bounds that make bounded ghw classes
+tractable).
+"""
+
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.cq.database import Database, Relation
+from repro.cq.homomorphism import (
+    boolean_answer,
+    count_answers,
+    enumerate_answers,
+)
+from repro.cq.yannakakis import yannakakis_boolean, yannakakis_full
+from repro.cq.decomposition_eval import (
+    decomposition_boolean_answer,
+    decomposition_count_answers,
+    decomposition_enumerate_answers,
+)
+from repro.cq.counting import count_answers_via_join_tree
+from repro.cq.core import core_of, find_homomorphism_between_queries, queries_equivalent
+from repro.cq.semantic_width import semantic_ghw
+from repro.cq import generators
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Database",
+    "Relation",
+    "boolean_answer",
+    "count_answers",
+    "enumerate_answers",
+    "yannakakis_boolean",
+    "yannakakis_full",
+    "decomposition_boolean_answer",
+    "decomposition_count_answers",
+    "decomposition_enumerate_answers",
+    "count_answers_via_join_tree",
+    "core_of",
+    "find_homomorphism_between_queries",
+    "queries_equivalent",
+    "semantic_ghw",
+    "generators",
+]

@@ -1,0 +1,70 @@
+"""#CQ for full conjunctive queries via join-tree dynamic programming.
+
+Proposition 4.14 (Pichler and Skritek): for classes of full CQs with bounded
+ghw, counting answers is in FP.  The algorithm behind the bound is the
+classic dynamic program on a join tree: process the tree bottom-up and give
+every row of a node's relation a weight equal to the product over children of
+the summed weights of the child rows compatible with it; the total count is
+the sum of weights at the root.
+
+The correctness of the product step relies on the running-intersection
+property of the join tree (different subtrees only interact through the
+parent bag), which holds for join trees built from tree decompositions /
+GHDs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.cq.relational import NamedRelation
+from repro.cq.yannakakis import JoinTree
+
+Node = Hashable
+
+
+def count_answers_via_join_tree(tree: JoinTree) -> int:
+    """The number of assignments to *all* join-tree variables consistent with
+    every node relation (equals ``|q(D)|`` for a full CQ)."""
+    weights: dict[Node, dict[tuple, int]] = {}
+    order = tree.topological_order()
+    for node in reversed(order):
+        relation = tree.relations[node]
+        node_weights: dict[tuple, int] = {}
+        for row in relation.rows:
+            weight = 1
+            for child in tree.children[node]:
+                weight *= _compatible_weight(
+                    tree.relations[node], row, tree.relations[child], weights[child]
+                )
+                if weight == 0:
+                    break
+            node_weights[row] = weight
+        weights[node] = node_weights
+    return sum(weights[tree.root].values())
+
+
+def _compatible_weight(
+    parent_relation: NamedRelation,
+    parent_row: tuple,
+    child_relation: NamedRelation,
+    child_weights: dict[tuple, int],
+) -> int:
+    """Sum of child-row weights compatible with the parent row on shared columns."""
+    shared = [c for c in parent_relation.columns if c in child_relation.columns]
+    parent_key = tuple(
+        parent_row[parent_relation.column_index(c)] for c in shared
+    )
+    total = 0
+    child_indexes = [child_relation.column_index(c) for c in shared]
+    for row, weight in child_weights.items():
+        if tuple(row[i] for i in child_indexes) == parent_key:
+            total += weight
+    return total
+
+
+def naive_count(tree: JoinTree) -> int:
+    """Reference implementation: materialise the full join and count rows."""
+    from repro.cq.yannakakis import yannakakis_full
+
+    return len(yannakakis_full(tree))

@@ -1,0 +1,120 @@
+"""Databases as sets of ground atoms, organised into named relations.
+
+Following the paper, a database is a finite set of ground relational atoms in
+the standard "succinct" representation — lists of tuples per relation symbol —
+as opposed to the truth-table encoding discussed in the related-work section.
+``Database.size()`` is the ``||D||`` measure used in the Theorem 3.4 size
+bounds: the total number of cells (tuples times arity) plus the number of
+relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+Value = Hashable
+
+
+class Relation:
+    """A named relation: a set of equal-length tuples."""
+
+    def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()) -> None:
+        self.name = name
+        self.arity = arity
+        self.tuples: set[tuple] = set()
+        for row in tuples:
+            self.add(row)
+
+    def add(self, row: Iterable[Value]) -> None:
+        row = tuple(row)
+        if len(row) != self.arity:
+            raise ValueError(
+                f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(row)}"
+            )
+        self.tuples.add(row)
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self):
+        return iter(sorted(self.tuples, key=repr))
+
+    def __contains__(self, row: tuple) -> bool:
+        return tuple(row) in self.tuples
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.name == other.name and self.arity == other.arity and self.tuples == other.tuples
+
+    def size(self) -> int:
+        """Number of cells stored in the relation."""
+        return len(self.tuples) * max(1, self.arity)
+
+    def __repr__(self) -> str:
+        return f"Relation({self.name!r}, arity={self.arity}, tuples={len(self.tuples)})"
+
+
+class Database:
+    """A database: a mapping from relation names to :class:`Relation` objects."""
+
+    def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] = ()) -> None:
+        self.relations: dict[str, Relation] = {}
+        if isinstance(relations, Mapping):
+            iterable = relations.values()
+        else:
+            iterable = relations
+        for relation in iterable:
+            self.add_relation(relation)
+
+    # ------------------------------------------------------------------
+    def add_relation(self, relation: Relation) -> None:
+        if relation.name in self.relations:
+            raise ValueError(f"relation {relation.name!r} already present")
+        self.relations[relation.name] = relation
+
+    def relation(self, name: str) -> Relation:
+        if name not in self.relations:
+            raise KeyError(f"relation {name!r} not in database")
+        return self.relations[name]
+
+    def has_relation(self, name: str) -> bool:
+        return name in self.relations
+
+    def add_fact(self, name: str, row: Iterable[Value]) -> None:
+        row = tuple(row)
+        if name not in self.relations:
+            self.relations[name] = Relation(name, len(row))
+        self.relations[name].add(row)
+
+    # ------------------------------------------------------------------
+    def active_domain(self) -> frozenset:
+        domain: set = set()
+        for relation in self.relations.values():
+            for row in relation.tuples:
+                domain.update(row)
+        return frozenset(domain)
+
+    def size(self) -> int:
+        """``||D||``: total cells plus number of relations."""
+        return sum(r.size() for r in self.relations.values()) + len(self.relations)
+
+    def total_tuples(self) -> int:
+        return sum(len(r) for r in self.relations.values())
+
+    def copy(self) -> "Database":
+        clone = Database()
+        for relation in self.relations.values():
+            clone.add_relation(Relation(relation.name, relation.arity, relation.tuples))
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self.relations == other.relations
+
+    def __repr__(self) -> str:
+        return (
+            f"Database(relations={len(self.relations)}, tuples={self.total_tuples()}, "
+            f"size={self.size()})"
+        )

@@ -1,0 +1,224 @@
+"""Workload generators: queries from hypergraphs and synthetic databases.
+
+The experiments need two ingredients the paper treats abstractly:
+
+* **queries over a given hypergraph** — self-join-free queries with no
+  repeated variables whose hypergraph is exactly the given one (the class
+  ``Q_J`` used in the Theorem 4.8 hardness argument);
+* **databases** — random relations over a small domain, plus *planted*
+  databases that are guaranteed to contain at least one solution, so both the
+  satisfiable and unsatisfiable regimes can be exercised deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Iterable
+
+from repro.cq.database import Database, Relation
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+def _rng(seed) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+# ----------------------------------------------------------------------
+# Queries
+# ----------------------------------------------------------------------
+def query_from_hypergraph(
+    hypergraph: Hypergraph,
+    relation_prefix: str = "R",
+    free_variables: Iterable[Hashable] | None = None,
+) -> ConjunctiveQuery:
+    """The canonical self-join-free query with the given hypergraph.
+
+    Every edge becomes one atom over a fresh relation symbol, with the edge's
+    vertices (in deterministic order) as its variables; the query is full by
+    default.  This is exactly the query class the lower-bound machinery works
+    with (no self-joins, no repeated variables in an atom).
+    """
+    atoms = []
+    for index, edge in enumerate(hypergraph.edge_list()):
+        variables = sorted(edge, key=repr)
+        atoms.append(Atom(f"{relation_prefix}{index}", variables))
+    return ConjunctiveQuery(atoms, free_variables=free_variables)
+
+
+def chain_query(length: int, arity: int = 2) -> ConjunctiveQuery:
+    """A chain (path) query ``R0(x0, x1) AND R1(x1, x2) AND ...``."""
+    if length < 1:
+        raise ValueError("chain_query requires length >= 1")
+    atoms = []
+    for i in range(length):
+        variables = [f"x{i}", f"x{i + 1}"]
+        for k in range(arity - 2):
+            variables.append(f"p{i}_{k}")
+        atoms.append(Atom(f"R{i}", variables))
+    return ConjunctiveQuery(atoms)
+
+
+def cycle_query(length: int) -> ConjunctiveQuery:
+    """A cycle query of the given length (ghw 2, degree 2)."""
+    if length < 3:
+        raise ValueError("cycle_query requires length >= 3")
+    atoms = [
+        Atom(f"R{i}", [f"x{i}", f"x{(i + 1) % length}"])
+        for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
+def star_query(branches: int) -> ConjunctiveQuery:
+    """A star query: ``R_i(c, x_i)`` for every branch (acyclic)."""
+    if branches < 1:
+        raise ValueError("star_query requires at least one branch")
+    atoms = [Atom(f"R{i}", ["c", f"x{i}"]) for i in range(branches)]
+    return ConjunctiveQuery(atoms)
+
+
+def jigsaw_query(rows: int, cols: int) -> ConjunctiveQuery:
+    """The canonical query over the ``rows x cols`` jigsaw hypergraph —
+    the unbounded-ghw, degree-2, arity-<=-4 family at the heart of
+    Theorem 4.8."""
+    from repro.hypergraphs.generators import jigsaw
+
+    return query_from_hypergraph(jigsaw(rows, cols), relation_prefix="J")
+
+
+def clique_query(size: int) -> ConjunctiveQuery:
+    """The ``K_size`` clique query (bounded arity, treewidth ``size - 1``)."""
+    if size < 2:
+        raise ValueError("clique_query requires size >= 2")
+    atoms = []
+    index = 0
+    for i in range(size):
+        for j in range(i + 1, size):
+            atoms.append(Atom(f"E{index}", [f"x{i}", f"x{j}"]))
+            index += 1
+    return ConjunctiveQuery(atoms)
+
+
+# ----------------------------------------------------------------------
+# Databases
+# ----------------------------------------------------------------------
+def random_database(
+    query: ConjunctiveQuery,
+    domain_size: int,
+    tuples_per_relation: int,
+    seed=0,
+) -> Database:
+    """A random database matching the query's schema."""
+    rng = _rng(seed)
+    database = Database()
+    domain = list(range(domain_size))
+    for atom in query.atoms:
+        if database.has_relation(atom.relation):
+            continue
+        relation = Relation(atom.relation, atom.arity)
+        for _ in range(tuples_per_relation):
+            relation.add(tuple(rng.choice(domain) for _ in range(atom.arity)))
+        database.add_relation(relation)
+    return database
+
+
+def planted_database(
+    query: ConjunctiveQuery,
+    domain_size: int,
+    tuples_per_relation: int,
+    seed=0,
+    planted_solutions: int = 1,
+) -> Database:
+    """A random database guaranteed to satisfy the query.
+
+    ``planted_solutions`` random assignments of the query variables are
+    sampled and the corresponding ground atoms inserted, then random noise
+    tuples are added up to the requested size.
+    """
+    rng = _rng(seed)
+    database = random_database(query, domain_size, tuples_per_relation, seed=rng)
+    domain = list(range(domain_size))
+    for _ in range(max(1, planted_solutions)):
+        assignment = {v: rng.choice(domain) for v in query.variables}
+        for atom in query.atoms:
+            row = tuple(
+                term.value if hasattr(term, "value") else assignment[term]
+                for term in atom.terms
+            )
+            database.add_fact(atom.relation, row)
+    return database
+
+
+def unsatisfiable_database(
+    query: ConjunctiveQuery,
+    domain_size: int,
+    tuples_per_relation: int,
+    seed=0,
+) -> Database:
+    """A database that cannot satisfy the query.
+
+    One relation of the query is split off onto a private part of the domain,
+    so no joint assignment can satisfy all atoms simultaneously (as long as
+    the query has at least two atoms sharing a variable; otherwise the first
+    relation is simply left empty).
+    """
+    rng = _rng(seed)
+    database = Database()
+    domain = list(range(domain_size))
+    shifted = [value + domain_size for value in domain]
+    atoms = list(query.atoms)
+    shared_index = None
+    for index, atom in enumerate(atoms):
+        others = set()
+        for other_index, other in enumerate(atoms):
+            if other_index != index:
+                others.update(other.variables())
+        if set(atom.variables()) & others:
+            shared_index = index
+            break
+    for index, atom in enumerate(atoms):
+        if database.has_relation(atom.relation):
+            continue
+        relation = Relation(atom.relation, atom.arity)
+        use_domain = shifted if index == shared_index else domain
+        if shared_index is None and index == 0:
+            database.add_relation(relation)
+            continue
+        for _ in range(tuples_per_relation):
+            relation.add(tuple(rng.choice(use_domain) for _ in range(atom.arity)))
+        database.add_relation(relation)
+    return database
+
+
+def grid_constraint_database(query: ConjunctiveQuery, colours: int, seed=0) -> Database:
+    """A "proper colouring"-style database: every relation contains all tuples
+    over ``colours`` values whose adjacent positions differ.
+
+    On cycle/grid/jigsaw queries this produces instances whose solution counts
+    have predictable structure (proper colourings), which the counting
+    experiments use as a sanity anchor.
+    """
+    database = Database()
+    for atom in query.atoms:
+        if database.has_relation(atom.relation):
+            continue
+        relation = Relation(atom.relation, atom.arity)
+        _fill_distinct_adjacent(relation, colours)
+        database.add_relation(relation)
+    return database
+
+
+def _fill_distinct_adjacent(relation: Relation, colours: int) -> None:
+    def rows(prefix: tuple) -> None:
+        if len(prefix) == relation.arity:
+            relation.add(prefix)
+            return
+        for value in range(colours):
+            if prefix and value == prefix[-1]:
+                continue
+            rows(prefix + (value,))
+
+    rows(())

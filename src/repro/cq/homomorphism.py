@@ -1,0 +1,142 @@
+"""The generic backtracking CQ solver (baseline and ground truth).
+
+Evaluating a CQ over a database is exactly the homomorphism problem between
+relational structures; this module solves it with a plain backtracking search
+over variable assignments, using the atom relations as constraint tables.  It
+makes no use of the query's structure, so its running time degrades on
+high-width queries — which is precisely the behaviour the tractability
+separation experiments (E7/E8) contrast with the decomposition-guided
+evaluators.
+
+The functions here also serve as the reference implementation that every
+optimised evaluator and every reduction is tested against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.cq.database import Database
+from repro.cq.query import Constant, ConjunctiveQuery
+
+
+class _AtomConstraint:
+    """Pre-indexed constraint data for a single atom."""
+
+    def __init__(self, atom, database: Database) -> None:
+        self.atom = atom
+        self.variables = atom.variables()
+        relation = database.relation(atom.relation)
+        self.assignments: list[dict] = []
+        seen: set = set()
+        for row in relation.tuples:
+            assignment = self._row_to_assignment(row)
+            if assignment is None:
+                continue
+            key = tuple(assignment[v] for v in self.variables)
+            if key in seen:
+                continue
+            seen.add(key)
+            self.assignments.append(assignment)
+
+    def _row_to_assignment(self, row: tuple) -> dict | None:
+        assignment: dict = {}
+        for term, value in zip(self.atom.terms, row):
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+                continue
+            if term in assignment:
+                if assignment[term] != value:
+                    return None
+            else:
+                assignment[term] = value
+        return assignment
+
+    def consistent(self, partial: dict) -> bool:
+        """Is some row of the relation compatible with the partial assignment?"""
+        for assignment in self.assignments:
+            if all(partial.get(v, assignment[v]) == assignment[v] for v in self.variables):
+                return True
+        return False
+
+    def extensions(self, partial: dict) -> Iterator[dict]:
+        for assignment in self.assignments:
+            if all(partial.get(v, assignment[v]) == assignment[v] for v in self.variables):
+                yield assignment
+
+
+def _solve(query: ConjunctiveQuery, database: Database) -> Iterator[dict]:
+    """Yield all total assignments of the query variables satisfying all atoms."""
+    for atom in query.atoms:
+        if not database.has_relation(atom.relation):
+            return
+    constraints = [_AtomConstraint(atom, database) for atom in query.atoms]
+    if any(not c.assignments for c in constraints):
+        # Some atom has no compatible row at all (a constant-only atom whose
+        # fact is absent also lands here, since its only possible assignment
+        # is the empty one and it was filtered out).
+        return
+    # Order atoms so that tightly constrained ones are expanded first.
+    order = sorted(constraints, key=lambda c: len(c.assignments))
+    all_variables = list(query.variables)
+
+    def backtrack(index: int, partial: dict) -> Iterator[dict]:
+        if index == len(order):
+            yield dict(partial)
+            return
+        constraint = order[index]
+        for extension in constraint.extensions(partial):
+            added = []
+            ok = True
+            for variable, value in extension.items():
+                if variable in partial:
+                    if partial[variable] != value:
+                        ok = False
+                        break
+                else:
+                    partial[variable] = value
+                    added.append(variable)
+            if ok and all(c.consistent(partial) for c in order[index + 1:]):
+                yield from backtrack(index + 1, partial)
+            for variable in added:
+                del partial[variable]
+
+    produced: set = set()
+    for solution in backtrack(0, {}):
+        key = tuple(solution.get(v) for v in all_variables)
+        if key in produced:
+            continue
+        produced.add(key)
+        yield solution
+
+
+def boolean_answer(query: ConjunctiveQuery, database: Database) -> bool:
+    """BCQ: is the answer set non-empty?"""
+    if not query.atoms:
+        return True
+    for _ in _solve(query, database):
+        return True
+    return False
+
+
+def enumerate_answers(query: ConjunctiveQuery, database: Database) -> set[tuple]:
+    """The answer set ``q(D)``: tuples over the free variables (in the query's
+    free-variable order).  For a Boolean query the answer is ``{()}`` when the
+    query holds and ``{}`` otherwise."""
+    if not query.atoms:
+        return {()}
+    answers: set[tuple] = set()
+    free = query.free_variables
+    for solution in _solve(query, database):
+        answers.add(tuple(solution[v] for v in free))
+    return answers
+
+
+def count_answers(query: ConjunctiveQuery, database: Database) -> int:
+    """#CQ by exhaustive enumeration (the reference for the counting tests).
+
+    For full CQs this is ``|q(D)|`` in the paper's sense; for non-full queries
+    it counts distinct projections onto the free variables.
+    """
+    return len(enumerate_answers(query, database))

@@ -1,0 +1,166 @@
+"""A small relational-algebra kernel over named columns.
+
+The decomposition-guided evaluators (Yannakakis, GHD evaluation, counting)
+work on *named relations*: a :class:`NamedRelation` is a set of rows over an
+ordered tuple of column names (query variables).  Joins and semijoins are
+hash-based, so a single join costs time proportional to the sizes of the
+inputs plus the output — which is what makes the Proposition 2.2 upper bound
+(polynomial-time BCQ for bounded ghw) come out in the experiments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+Value = Hashable
+
+
+class NamedRelation:
+    """An in-memory relation with named columns."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Sequence[Hashable], rows: Iterable[tuple] = ()) -> None:
+        self.columns: tuple = tuple(columns)
+        if len(set(self.columns)) != len(self.columns):
+            raise ValueError(f"duplicate column names: {self.columns!r}")
+        self.rows: set[tuple] = set()
+        width = len(self.columns)
+        for row in rows:
+            row = tuple(row)
+            if len(row) != width:
+                raise ValueError(f"row {row!r} does not match columns {self.columns!r}")
+            self.rows.add(row)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NamedRelation):
+            return NotImplemented
+        if set(self.columns) != set(other.columns):
+            return False
+        return self.project(sorted(self.columns, key=repr)).rows == other.project(
+            sorted(other.columns, key=repr)
+        ).rows
+
+    def __repr__(self) -> str:
+        return f"NamedRelation(columns={self.columns!r}, rows={len(self.rows)})"
+
+    def column_index(self, column: Hashable) -> int:
+        return self.columns.index(column)
+
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[Hashable]) -> "NamedRelation":
+        """Projection onto the given columns (duplicates collapse)."""
+        columns = tuple(columns)
+        indexes = [self.column_index(c) for c in columns]
+        projected = {tuple(row[i] for i in indexes) for row in self.rows}
+        return NamedRelation(columns, projected)
+
+    def select_equal(self, column: Hashable, value: Value) -> "NamedRelation":
+        index = self.column_index(column)
+        return NamedRelation(self.columns, {row for row in self.rows if row[index] == value})
+
+    def rename(self, mapping: dict) -> "NamedRelation":
+        new_columns = tuple(mapping.get(c, c) for c in self.columns)
+        return NamedRelation(new_columns, self.rows)
+
+    # ------------------------------------------------------------------
+    def natural_join(self, other: "NamedRelation") -> "NamedRelation":
+        """Hash-based natural join on the shared columns."""
+        shared = [c for c in self.columns if c in other.columns]
+        other_only = [c for c in other.columns if c not in self.columns]
+        result_columns = self.columns + tuple(other_only)
+        if not shared:
+            rows = {
+                left + tuple(right[other.column_index(c)] for c in other_only)
+                for left in self.rows
+                for right in other.rows
+            }
+            return NamedRelation(result_columns, rows)
+        left_key_indexes = [self.column_index(c) for c in shared]
+        right_key_indexes = [other.column_index(c) for c in shared]
+        other_only_indexes = [other.column_index(c) for c in other_only]
+        buckets: dict[tuple, list[tuple]] = {}
+        for right in other.rows:
+            key = tuple(right[i] for i in right_key_indexes)
+            buckets.setdefault(key, []).append(right)
+        rows = set()
+        for left in self.rows:
+            key = tuple(left[i] for i in left_key_indexes)
+            for right in buckets.get(key, ()):
+                rows.add(left + tuple(right[i] for i in other_only_indexes))
+        return NamedRelation(result_columns, rows)
+
+    def semijoin(self, other: "NamedRelation") -> "NamedRelation":
+        """Keep the rows of ``self`` that join with at least one row of
+        ``other`` (the Yannakakis filtering primitive)."""
+        shared = [c for c in self.columns if c in other.columns]
+        if not shared:
+            return self if other.rows else NamedRelation(self.columns, set())
+        left_key_indexes = [self.column_index(c) for c in shared]
+        right_keys = {
+            tuple(row[other.column_index(c)] for c in shared) for row in other.rows
+        }
+        rows = {
+            row for row in self.rows
+            if tuple(row[i] for i in left_key_indexes) in right_keys
+        }
+        return NamedRelation(self.columns, rows)
+
+    def cross_product(self, other: "NamedRelation") -> "NamedRelation":
+        if set(self.columns) & set(other.columns):
+            raise ValueError("cross product requires disjoint columns")
+        return self.natural_join(other)
+
+
+def intersect_all(relations: Sequence[NamedRelation]) -> NamedRelation:
+    """Natural join of a sequence of relations (smallest first)."""
+    if not relations:
+        raise ValueError("intersect_all requires at least one relation")
+    ordered = sorted(relations, key=len)
+    result = ordered[0]
+    for relation in ordered[1:]:
+        result = result.natural_join(relation)
+    return result
+
+
+def from_atom(atom, database) -> NamedRelation:
+    """The named relation induced by a query atom over a database.
+
+    Handles constants (selection) and repeated variables (equality selection)
+    so the rest of the evaluators can assume clean named columns.
+    """
+    from repro.cq.query import Constant
+
+    relation = database.relation(atom.relation)
+    columns = []
+    rows = set(relation.tuples)
+    # First pass: selections for constants.
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            rows = {row for row in rows if row[index] == term.value}
+    # Second pass: equality selections for repeated variables, then projection
+    # onto one column per variable.
+    first_position: dict = {}
+    keep_indexes: list[int] = []
+    for index, term in enumerate(atom.terms):
+        if isinstance(term, Constant):
+            continue
+        if term in first_position:
+            anchor = first_position[term]
+            rows = {row for row in rows if row[index] == row[anchor]}
+        else:
+            first_position[term] = index
+            keep_indexes.append(index)
+            columns.append(term)
+    projected = {tuple(row[i] for i in keep_indexes) for row in rows}
+    return NamedRelation(columns, projected)

@@ -1,0 +1,60 @@
+"""Semantic generalised hypertree width (Section 4.3).
+
+``sem-ghw(q)`` is the minimum ghw over all CQs equivalent to ``q``, and it is
+known (Barcelo et al.) to equal ``ghw(core(q))`` — which is how we compute it:
+take the core, then apply the certified ghw bounds of
+:mod:`repro.widths.ghw`.  The same recipe yields semantic treewidth, used by
+Grohe's bounded-arity characterisation (Proposition 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cq.core import core_of
+from repro.cq.query import ConjunctiveQuery
+from repro.widths.ghw import GHWResult, ghw
+from repro.widths.treewidth import TreewidthResult, treewidth
+
+
+@dataclass
+class SemanticWidthResult:
+    """Bounds on a semantic width parameter, with the core that witnesses them."""
+
+    core: ConjunctiveQuery
+    lower: float
+    upper: float
+
+    @property
+    def exact(self) -> bool:
+        return self.lower == self.upper
+
+    @property
+    def value(self) -> float:
+        if not self.exact:
+            raise ValueError(f"semantic width only bounded in [{self.lower}, {self.upper}]")
+        return self.upper
+
+
+def semantic_ghw(query: ConjunctiveQuery, separator_budget: int = 3) -> SemanticWidthResult:
+    """Certified bounds on ``sem-ghw(q) = ghw(core(q))``."""
+    core = core_of(query)
+    bounds: GHWResult = ghw(core.hypergraph(), separator_budget=separator_budget)
+    return SemanticWidthResult(core=core, lower=bounds.lower, upper=bounds.upper)
+
+
+def semantic_treewidth(query: ConjunctiveQuery) -> SemanticWidthResult:
+    """Certified bounds on the semantic treewidth ``tw(core(q))``."""
+    core = core_of(query)
+    bounds: TreewidthResult = treewidth(core.hypergraph())
+    return SemanticWidthResult(core=core, lower=bounds.lower, upper=bounds.upper)
+
+
+def semantic_degree(query: ConjunctiveQuery) -> int:
+    """The degree of the core's hypergraph.
+
+    The core's hypergraph is a subhypergraph of the query's, so the semantic
+    degree never exceeds the query degree — the observation that lets
+    Theorem 4.11 stay inside the degree-2 world.
+    """
+    return core_of(query).hypergraph().degree()

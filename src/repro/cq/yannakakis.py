@@ -1,0 +1,151 @@
+"""The Yannakakis algorithm on join trees (alpha-acyclic queries).
+
+Yannakakis' algorithm answers acyclic CQs in polynomial time: materialise one
+relation per join-tree node, run an upward semijoin pass (bottom-up
+filtering), a downward pass, and finally join along the tree.  Together with
+join trees for width-1 GHDs it is the algorithmic core of Proposition 2.2's
+upper bound; the GHD-guided evaluator in
+:mod:`repro.cq.decomposition_eval` reduces bounded-ghw queries to exactly this
+routine after materialising bag relations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+from repro.cq.relational import NamedRelation
+
+Node = Hashable
+
+
+class JoinTree:
+    """A rooted join tree over arbitrary node identifiers.
+
+    Parameters
+    ----------
+    relations:
+        Mapping node -> :class:`NamedRelation`.
+    parent:
+        Mapping node -> parent node (``None`` for the root).  Exactly one root
+        is required; forests should be connected beforehand (or evaluated per
+        tree and combined by the caller).
+    """
+
+    def __init__(self, relations: Mapping[Node, NamedRelation], parent: Mapping[Node, Node | None]) -> None:
+        self.relations: dict[Node, NamedRelation] = dict(relations)
+        self.parent: dict[Node, Node | None] = dict(parent)
+        roots = [n for n, p in self.parent.items() if p is None]
+        if len(roots) != 1:
+            raise ValueError(f"a join tree needs exactly one root, found {len(roots)}")
+        self.root = roots[0]
+        self.children: dict[Node, list[Node]] = {n: [] for n in self.relations}
+        for node, parent_node in self.parent.items():
+            if parent_node is not None:
+                self.children[parent_node].append(node)
+
+    def topological_order(self) -> list[Node]:
+        """Nodes ordered root-first (parents before children)."""
+        order = [self.root]
+        frontier = [self.root]
+        while frontier:
+            current = frontier.pop()
+            for child in self.children[current]:
+                order.append(child)
+                frontier.append(child)
+        return order
+
+
+def semijoin_reduce(tree: JoinTree) -> dict[Node, NamedRelation]:
+    """The two semijoin passes of Yannakakis; returns the reduced relations.
+
+    After reduction every remaining row participates in at least one global
+    solution (the *global consistency* property of acyclic instances).
+    """
+    relations = dict(tree.relations)
+    order = tree.topological_order()
+    # Upward pass (leaves to root): filter parents by children.
+    for node in reversed(order):
+        parent = tree.parent[node]
+        if parent is None:
+            continue
+        relations[parent] = relations[parent].semijoin(relations[node])
+    # Downward pass (root to leaves): filter children by parents.
+    for node in order:
+        for child in tree.children[node]:
+            relations[child] = relations[child].semijoin(relations[node])
+    return relations
+
+
+def yannakakis_boolean(tree: JoinTree) -> bool:
+    """BCQ via Yannakakis: after the upward pass, the query is satisfiable iff
+    the root relation (and every other) is non-empty."""
+    relations = dict(tree.relations)
+    if any(len(r) == 0 for r in relations.values()):
+        return False
+    order = tree.topological_order()
+    for node in reversed(order):
+        parent = tree.parent[node]
+        if parent is None:
+            continue
+        relations[parent] = relations[parent].semijoin(relations[node])
+        if not relations[parent]:
+            return False
+    return bool(relations[tree.root])
+
+
+def yannakakis_full(tree: JoinTree, output_columns: Sequence[Hashable] | None = None) -> NamedRelation:
+    """Full enumeration via Yannakakis: semijoin-reduce, then join bottom-up,
+    projecting intermediate results onto the columns still needed above.
+
+    ``output_columns`` defaults to the union of all columns (the full CQ
+    case); supplying a subset yields the projection of the answers.
+    """
+    reduced = semijoin_reduce(tree)
+    all_columns: list = []
+    for relation in tree.relations.values():
+        for column in relation.columns:
+            if column not in all_columns:
+                all_columns.append(column)
+    if output_columns is None:
+        output_columns = tuple(all_columns)
+    else:
+        output_columns = tuple(output_columns)
+
+    needed_above: dict[Node, set] = {}
+
+    def columns_needed(node: Node) -> set:
+        # Columns that must survive when node's result is handed to its parent:
+        # output columns plus columns shared with anything outside the subtree.
+        subtree_nodes = set()
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            subtree_nodes.add(current)
+            frontier.extend(tree.children[current])
+        outside_columns: set = set()
+        for other, relation in tree.relations.items():
+            if other not in subtree_nodes:
+                outside_columns.update(relation.columns)
+        own_columns: set = set()
+        for member in subtree_nodes:
+            own_columns.update(tree.relations[member].columns)
+        return own_columns & (outside_columns | set(output_columns))
+
+    for node in tree.relations:
+        needed_above[node] = columns_needed(node)
+
+    def evaluate(node: Node) -> NamedRelation:
+        result = reduced[node]
+        for child in tree.children[node]:
+            child_result = evaluate(child)
+            result = result.natural_join(child_result)
+        keep = [c for c in result.columns if c in needed_above[node] or node == tree.root]
+        if node == tree.root:
+            keep = [c for c in result.columns if c in set(output_columns)] or list(result.columns)
+        return result.project(keep)
+
+    final = evaluate(tree.root)
+    missing = [c for c in output_columns if c not in final.columns]
+    if missing:
+        raise ValueError(f"output columns {missing!r} do not occur in the join tree")
+    return final.project(output_columns)

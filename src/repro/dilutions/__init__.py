@@ -1,0 +1,34 @@
+"""Hypergraph dilutions (Section 3 of the paper).
+
+A hypergraph ``H`` is a *dilution* of ``H'`` if it is isomorphic to a
+hypergraph reachable from ``H'`` by vertex deletions, deletions of subedges,
+and *mergings* on a vertex (Definition 3.1).  Dilutions are the paper's
+replacement for graph minors in the unbounded-rank world: they never increase
+the degree, never increase ghw (Lemma 3.2), and CQ answering reduces along
+them (Theorem 3.4, implemented in :mod:`repro.reductions`).
+"""
+
+from repro.dilutions.operations import (
+    DeleteSubedge,
+    DeleteVertex,
+    DilutionOperation,
+    MergeOnVertex,
+)
+from repro.dilutions.sequence import DilutionSequence
+from repro.dilutions.search import find_dilution_sequence, is_dilution_of
+from repro.dilutions.labels import (
+    dilution_edge_labels,
+    dilution_to_dual_minor_map,
+)
+
+__all__ = [
+    "DilutionOperation",
+    "DeleteVertex",
+    "DeleteSubedge",
+    "MergeOnVertex",
+    "DilutionSequence",
+    "find_dilution_sequence",
+    "is_dilution_of",
+    "dilution_edge_labels",
+    "dilution_to_dual_minor_map",
+]

@@ -1,0 +1,103 @@
+"""The three dilution operations of Definition 3.1.
+
+Each operation is a small immutable object with an applicability check and an
+``apply`` method producing a new hypergraph.  Keeping operations first-class
+lets dilution *sequences* be stored, validated, replayed, and — crucially for
+Theorem 3.4 — traversed in reverse by the query/database reduction.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+from dataclasses import dataclass
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+class DilutionOperation:
+    """Base class for dilution operations."""
+
+    def is_applicable(self, hypergraph: Hypergraph) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def apply(self, hypergraph: Hypergraph) -> Hypergraph:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def explain_inapplicable(self, hypergraph: Hypergraph) -> str:
+        return f"{self!r} is not applicable"
+
+
+@dataclass(frozen=True)
+class DeleteVertex(DilutionOperation):
+    """Operation (1): delete a vertex from the vertex set and from all edges."""
+
+    vertex: Vertex
+
+    def is_applicable(self, hypergraph: Hypergraph) -> bool:
+        return self.vertex in hypergraph.vertices
+
+    def apply(self, hypergraph: Hypergraph) -> Hypergraph:
+        if not self.is_applicable(hypergraph):
+            raise ValueError(self.explain_inapplicable(hypergraph))
+        return hypergraph.delete_vertex(self.vertex, keep_empty_edges=True)
+
+    def explain_inapplicable(self, hypergraph: Hypergraph) -> str:
+        return f"vertex {self.vertex!r} is not a vertex of the hypergraph"
+
+
+@dataclass(frozen=True)
+class DeleteSubedge(DilutionOperation):
+    """Operation (2): delete an edge that is a *proper subset* of another edge.
+
+    Arbitrary edge deletion is intentionally not allowed (see the discussion
+    after Definition 3.1): removing a covering edge could "activate" an
+    arbitrarily complex subproblem and break the monotonicity of complexity
+    that dilutions are designed to preserve.
+    """
+
+    edge: frozenset
+
+    def __init__(self, edge: Iterable[Vertex]) -> None:
+        object.__setattr__(self, "edge", frozenset(edge))
+
+    def is_applicable(self, hypergraph: Hypergraph) -> bool:
+        if self.edge not in hypergraph.edges:
+            return False
+        return any(self.edge < other for other in hypergraph.edges)
+
+    def apply(self, hypergraph: Hypergraph) -> Hypergraph:
+        if not self.is_applicable(hypergraph):
+            raise ValueError(self.explain_inapplicable(hypergraph))
+        return hypergraph.delete_edge(self.edge)
+
+    def explain_inapplicable(self, hypergraph: Hypergraph) -> str:
+        if self.edge not in hypergraph.edges:
+            return f"edge {set(self.edge)!r} is not an edge of the hypergraph"
+        return f"edge {set(self.edge)!r} is not a proper subset of another edge"
+
+
+@dataclass(frozen=True)
+class MergeOnVertex(DilutionOperation):
+    """Operation (3): *merging on* a vertex ``v``.
+
+    All edges incident to ``v`` are replaced by the single edge
+    ``(U I_v) \\ {v}``.  This is the dual counterpart of contracting a vertex
+    in graph-minor terms (Figure 1) and is what lets dilutions pull grid
+    minors of the dual back into jigsaw substructures of the hypergraph
+    itself (Lemma 4.4).
+    """
+
+    vertex: Vertex
+
+    def is_applicable(self, hypergraph: Hypergraph) -> bool:
+        return self.vertex in hypergraph.vertices
+
+    def apply(self, hypergraph: Hypergraph) -> Hypergraph:
+        if not self.is_applicable(hypergraph):
+            raise ValueError(self.explain_inapplicable(hypergraph))
+        return hypergraph.merge_on_vertex(self.vertex)
+
+    def explain_inapplicable(self, hypergraph: Hypergraph) -> str:
+        return f"vertex {self.vertex!r} is not a vertex of the hypergraph"

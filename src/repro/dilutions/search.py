@@ -1,0 +1,133 @@
+"""Deciding hypergraph dilution: "does H' dilute to H?".
+
+Theorem 3.5 shows the problem is NP-complete in general, so no polynomial
+algorithm is expected; this module provides an exact depth-first search that
+is practical for the small hypergraphs used in tests and benches (up to
+roughly a dozen vertices/edges of slack between source and target).
+
+The search exploits the structural facts of Lemma 3.2 for pruning:
+
+* ``|V| + |E|`` never increases along a dilution sequence, so the depth of the
+  search is bounded by ``size(source) - size(target)``;
+* the degree never increases, so a branch whose current degree is already
+  below the target degree is dead;
+* the number of vertices and the number of edges never increase individually.
+
+Since Definition 3.1 asks for the target only up to isomorphism, the search
+closes every branch with an isomorphism test.
+"""
+
+from __future__ import annotations
+
+from repro.dilutions.operations import (
+    DeleteSubedge,
+    DeleteVertex,
+    DilutionOperation,
+    MergeOnVertex,
+)
+from repro.dilutions.sequence import DilutionSequence
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.isomorphism import are_isomorphic
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the dilution search exceeds its node budget."""
+
+
+def _signature(hypergraph: Hypergraph) -> tuple:
+    """A cheap canonical-ish signature used to avoid revisiting states.
+
+    Two isomorphic hypergraphs always share a signature, and distinct states
+    reached through different operation orders usually collapse; the signature
+    intentionally errs on the side of distinguishing (never merges states that
+    are genuinely different as labelled hypergraphs).
+    """
+    return (
+        frozenset(hypergraph.edges),
+        frozenset(hypergraph.vertices),
+    )
+
+
+def _candidate_operations(hypergraph: Hypergraph) -> list[DilutionOperation]:
+    operations: list[DilutionOperation] = []
+    for vertex in hypergraph.vertex_list():
+        operations.append(DeleteVertex(vertex))
+        operations.append(MergeOnVertex(vertex))
+    for edge in hypergraph.edge_list():
+        if any(edge < other for other in hypergraph.edges):
+            operations.append(DeleteSubedge(edge))
+    return operations
+
+
+def _prune(current: Hypergraph, target: Hypergraph) -> bool:
+    """True if no dilution of ``current`` can be isomorphic to ``target``."""
+    if current.num_vertices < target.num_vertices:
+        return True
+    if current.num_edges < target.num_edges:
+        return True
+    if current.size < target.size:
+        return True
+    if current.degree() < target.degree():
+        return True
+    return False
+
+
+def find_dilution_sequence(
+    source: Hypergraph,
+    target: Hypergraph,
+    max_nodes: int = 200_000,
+) -> DilutionSequence | None:
+    """A dilution sequence from ``source`` to (an isomorphic copy of)
+    ``target``, or ``None`` if none exists.
+
+    Raises :class:`SearchBudgetExceeded` when more than ``max_nodes`` search
+    states are expanded, so callers can distinguish "no" from "gave up".
+    """
+    if are_isomorphic(source, target):
+        return DilutionSequence()
+    visited: set = set()
+    expanded = 0
+
+    def dfs(current: Hypergraph, trail: list[DilutionOperation]) -> list | None:
+        nonlocal expanded
+        expanded += 1
+        if expanded > max_nodes:
+            raise SearchBudgetExceeded(
+                f"dilution search exceeded {max_nodes} expanded states"
+            )
+        for operation in _candidate_operations(current):
+            successor = operation.apply(current)
+            if successor.size >= current.size and not isinstance(operation, DeleteSubedge):
+                # Degenerate merge on an isolated vertex; never useful.
+                if successor == current:
+                    continue
+            signature = _signature(successor)
+            if signature in visited:
+                continue
+            visited.add(signature)
+            if _prune(successor, target):
+                continue
+            if (
+                successor.num_vertices == target.num_vertices
+                and successor.num_edges == target.num_edges
+                and are_isomorphic(successor, target)
+            ):
+                return trail + [operation]
+            result = dfs(successor, trail + [operation])
+            if result is not None:
+                return result
+        return None
+
+    visited.add(_signature(source))
+    found = dfs(source, [])
+    if found is None:
+        return None
+    return DilutionSequence(found)
+
+
+def is_dilution_of(
+    target: Hypergraph, source: Hypergraph, max_nodes: int = 200_000
+) -> bool:
+    """True if ``target`` is a hypergraph dilution of ``source``
+    (i.e. ``source`` dilutes to ``target``)."""
+    return find_dilution_sequence(source, target, max_nodes=max_nodes) is not None

@@ -1,0 +1,81 @@
+"""Dilution sequences: ordered lists of dilution operations.
+
+A dilution sequence witnesses that one hypergraph dilutes to another; it is
+the object the Theorem 3.4 reduction consumes (in reverse) and the object the
+search in :mod:`repro.dilutions.search` produces.  The sequence also exposes
+the Lemma 3.2 monotonicity facts as runtime checks used by the property-based
+tests: along any sequence the degree never increases, ``|V| + |E|`` strictly
+decreases for every effective step, and ghw never increases.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.dilutions.operations import DilutionOperation
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+class DilutionSequence:
+    """An immutable sequence of dilution operations."""
+
+    def __init__(self, operations: Iterable[DilutionOperation] = ()) -> None:
+        self.operations: tuple[DilutionOperation, ...] = tuple(operations)
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+    def __iter__(self) -> Iterator[DilutionOperation]:
+        return iter(self.operations)
+
+    def __getitem__(self, index):
+        return self.operations[index]
+
+    def __add__(self, other: "DilutionSequence") -> "DilutionSequence":
+        return DilutionSequence(self.operations + tuple(other))
+
+    def __repr__(self) -> str:
+        return f"DilutionSequence({list(self.operations)!r})"
+
+    # ------------------------------------------------------------------
+    def is_applicable_to(self, hypergraph: Hypergraph) -> bool:
+        """True if every operation is applicable when applied in order."""
+        current = hypergraph
+        for operation in self.operations:
+            if not operation.is_applicable(current):
+                return False
+            current = operation.apply(current)
+        return True
+
+    def apply(self, hypergraph: Hypergraph) -> Hypergraph:
+        """Apply all operations in order, returning the final hypergraph."""
+        current = hypergraph
+        for operation in self.operations:
+            current = operation.apply(current)
+        return current
+
+    def intermediate_hypergraphs(self, hypergraph: Hypergraph) -> list[Hypergraph]:
+        """All hypergraphs ``H_0 = input, H_1, ..., H_l`` along the sequence."""
+        stages = [hypergraph]
+        for operation in self.operations:
+            stages.append(operation.apply(stages[-1]))
+        return stages
+
+    # ------------------------------------------------------------------
+    def check_monotonicity(self, hypergraph: Hypergraph) -> dict:
+        """Check the Lemma 3.2 invariants along this sequence.
+
+        Returns a dict with keys ``degree_monotone`` and ``size_monotone``
+        (booleans).  The ghw statement of Lemma 3.2(3) is verified separately
+        in the tests because computing ghw bounds per stage is more expensive.
+        """
+        stages = self.intermediate_hypergraphs(hypergraph)
+        degree_monotone = all(
+            later.degree() <= earlier.degree()
+            for earlier, later in zip(stages, stages[1:])
+        )
+        size_monotone = all(
+            later.size <= earlier.size
+            for earlier, later in zip(stages, stages[1:])
+        )
+        return {"degree_monotone": degree_monotone, "size_monotone": size_monotone}

@@ -1,0 +1,49 @@
+"""Hypergraph substrate for the degree-2 CQ reproduction.
+
+This subpackage provides the basic combinatorial objects used throughout the
+paper: hypergraphs, (2-uniform) graphs, duals and primal graphs, reduced
+hypergraphs, isomorphism testing, and generators for the structured families
+that appear in the paper (grids, jigsaws, thickened jigsaws, random degree-2
+hypergraphs).
+"""
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.graphs import (
+    Graph,
+    cycle_graph,
+    complete_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.hypergraphs.duality import dual_hypergraph, primal_graph
+from repro.hypergraphs.reduction import reduce_hypergraph, reduction_dilution_sequence
+from repro.hypergraphs.isomorphism import are_isomorphic, find_isomorphism
+from repro.hypergraphs.properties import (
+    is_alpha_acyclic,
+    gyo_reduction,
+    vertex_types,
+    hypergraph_statistics,
+)
+from repro.hypergraphs import generators
+
+__all__ = [
+    "Hypergraph",
+    "Graph",
+    "cycle_graph",
+    "complete_graph",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "dual_hypergraph",
+    "primal_graph",
+    "reduce_hypergraph",
+    "reduction_dilution_sequence",
+    "are_isomorphic",
+    "find_isomorphism",
+    "is_alpha_acyclic",
+    "gyo_reduction",
+    "vertex_types",
+    "hypergraph_statistics",
+    "generators",
+]

@@ -1,0 +1,90 @@
+"""Dual hypergraphs and primal (Gaifman) graphs.
+
+The dual ``H^d`` of ``H`` has ``V(H^d) = E(H)`` and
+``E(H^d) = {I_v | v in V(H)}`` (Section 2).  The degree/rank swap under
+dualisation is what powers the whole degree-2 story: a degree-2 hypergraph has
+a *graph-like* dual (rank <= 2), so graph-minor machinery applies to ``H^d``
+and can be pulled back through dilutions (Lemma 4.4).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.hypergraphs.graphs import Graph
+from repro.hypergraphs.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+def dual_hypergraph(hypergraph: Hypergraph) -> Hypergraph:
+    """The dual hypergraph ``H^d``.
+
+    Vertices of the dual are the edges of ``H`` (as frozensets); edges of the
+    dual are the vertex types ``I_v``.  For a *reduced* hypergraph ``H`` the
+    dual of the dual is isomorphic to ``H`` (see :func:`double_dual_mapping`).
+    """
+    dual_vertices = hypergraph.edges
+    dual_edges = [hypergraph.incident_edges(v) for v in hypergraph.vertices
+                  if hypergraph.incident_edges(v)]
+    return Hypergraph(dual_vertices, dual_edges)
+
+
+def primal_graph(hypergraph: Hypergraph) -> Graph:
+    """The primal (Gaifman) graph: vertices of ``H``, an edge between two
+    distinct vertices whenever some hyperedge contains both."""
+    edges = set()
+    for edge in hypergraph.edges:
+        members = sorted(edge, key=repr)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                edges.add(frozenset({u, v}))
+    return Graph(hypergraph.vertices, edges)
+
+
+def dual_degree_equals_rank(hypergraph: Hypergraph) -> bool:
+    """Sanity relation: ``degree(H^d) == rank(H)`` and ``rank(H^d) == degree(H)``
+    whenever ``H`` has no isolated vertices and no duplicate vertex types.
+
+    Used by the tests as a cheap invariant; returns whether both equalities
+    hold for this particular hypergraph.
+    """
+    dual = dual_hypergraph(hypergraph)
+    no_isolated = not hypergraph.isolated_vertices()
+    types = [hypergraph.incident_edges(v) for v in hypergraph.vertices]
+    no_duplicate_types = len(set(types)) == len(types)
+    if not (no_isolated and no_duplicate_types):
+        # The relation may fail when the hypergraph is not reduced; report
+        # honestly instead of asserting.
+        return dual.degree() <= hypergraph.rank() and dual.rank() <= hypergraph.degree()
+    return dual.degree() == hypergraph.rank() and dual.rank() == hypergraph.degree()
+
+
+def double_dual_mapping(hypergraph: Hypergraph) -> dict | None:
+    """For a reduced hypergraph, the canonical isomorphism ``(H^d)^d -> H``.
+
+    Each vertex of ``(H^d)^d`` is an edge of ``H^d``, i.e. a vertex type
+    ``I_v`` of ``H``; since ``H`` is reduced, vertex types are distinct and
+    non-empty, so ``I_v -> v`` is a bijection.  Returns the mapping as a dict
+    from vertices of ``(H^d)^d`` to vertices of ``H``, or ``None`` if ``H`` is
+    not reduced.
+    """
+    if not hypergraph.is_reduced():
+        return None
+    mapping = {}
+    for v in hypergraph.vertices:
+        mapping[hypergraph.incident_edges(v)] = v
+    return mapping
+
+
+def is_self_dual_consistent(hypergraph: Hypergraph) -> bool:
+    """Check ``(H^d)^d == H`` up to the canonical relabelling for reduced ``H``."""
+    mapping = double_dual_mapping(hypergraph)
+    if mapping is None:
+        return False
+    double_dual = dual_hypergraph(dual_hypergraph(hypergraph))
+    try:
+        relabelled = double_dual.relabel(mapping)
+    except (KeyError, ValueError):
+        return False
+    return relabelled == Hypergraph(hypergraph.vertices, hypergraph.edges)

@@ -1,0 +1,311 @@
+"""Generators for the hypergraph families used in the paper and the benches.
+
+The central degree-2 families are:
+
+* **jigsaws** (Definition 4.2) — duals of grid graphs;
+* **thickened jigsaws** — degree-2 hypergraphs that dilute to a jigsaw by a
+  merge-then-delete sequence, modelled on the example of Figure 2;
+* **duals of graphs** — every simple graph's dual hypergraph has degree
+  exactly 2, which is how the synthetic HyperBench-style corpus obtains
+  degree-2 hypergraphs with a wide spread of generalised hypertree width.
+
+All random generators take an explicit ``seed`` (or ``random.Random``) so the
+corpus and the benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+
+from repro.hypergraphs.duality import dual_hypergraph
+from repro.hypergraphs.graphs import Graph, grid_graph
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+def _rng(seed) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+# ----------------------------------------------------------------------
+# Jigsaws and relatives
+# ----------------------------------------------------------------------
+def jigsaw(rows: int, cols: int) -> Hypergraph:
+    """The ``rows x cols`` jigsaw hypergraph (Definition 4.2).
+
+    The jigsaw is the hypergraph dual of the ``rows x cols`` grid graph: it has
+    one edge ``e_{i,j}`` per grid position, every vertex has degree 2, and
+    ``e_{i,j}`` intersects exactly its grid neighbours, in exactly one vertex.
+
+    Vertices are labelled ``("h", i, j)`` for the vertex shared by
+    ``e_{i,j}`` and ``e_{i,j+1}`` and ``("v", i, j)`` for the vertex shared by
+    ``e_{i,j}`` and ``e_{i+1,j}``.  Edge membership is recoverable through
+    :func:`jigsaw_edge_of`.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("jigsaw requires positive dimensions")
+    edges: dict[tuple[int, int], set] = {
+        (i, j): set() for i in range(rows) for j in range(cols)
+    }
+    for i in range(rows):
+        for j in range(cols):
+            if j + 1 < cols:
+                v = ("h", i, j)
+                edges[(i, j)].add(v)
+                edges[(i, j + 1)].add(v)
+            if i + 1 < rows:
+                v = ("v", i, j)
+                edges[(i, j)].add(v)
+                edges[(i + 1, j)].add(v)
+    return Hypergraph(edges=[edges[key] for key in sorted(edges)])
+
+
+def jigsaw_edge_of(rows: int, cols: int, position: tuple[int, int]) -> frozenset:
+    """The edge ``e_{i,j}`` of the ``rows x cols`` jigsaw for ``position``."""
+    i, j = position
+    if not (0 <= i < rows and 0 <= j < cols):
+        raise ValueError(f"position {position!r} outside a {rows}x{cols} jigsaw")
+    members = set()
+    if j + 1 < cols:
+        members.add(("h", i, j))
+    if j - 1 >= 0:
+        members.add(("h", i, j - 1))
+    if i + 1 < rows:
+        members.add(("v", i, j))
+    if i - 1 >= 0:
+        members.add(("v", i - 1, j))
+    return frozenset(members)
+
+
+def thickened_jigsaw_with_structure(rows: int, cols: int) -> tuple[Hypergraph, dict, dict]:
+    """Like :func:`thickened_jigsaw`, also returning the planted structure.
+
+    Returns ``(hypergraph, big_edge_of, connector_of)`` where ``big_edge_of``
+    maps each grid position ``(i, j)`` to the "big" edge realising the jigsaw
+    edge ``e_{i,j}`` and ``connector_of`` maps each jigsaw vertex to its
+    two-vertex connector edge.  The planted structure is what lets the
+    Theorem 4.7 pipeline skip expensive grid-minor search on large instances.
+    """
+    if rows * cols < 2 or (rows == 1 and cols == 2) or (rows == 2 and cols == 1):
+        raise ValueError("thickened_jigsaw requires a jigsaw with at least two distinct edges")
+    base = jigsaw(rows, cols)
+    big_members: dict[frozenset, set] = {e: set() for e in base.edges}
+    connector_of: dict = {}
+    for vertex in base.vertices:
+        incident = sorted(base.incident_edges(vertex), key=lambda e: sorted(map(repr, e)))
+        first, second = incident[0], incident[1]
+        a = ("port", vertex, 0)
+        b = ("port", vertex, 1)
+        big_members[first].add(a)
+        big_members[second].add(b)
+        connector_of[vertex] = frozenset({a, b})
+    big_edge_of = {}
+    for i in range(rows):
+        for j in range(cols):
+            base_edge = jigsaw_edge_of(rows, cols, (i, j))
+            big_edge_of[(i, j)] = frozenset(big_members[base_edge])
+    edges = [frozenset(members) for members in big_members.values()] + list(connector_of.values())
+    return Hypergraph(edges=edges), big_edge_of, connector_of
+
+
+def thickened_jigsaw(rows: int, cols: int) -> Hypergraph:
+    """A degree-2 hypergraph that dilutes to the ``rows x cols`` jigsaw.
+
+    Modelled on the example of Figure 2: every vertex shared between two
+    adjacent jigsaw edges is replaced by a two-vertex *connector* edge, so the
+    big edges no longer intersect directly.  Merging on one endpoint of every
+    connector followed by deleting the superfluous vertices recovers the
+    jigsaw.  The construction keeps degree 2 and strictly increases
+    ``|V| + |E|``, making it a convenient non-trivial dilution source for
+    tests and benches.
+    """
+    hypergraph, _, _ = thickened_jigsaw_with_structure(rows, cols)
+    return hypergraph
+
+
+def figure2_hypergraph() -> Hypergraph:
+    """The degree-2 hypergraph of Figure 2 (up to relabelling).
+
+    Figure 2 shows a degree-2 hypergraph that dilutes to the 3x2 jigsaw via
+    three mergings followed by vertex deletions; :func:`thickened_jigsaw`
+    realises exactly that shape, so we expose the 3x2 instance under the
+    figure's name for the benchmarks.
+    """
+    return thickened_jigsaw(3, 2)
+
+
+def figure1_hypergraph() -> Hypergraph:
+    """An example hypergraph exhibiting the Figure 1 phenomena.
+
+    ``H`` has edges ``{x,y}, {a,x}, {b,x}, {y,c,d}, {y,e}`` (degree 3,
+    rank 3).  Contracting the primal edge ``{x, y}`` (the hypergraph-minor
+    operation of Definition 3.3) produces a vertex of degree 4 — higher than
+    any degree in ``H`` — so the contraction result cannot be a dilution of
+    ``H``.  Merging on ``y`` (the dilution operation) produces the rank-4 edge
+    ``{x, c, d, e}``, while the primal graph of ``H`` has no 4-clique on those
+    vertices, so the merging result cannot be reached by hypergraph-minor
+    operations either.  These are exactly the two non-simulability claims the
+    paper reads off Figure 1.
+    """
+    return Hypergraph(
+        edges=[{"x", "y"}, {"a", "x"}, {"b", "x"}, {"y", "c", "d"}, {"y", "e"}]
+    )
+
+
+# ----------------------------------------------------------------------
+# Duals of graphs: the canonical degree-2 family
+# ----------------------------------------------------------------------
+def dual_of_graph(graph: Graph) -> Hypergraph:
+    """The dual hypergraph of a simple graph.
+
+    Every vertex of the dual (an edge of ``graph``) lies in exactly the two
+    hyperedges of its endpoints, so the dual has degree exactly 2 whenever the
+    graph has no isolated vertices.
+    """
+    return dual_hypergraph(graph)
+
+
+def erdos_renyi_graph(n: int, p: float, seed=0) -> Graph:
+    """A ``G(n, p)`` random graph on vertices ``0..n-1``."""
+    if n < 1:
+        raise ValueError("erdos_renyi_graph requires n >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("edge probability must be in [0, 1]")
+    rng = _rng(seed)
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n) if rng.random() < p]
+    return Graph(range(n), edges)
+
+
+def random_degree2_hypergraph(n: int, p: float, seed=0) -> Hypergraph:
+    """A random degree-2 hypergraph: the dual of a ``G(n, p)`` graph with
+    isolated vertices dropped."""
+    graph = erdos_renyi_graph(n, p, seed)
+    connected_part = [v for v in graph.vertices if graph.degree(v) > 0]
+    trimmed = graph.induced_subhypergraph(connected_part) if connected_part else Hypergraph()
+    return dual_hypergraph(trimmed)
+
+
+def random_graph_with_treewidth_at_most(n: int, width: int, seed=0, extra_edges: int = 0) -> Graph:
+    """A random partial ``width``-tree on ``n`` vertices (k-tree subgraph).
+
+    Useful for generating graphs of *bounded* treewidth, and therefore (via
+    duals) degree-2 hypergraphs with bounded ghw.
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    width = max(1, min(width, n - 1))
+    rng = _rng(seed)
+    edges: set = set()
+    cliques: list[list[int]] = []
+    initial = list(range(min(width + 1, n)))
+    for i, u in enumerate(initial):
+        for v in initial[i + 1:]:
+            edges.add(frozenset({u, v}))
+    cliques.append(initial)
+    for v in range(len(initial), n):
+        host = rng.choice(cliques)
+        drop = rng.randrange(len(host))
+        new_clique = [u for k, u in enumerate(host) if k != drop] + [v]
+        for u in new_clique[:-1]:
+            edges.add(frozenset({u, v}))
+        cliques.append(new_clique)
+    graph = Graph(range(n), edges)
+    # Random deletions keep the treewidth bound (subgraphs never increase it).
+    removable = list(graph.edges)
+    rng.shuffle(removable)
+    for edge in removable[: max(0, len(removable) // 4 - extra_edges)]:
+        graph = Graph(graph.vertices, graph.edges - {edge})
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Query-shaped hypergraphs
+# ----------------------------------------------------------------------
+def hypercycle(num_edges: int, edge_size: int = 2) -> Hypergraph:
+    """A cycle of ``num_edges`` edges, consecutive edges sharing one vertex.
+
+    For ``edge_size == 2`` this is the cycle graph; larger edge sizes pad each
+    edge with private vertices.  Degree is 2 and ghw is 2 for any cycle with
+    at least 3 edges.
+    """
+    if num_edges < 3:
+        raise ValueError("hypercycle requires at least 3 edges")
+    if edge_size < 2:
+        raise ValueError("edge_size must be at least 2")
+    edges = []
+    for i in range(num_edges):
+        edge = {("c", i), ("c", (i + 1) % num_edges)}
+        for k in range(edge_size - 2):
+            edge.add(("p", i, k))
+        edges.append(edge)
+    return Hypergraph(edges=edges)
+
+
+def hyperpath(num_edges: int, edge_size: int = 2) -> Hypergraph:
+    """A chain of ``num_edges`` edges, consecutive edges sharing one vertex."""
+    if num_edges < 1:
+        raise ValueError("hyperpath requires at least 1 edge")
+    if edge_size < 2:
+        raise ValueError("edge_size must be at least 2")
+    edges = []
+    for i in range(num_edges):
+        edge = {("c", i), ("c", i + 1)}
+        for k in range(edge_size - 2):
+            edge.add(("p", i, k))
+        edges.append(edge)
+    return Hypergraph(edges=edges)
+
+
+def star_hypergraph(num_edges: int, edge_size: int = 2) -> Hypergraph:
+    """``num_edges`` edges all sharing one centre vertex (acyclic, degree =
+    number of edges)."""
+    if num_edges < 1:
+        raise ValueError("star_hypergraph requires at least 1 edge")
+    edges = []
+    for i in range(num_edges):
+        edge = {"centre", ("leaf", i)}
+        for k in range(edge_size - 2):
+            edge.add(("p", i, k))
+        edges.append(edge)
+    return Hypergraph(edges=edges)
+
+
+def random_acyclic_hypergraph(num_edges: int, max_rank: int = 4, seed=0) -> Hypergraph:
+    """A random alpha-acyclic hypergraph built as a tree of edges.
+
+    Each new edge shares a random non-empty subset of an existing edge and
+    adds at least one private vertex, which keeps the GYO reduction successful
+    by construction.
+    """
+    if num_edges < 1:
+        raise ValueError("need at least one edge")
+    rng = _rng(seed)
+    counter = 0
+
+    def fresh() -> tuple:
+        nonlocal counter
+        counter += 1
+        return ("v", counter)
+
+    first_size = rng.randint(2, max(2, max_rank))
+    edges: list[frozenset] = [frozenset(fresh() for _ in range(first_size))]
+    for _ in range(num_edges - 1):
+        host = rng.choice(edges)
+        shared_size = rng.randint(1, max(1, min(len(host), max_rank - 1)))
+        shared = rng.sample(sorted(host, key=repr), shared_size)
+        private = [fresh() for _ in range(rng.randint(1, max(1, max_rank - shared_size)))]
+        edges.append(frozenset(shared) | frozenset(private))
+    return Hypergraph(edges=edges)
+
+
+def disjoint_union(hypergraphs: Iterable[Hypergraph]) -> Hypergraph:
+    """The disjoint union, with vertices tagged by component index."""
+    edges = []
+    vertices = []
+    for index, h in enumerate(hypergraphs):
+        tag = lambda v, index=index: (index, v)
+        vertices.extend(tag(v) for v in h.vertices)
+        edges.extend(frozenset(tag(v) for v in e) for e in h.edges)
+    return Hypergraph(vertices, edges)

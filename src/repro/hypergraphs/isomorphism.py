@@ -1,0 +1,167 @@
+"""Hypergraph isomorphism by refinement + backtracking.
+
+Definition 3.1 declares ``H`` a dilution of ``H'`` if it is *isomorphic to* a
+hypergraph reachable by dilution operations, so isomorphism testing is needed
+to close dilution search, to recognise jigsaws produced by the Theorem 4.7
+pipeline, and to validate several constructions in the tests.
+
+The implementation is a standard invariant-refinement backtracking search: it
+is exponential in the worst case but easily handles the instance sizes used in
+this reproduction (tens of vertices).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+def find_isomorphism(first: Hypergraph, second: Hypergraph) -> dict | None:
+    """An isomorphism from ``first`` to ``second`` (vertex dict) or ``None``.
+
+    An isomorphism is a bijection ``f: V(first) -> V(second)`` such that a set
+    ``e`` is an edge of ``first`` if and only if ``{f(v) | v in e}`` is an edge
+    of ``second``.
+    """
+    if first.num_vertices != second.num_vertices:
+        return None
+    if first.num_edges != second.num_edges:
+        return None
+    if sorted(len(e) for e in first.edges) != sorted(len(e) for e in second.edges):
+        return None
+
+    first_signatures = _vertex_signatures(first)
+    second_signatures = _vertex_signatures(second)
+    if sorted(first_signatures.values()) != sorted(second_signatures.values()):
+        return None
+
+    # Candidate targets per vertex, grouped by the refined colouring.
+    candidates = {}
+    for v in first.vertices:
+        candidates[v] = [u for u in second.vertices
+                         if second_signatures[u] == first_signatures[v]]
+        if not candidates[v]:
+            return None
+
+    # Process vertices in a BFS order starting from the most constrained
+    # vertex, so that every new vertex typically shares edges with already
+    # mapped ones and partial-edge pruning can bite early.
+    order = _constraint_order(first, candidates)
+    second_edges_by_size: dict[int, list] = {}
+    for edge in second.edges:
+        second_edges_by_size.setdefault(len(edge), []).append(edge)
+
+    assignment: dict = {}
+    used: set = set()
+
+    def edges_consistent(v: Vertex, u: Vertex) -> bool:
+        for edge in first.incident_edges(v):
+            mapped = {assignment[w] for w in edge if w in assignment}
+            mapped.add(u)
+            fully_mapped = all(w in assignment or w == v for w in edge)
+            if fully_mapped:
+                if frozenset(mapped) not in second.edges:
+                    return False
+            else:
+                if not any(
+                    mapped <= candidate
+                    for candidate in second_edges_by_size.get(len(edge), ())
+                ):
+                    return False
+        return True
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return _is_full_isomorphism(first, second, assignment)
+        v = order[index]
+        for u in candidates[v]:
+            if u in used:
+                continue
+            if not edges_consistent(v, u):
+                continue
+            assignment[v] = u
+            used.add(u)
+            if backtrack(index + 1):
+                return True
+            del assignment[v]
+            used.discard(u)
+        return False
+
+    if backtrack(0):
+        return dict(assignment)
+    return None
+
+
+def _constraint_order(hypergraph: Hypergraph, candidates: dict) -> list:
+    """BFS order starting from the vertex with the fewest candidates."""
+    if not hypergraph.vertices:
+        return []
+    start = min(hypergraph.vertices, key=lambda v: (len(candidates[v]), repr(v)))
+    order = [start]
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        # Among the neighbours of already-ordered vertices, pick the one with
+        # the fewest candidates next.
+        fringe = sorted(
+            {
+                u
+                for v in frontier
+                for u in hypergraph.neighbours(v)
+                if u not in seen
+            },
+            key=lambda u: (len(candidates[u]), repr(u)),
+        )
+        if not fringe:
+            remaining = [v for v in hypergraph.vertex_list() if v not in seen]
+            if not remaining:
+                break
+            fringe = [min(remaining, key=lambda v: (len(candidates[v]), repr(v)))]
+        nxt = fringe[0]
+        order.append(nxt)
+        seen.add(nxt)
+        frontier = order[:]
+    return order
+
+
+def are_isomorphic(first: Hypergraph, second: Hypergraph) -> bool:
+    """True if the two hypergraphs are isomorphic."""
+    return find_isomorphism(first, second) is not None
+
+
+def _vertex_signatures(hypergraph: Hypergraph, max_rounds: int = 8) -> dict:
+    """An isomorphism-invariant colouring per vertex.
+
+    Starts from the multiset of incident edge sizes and iteratively refines by
+    the multiset of (edge size, sorted colours of the edge's members) over the
+    incident edges — a 1-WL-style refinement on the incidence structure.
+    Refinement stops when the partition into colour classes stabilises.
+    """
+    colours = {}
+    for v in hypergraph.vertices:
+        sizes = tuple(sorted(len(e) for e in hypergraph.incident_edges(v)))
+        colours[v] = hash((len(sizes), sizes))
+    for _ in range(max_rounds):
+        new_colours = {}
+        for v in hypergraph.vertices:
+            incident_profile = []
+            for edge in hypergraph.incident_edges(v):
+                member_colours = tuple(sorted(colours[u] for u in edge if u != v))
+                incident_profile.append((len(edge), member_colours))
+            new_colours[v] = hash((colours[v], tuple(sorted(incident_profile))))
+        old_classes = len(set(colours.values()))
+        new_classes = len(set(new_colours.values()))
+        colours = new_colours
+        if new_classes == old_classes:
+            break
+    return colours
+
+
+def _is_full_isomorphism(first: Hypergraph, second: Hypergraph, mapping: dict) -> bool:
+    if len(set(mapping.values())) != len(mapping):
+        return False
+    mapped_edges = frozenset(frozenset(mapping[v] for v in e) for e in first.edges)
+    return mapped_edges == second.edges

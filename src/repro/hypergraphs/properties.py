@@ -1,0 +1,147 @@
+"""Hypergraph properties: acyclicity, vertex types, summary statistics.
+
+``alpha``-acyclicity (Fagin 1983) is the base case of every width parameter
+used in the paper: a hypergraph is alpha-acyclic iff its generalised hypertree
+width is 1.  The GYO reduction implemented here is also reused to build join
+trees for the Yannakakis evaluator in :mod:`repro.cq.yannakakis`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+@dataclass
+class GYOResult:
+    """Outcome of the GYO (Graham / Yu-Ozsoyoglu) reduction.
+
+    Attributes
+    ----------
+    acyclic:
+        Whether the input hypergraph is alpha-acyclic.
+    elimination_order:
+        The edges in the order they were eliminated (ears first).  For an
+        acyclic hypergraph this covers all edges.
+    parent:
+        For every eliminated edge, the edge it was absorbed into (``None`` for
+        the final remaining edge); the mapping defines a join forest.
+    residual:
+        The edges that could not be eliminated (empty iff acyclic).
+    """
+
+    acyclic: bool
+    elimination_order: list = field(default_factory=list)
+    parent: dict = field(default_factory=dict)
+    residual: frozenset = frozenset()
+
+
+def gyo_reduction(hypergraph: Hypergraph) -> GYOResult:
+    """Run the GYO ear-removal procedure.
+
+    Repeatedly remove *ears*: an edge ``e`` is an ear if there is another edge
+    ``f`` such that every vertex of ``e`` is either exclusive to ``e`` or also
+    in ``f``.  The hypergraph is alpha-acyclic iff all edges can be removed.
+    """
+    remaining = set(hypergraph.edges)
+    if frozenset() in remaining:
+        remaining.discard(frozenset())
+    order: list = []
+    parent: dict = {}
+
+    def exclusive_vertices(edge, edges):
+        counts = {}
+        for f in edges:
+            for v in f:
+                counts[v] = counts.get(v, 0) + 1
+        return {v for v in edge if counts.get(v, 0) == 1}
+
+    progress = True
+    while progress and len(remaining) > 1:
+        progress = False
+        for edge in sorted(remaining, key=lambda e: (len(e), sorted(map(repr, e)))):
+            exclusive = exclusive_vertices(edge, remaining)
+            shared = edge - exclusive
+            host = None
+            for other in remaining:
+                if other is edge or other == edge:
+                    continue
+                if shared <= other:
+                    host = other
+                    break
+            if host is not None or not shared:
+                order.append(edge)
+                parent[edge] = host
+                remaining.discard(edge)
+                progress = True
+                break
+
+    if len(remaining) <= 1:
+        for edge in remaining:
+            order.append(edge)
+            parent[edge] = None
+        return GYOResult(True, order, parent, frozenset())
+    return GYOResult(False, order, parent, frozenset(remaining))
+
+
+def is_alpha_acyclic(hypergraph: Hypergraph) -> bool:
+    """True iff the hypergraph is alpha-acyclic (equivalently, ghw = 1)."""
+    return gyo_reduction(hypergraph).acyclic
+
+
+def join_forest(hypergraph: Hypergraph) -> dict | None:
+    """A join forest (edge -> parent edge or None) for an acyclic hypergraph,
+    or ``None`` if the hypergraph is not alpha-acyclic."""
+    result = gyo_reduction(hypergraph)
+    if not result.acyclic:
+        return None
+    return dict(result.parent)
+
+
+def vertex_types(hypergraph: Hypergraph) -> dict:
+    """Mapping from each vertex to its type ``I_v`` (frozenset of edges)."""
+    return {v: hypergraph.incident_edges(v) for v in hypergraph.vertices}
+
+
+def degree_histogram(hypergraph: Hypergraph) -> dict:
+    """Mapping degree -> number of vertices with that degree."""
+    histogram: dict = {}
+    for v in hypergraph.vertices:
+        d = hypergraph.degree(v)
+        histogram[d] = histogram.get(d, 0) + 1
+    return histogram
+
+
+def edge_size_histogram(hypergraph: Hypergraph) -> dict:
+    """Mapping edge size -> number of edges of that size."""
+    histogram: dict = {}
+    for e in hypergraph.edges:
+        histogram[len(e)] = histogram.get(len(e), 0) + 1
+    return histogram
+
+
+@dataclass
+class HypergraphStatistics:
+    """Summary statistics in the style of the HyperBench tables."""
+
+    num_vertices: int
+    num_edges: int
+    degree: int
+    rank: int
+    connected: bool
+    alpha_acyclic: bool
+    reduced: bool
+
+
+def hypergraph_statistics(hypergraph: Hypergraph) -> HypergraphStatistics:
+    """Compute the summary statistics record for a hypergraph."""
+    return HypergraphStatistics(
+        num_vertices=hypergraph.num_vertices,
+        num_edges=hypergraph.num_edges,
+        degree=hypergraph.degree(),
+        rank=hypergraph.rank(),
+        connected=hypergraph.is_connected(),
+        alpha_acyclic=is_alpha_acyclic(hypergraph),
+        reduced=hypergraph.is_reduced(),
+    )

@@ -1,0 +1,102 @@
+"""Reduced hypergraphs and the dilution sequence of Lemma 3.6.
+
+A hypergraph is *reduced* if (1) every vertex has degree at least 1, (2) there
+is no empty edge, and (3) no two vertices have the same vertex type
+``I_v`` (Section 2).  Reducing a hypergraph deletes isolated vertices, empty
+edges, and all but one vertex per vertex type.
+
+Lemma 3.6 states that a hypergraph always *dilutes* to its reduced version and
+that a witnessing dilution sequence can be computed in polynomial time; this
+module provides both the reduced hypergraph and that witnessing sequence.
+"""
+
+from __future__ import annotations
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+def reduce_hypergraph(hypergraph: Hypergraph) -> Hypergraph:
+    """Return the reduced hypergraph for ``hypergraph``.
+
+    Vertices with degree 0 and empty edges are removed, and for every class of
+    vertices sharing the same vertex type only the deterministically smallest
+    representative (by ``repr``) is kept.
+    """
+    current = _drop_isolated_and_empty(hypergraph)
+    # Collapse duplicate vertex types.  Deleting one vertex of a duplicated
+    # type cannot create isolated vertices (its edges survive, because the
+    # twin still witnesses them) but it can merge edges; recompute types after
+    # each deletion for correctness.
+    while True:
+        duplicate = _find_duplicate_type_vertex(current)
+        if duplicate is None:
+            break
+        current = current.delete_vertex(duplicate, keep_empty_edges=False)
+        current = _drop_isolated_and_empty(current)
+    return current
+
+
+def reduction_dilution_sequence(hypergraph: Hypergraph):
+    """A dilution sequence (Definition 3.1) from ``hypergraph`` to its
+    reduced version, as promised by Lemma 3.6.
+
+    Returns a :class:`repro.dilutions.sequence.DilutionSequence`.  Implemented
+    here (rather than in :mod:`repro.dilutions`) so the hypergraph layer knows
+    how to produce it, but the heavy lifting lives in the dilutions package;
+    the import is local to avoid a circular dependency.
+    """
+    from repro.dilutions.operations import DeleteSubedge, DeleteVertex
+    from repro.dilutions.sequence import DilutionSequence
+
+    operations = []
+    current = hypergraph
+
+    def drop_empty_edges(h: Hypergraph) -> Hypergraph:
+        while h.has_empty_edge():
+            if len(h.edges) == 1:
+                # A lone empty edge cannot be removed by subedge deletion;
+                # the reduced hypergraph of an edgeless structure keeps it out
+                # by definition of reduce_hypergraph, so stop here.
+                break
+            operations.append(DeleteSubedge(frozenset()))
+            h = h.delete_edge(frozenset())
+        return h
+
+    # 1. Remove isolated vertices.
+    for v in sorted(current.isolated_vertices(), key=repr):
+        operations.append(DeleteVertex(v))
+        current = current.delete_vertex(v)
+    current = drop_empty_edges(current)
+
+    # 2. Remove duplicate vertex types (and clean up after each deletion).
+    while True:
+        duplicate = _find_duplicate_type_vertex(current)
+        if duplicate is None:
+            break
+        operations.append(DeleteVertex(duplicate))
+        current = current.delete_vertex(duplicate)
+        current = drop_empty_edges(current)
+        for v in sorted(current.isolated_vertices(), key=repr):
+            operations.append(DeleteVertex(v))
+            current = current.delete_vertex(v)
+
+    return DilutionSequence(operations)
+
+
+def _drop_isolated_and_empty(hypergraph: Hypergraph) -> Hypergraph:
+    edges = [e for e in hypergraph.edges if e]
+    kept_vertices = set()
+    for e in edges:
+        kept_vertices.update(e)
+    return Hypergraph(kept_vertices, edges)
+
+
+def _find_duplicate_type_vertex(hypergraph: Hypergraph):
+    """A vertex whose type coincides with an earlier vertex's type, or None."""
+    seen: dict = {}
+    for v in hypergraph.vertex_list():
+        vtype = hypergraph.incident_edges(v)
+        if vtype in seen:
+            return v
+        seen[vtype] = v
+    return None

@@ -1,0 +1,41 @@
+"""Jigsaw hypergraphs, pre-jigsaws, and the excluded-grid pipeline.
+
+The ``n x m`` jigsaw (Definition 4.2) is the hypergraph dual of the grid
+graph; it is the highly connected forbidden substructure of the paper's
+Excluded-Grid analogue (Theorem 4.7).  Pre-jigsaws (Definition 5.1) are the
+bounded-degree generalisation of Section 5.
+"""
+
+from repro.jigsaws.jigsaw import (
+    is_jigsaw,
+    jigsaw,
+    jigsaw_column_reduction_sequence,
+    jigsaw_dimension,
+)
+from repro.jigsaws.prejigsaw import (
+    PreJigsawCertificate,
+    jigsaw_as_prejigsaw,
+    planted_prejigsaw,
+    prejigsaw_to_jigsaw_dilution,
+)
+from repro.jigsaws.excluded_grid import (
+    JigsawDilutionCertificate,
+    dilute_to_jigsaw,
+    largest_jigsaw_dilution,
+    planted_thickened_jigsaw_minor,
+)
+
+__all__ = [
+    "jigsaw",
+    "is_jigsaw",
+    "jigsaw_dimension",
+    "jigsaw_column_reduction_sequence",
+    "PreJigsawCertificate",
+    "jigsaw_as_prejigsaw",
+    "planted_prejigsaw",
+    "prejigsaw_to_jigsaw_dilution",
+    "JigsawDilutionCertificate",
+    "dilute_to_jigsaw",
+    "largest_jigsaw_dilution",
+    "planted_thickened_jigsaw_minor",
+]

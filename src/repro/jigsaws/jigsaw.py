@@ -1,0 +1,114 @@
+"""Jigsaw hypergraphs (Definition 4.2): construction, recognition, reductions.
+
+An ``n x m`` jigsaw has one edge ``e_{i,j}`` per grid position, every vertex
+has degree 2, and ``|e_{i,j} ∩ e_{i+1,j}| = |e_{i,j} ∩ e_{i,j+1}| = 1`` with no
+other intersections; it is the hypergraph dual of the ``n x m`` grid graph and
+is unique up to isomorphism.  The paper also notes that the ``n x m`` jigsaw
+dilutes to the ``n x (m-1)`` jigsaw — :func:`jigsaw_column_reduction_sequence`
+produces the witnessing sequence.
+"""
+
+from __future__ import annotations
+
+from repro.dilutions.operations import DeleteSubedge, DeleteVertex
+from repro.dilutions.sequence import DilutionSequence
+from repro.hypergraphs.duality import dual_hypergraph
+from repro.hypergraphs.generators import jigsaw as _jigsaw_generator
+from repro.hypergraphs.graphs import grid_graph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.isomorphism import are_isomorphic
+
+
+def jigsaw(rows: int, cols: int) -> Hypergraph:
+    """The ``rows x cols`` jigsaw hypergraph (see
+    :func:`repro.hypergraphs.generators.jigsaw`)."""
+    return _jigsaw_generator(rows, cols)
+
+
+def jigsaw_dimension(hypergraph: Hypergraph) -> tuple[int, int] | None:
+    """The dimension ``(rows, cols)`` with ``rows <= cols`` if the hypergraph
+    is a jigsaw, else ``None``.
+
+    Recognition checks degree-2-ness, then compares the dual with candidate
+    grid graphs whose area matches the number of edges.
+    """
+    if not hypergraph.edges:
+        return None
+    if any(hypergraph.degree(v) != 2 for v in hypergraph.vertices):
+        return None
+    num_edges = hypergraph.num_edges
+    dual = dual_hypergraph(hypergraph)
+    for rows in range(1, num_edges + 1):
+        if num_edges % rows != 0:
+            continue
+        cols = num_edges // rows
+        if rows > cols:
+            break
+        expected_vertices = rows * (cols - 1) + cols * (rows - 1)
+        if hypergraph.num_vertices != expected_vertices:
+            continue
+        grid = grid_graph(rows, cols)
+        if are_isomorphic(dual, Hypergraph(grid.vertices, grid.edges)):
+            return (rows, cols)
+    return None
+
+
+def is_jigsaw(hypergraph: Hypergraph) -> bool:
+    """True if the hypergraph is an ``n x m`` jigsaw for some dimension."""
+    return jigsaw_dimension(hypergraph) is not None
+
+
+def jigsaw_column_reduction_sequence(rows: int, cols: int) -> DilutionSequence:
+    """A dilution sequence from the ``rows x cols`` jigsaw to the
+    ``rows x (cols - 1)`` jigsaw (requires ``cols >= 2``).
+
+    The last column's internal vertical connectors are deleted, which shrinks
+    every last-column edge to the single horizontal connector it shares with
+    column ``cols - 2``; those singleton edges are then proper subedges and
+    are deleted; finally the now degree-1 horizontal connectors are deleted.
+    """
+    if cols < 2:
+        raise ValueError("column reduction needs at least two columns")
+    last = cols - 1
+    operations = []
+    # 1. Vertical connectors inside the last column.
+    for i in range(rows - 1):
+        operations.append(DeleteVertex(("v", i, last)))
+    # 2. The last-column edges have shrunk to {("h", i, last-1)}; delete them
+    #    as subedges of their left neighbours.
+    for i in range(rows):
+        operations.append(DeleteSubedge(frozenset({("h", i, last - 1)})))
+    # 3. The horizontal connectors into the deleted column now have degree 1.
+    for i in range(rows):
+        operations.append(DeleteVertex(("h", i, last - 1)))
+    return DilutionSequence(operations)
+
+
+def verify_jigsaw_properties(hypergraph: Hypergraph, rows: int, cols: int) -> dict:
+    """Check the defining properties of Definition 4.2 for an alleged
+    ``rows x cols`` jigsaw; returns a dict of named boolean checks."""
+    expected_edges = rows * cols
+    degree_two = all(hypergraph.degree(v) == 2 for v in hypergraph.vertices)
+    edge_count_ok = hypergraph.num_edges == expected_edges
+    # Intersection profile: count pairs of edges by intersection size.
+    intersections = {}
+    edges = hypergraph.edge_list()
+    for i, e in enumerate(edges):
+        for f in edges[i + 1:]:
+            size = len(e & f)
+            if size:
+                intersections[size] = intersections.get(size, 0) + 1
+    expected_adjacent_pairs = rows * (cols - 1) + cols * (rows - 1)
+    singles_ok = intersections.get(1, 0) == expected_adjacent_pairs
+    no_large_intersections = all(size <= 1 for size in intersections)
+    dual_is_grid = are_isomorphic(
+        dual_hypergraph(hypergraph),
+        Hypergraph(grid_graph(rows, cols).vertices, grid_graph(rows, cols).edges),
+    ) if hypergraph.edges else False
+    return {
+        "degree_two": degree_two,
+        "edge_count": edge_count_ok,
+        "adjacent_intersections": singles_ok,
+        "no_large_intersections": no_large_intersections,
+        "dual_is_grid": dual_is_grid,
+    }

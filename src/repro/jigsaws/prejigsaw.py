@@ -1,0 +1,266 @@
+"""Pre-jigsaws (Definition 5.1): certificates, validation, planted instances.
+
+A hypergraph ``H`` is an ``n x m`` *pre-jigsaw* if there are mappings
+``pi : V(J) -> V(H)`` and ``o : E(J) -> 2^{E(H)}`` (``J`` the ``n x m``
+jigsaw) such that
+
+1. the images ``o(e)`` are pairwise disjoint,
+2. every edge of ``H`` lies in some image ``o(e)``,
+3. for any two vertices ``u, v`` in a common jigsaw edge ``e`` there is a
+   fixed path ``P_{u,v}`` from ``pi(u)`` to ``pi(v)`` using only edges of
+   ``o(e)`` and no ``pi``-image vertices other than its endpoints, and
+4. every vertex of ``H`` is in the image of ``pi`` or on one of those paths.
+
+Pre-jigsaws generalise jigsaws to degree > 2 (Theorem 5.2); every *degree-2*
+pre-jigsaw dilutes back to the jigsaw by merging along the connecting paths,
+which :func:`prejigsaw_to_jigsaw_dilution` implements.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+from repro.dilutions.operations import DeleteSubedge, DeleteVertex, MergeOnVertex
+from repro.dilutions.sequence import DilutionSequence
+from repro.hypergraphs.generators import jigsaw as make_jigsaw
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+@dataclass
+class PreJigsawCertificate:
+    """A certificate that ``hypergraph`` is an ``rows x cols`` pre-jigsaw.
+
+    ``paths`` maps each unordered pair of jigsaw vertices sharing a jigsaw
+    edge to the list of hypergraph vertices of the fixed path ``P_{u,v}``
+    (including both endpoints ``pi(u)`` and ``pi(v)``).
+    """
+
+    rows: int
+    cols: int
+    hypergraph: Hypergraph
+    pi: dict = field(default_factory=dict)
+    o: dict = field(default_factory=dict)
+    paths: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def jigsaw(self) -> Hypergraph:
+        return make_jigsaw(self.rows, self.cols)
+
+    def _normalised_o(self) -> dict:
+        return {frozenset(e): frozenset(frozenset(f) for f in fs) for e, fs in self.o.items()}
+
+    def path_vertices(self) -> frozenset:
+        vertices: set = set()
+        for path in self.paths.values():
+            vertices.update(path)
+        return frozenset(vertices)
+
+    # ------------------------------------------------------------------
+    # Validation of Definition 5.1
+    # ------------------------------------------------------------------
+    def images_disjoint(self) -> bool:
+        seen: set = set()
+        for edges in self._normalised_o().values():
+            if edges & seen:
+                return False
+            seen.update(edges)
+        return True
+
+    def images_cover_all_edges(self) -> bool:
+        covered: set = set()
+        for edges in self._normalised_o().values():
+            covered.update(edges)
+        return covered == set(self.hypergraph.edges)
+
+    def pi_total(self) -> bool:
+        jigsaw_vertices = set(self.jigsaw.vertices)
+        return set(self.pi) >= jigsaw_vertices and all(
+            self.pi[v] in self.hypergraph.vertices for v in jigsaw_vertices
+        )
+
+    def paths_valid(self) -> bool:
+        o_map = self._normalised_o()
+        pi_image = frozenset(self.pi[v] for v in self.jigsaw.vertices)
+        for jigsaw_edge in self.jigsaw.edges:
+            members = sorted(jigsaw_edge, key=repr)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    key = frozenset({u, v})
+                    path = self.paths.get(key)
+                    if path is None:
+                        return False
+                    if path[0] != self.pi[u] and path[0] != self.pi[v]:
+                        return False
+                    if path[-1] != self.pi[u] and path[-1] != self.pi[v]:
+                        return False
+                    if {path[0], path[-1]} != {self.pi[u], self.pi[v]} and self.pi[u] != self.pi[v]:
+                        return False
+                    interior = set(path[1:-1])
+                    if interior & pi_image:
+                        return False
+                    if not self._path_uses_only(path, o_map[jigsaw_edge]):
+                        return False
+        return True
+
+    def _path_uses_only(self, path: list, allowed_edges: frozenset) -> bool:
+        for first, second in zip(path, path[1:]):
+            if not any(first in e and second in e for e in allowed_edges):
+                return False
+        return True
+
+    def vertices_covered(self) -> bool:
+        pi_image = frozenset(self.pi[v] for v in self.jigsaw.vertices)
+        return frozenset(self.hypergraph.vertices) <= pi_image | self.path_vertices()
+
+    def is_valid(self) -> bool:
+        return (
+            self.pi_total()
+            and self.images_disjoint()
+            and self.images_cover_all_edges()
+            and self.paths_valid()
+            and self.vertices_covered()
+        )
+
+
+# ----------------------------------------------------------------------
+# Constructions
+# ----------------------------------------------------------------------
+def jigsaw_as_prejigsaw(rows: int, cols: int) -> PreJigsawCertificate:
+    """The trivial certificate: a jigsaw is a pre-jigsaw of itself
+    (``pi`` the identity, each ``o(e) = {e}``, all paths single edges)."""
+    hypergraph = make_jigsaw(rows, cols)
+    pi = {v: v for v in hypergraph.vertices}
+    o = {}
+    paths = {}
+    for edge in hypergraph.edges:
+        o[edge] = frozenset({edge})
+        members = sorted(edge, key=repr)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                paths[frozenset({u, v})] = [u, v]
+    return PreJigsawCertificate(rows, cols, hypergraph, pi, o, paths)
+
+
+def planted_prejigsaw(rows: int, cols: int, degree: int = 2) -> PreJigsawCertificate:
+    """A planted ``rows x cols`` pre-jigsaw of the requested degree (2 or 3).
+
+    Each jigsaw edge ``e`` with vertices ``u_1, ..., u_k`` (k <= 4) is realised
+    as two "half" hyperedges joined by a fresh *bridge* vertex ``y_e``:
+    ``{pi(u_1), pi(u_2), y_e}`` and ``{y_e, pi(u_3), pi(u_4)}``; both halves
+    are assigned to ``o(e)``.  Every pair of jigsaw vertices of ``e`` is then
+    connected inside ``o(e)`` either directly (same half) or through the
+    bridge, whose only other incidences stay inside the group — so the
+    certificate satisfies all four conditions of Definition 5.1 with degree 2.
+
+    With ``degree == 3`` an extra edge is added between the bridge vertices of
+    horizontally adjacent groups (assigned to the left group), which raises
+    their degree to 3 while preserving every pre-jigsaw condition — exactly
+    the "edges touching other paths" phenomenon discussed after
+    Definition 5.1, and the reason the merge-along-paths dilution to a jigsaw
+    fails beyond degree 2.
+    """
+    if degree not in (2, 3):
+        raise ValueError("planted pre-jigsaws support degree 2 or 3 only")
+    if rows < 2 or cols < 2:
+        raise ValueError("planted pre-jigsaws require rows >= 2 and cols >= 2")
+    if degree == 3 and rows * cols <= 4:
+        raise ValueError(
+            "degree-3 pre-jigsaws need a jigsaw edge with more than two "
+            "vertices (rows * cols > 4) so that bridge vertices exist"
+        )
+    base = make_jigsaw(rows, cols)
+    pi = {v: ("pi", v) for v in base.vertices}
+    o: dict = {}
+    paths: dict = {}
+    edges: list = []
+    bridge_of: dict = {}
+    for jigsaw_edge in base.edge_list():
+        members = sorted(jigsaw_edge, key=repr)
+        group: list = []
+        key = tuple(sorted(map(repr, jigsaw_edge)))
+        if len(members) <= 2:
+            # Small boundary edges fit in a single hyperedge, no bridge needed.
+            group.append(frozenset(pi[u] for u in members))
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    paths[frozenset({u, v})] = [pi[u], pi[v]]
+        else:
+            bridge = ("bridge", key)
+            bridge_of[jigsaw_edge] = bridge
+            first_half = members[:2]
+            second_half = members[2:]
+            half_a = frozenset({pi[u] for u in first_half} | {bridge})
+            half_b = frozenset({pi[u] for u in second_half} | {bridge})
+            group.extend([half_a, half_b])
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    same_half = (u in first_half) == (v in first_half)
+                    if same_half:
+                        paths[frozenset({u, v})] = [pi[u], pi[v]]
+                    else:
+                        paths[frozenset({u, v})] = [pi[u], bridge, pi[v]]
+        edges.extend(group)
+        o[jigsaw_edge] = frozenset(group)
+    if degree == 3:
+        # Extra edges between bridges of horizontally adjacent groups.  Each
+        # bridge participates in at most one extra edge so the degree stays
+        # exactly 3.
+        from repro.hypergraphs.generators import jigsaw_edge_of
+
+        used_bridges: set = set()
+        for i in range(rows):
+            for j in range(cols - 1):
+                left = jigsaw_edge_of(rows, cols, (i, j))
+                right = jigsaw_edge_of(rows, cols, (i, j + 1))
+                if left not in bridge_of or right not in bridge_of:
+                    continue
+                if bridge_of[left] in used_bridges or bridge_of[right] in used_bridges:
+                    continue
+                extra = frozenset({bridge_of[left], bridge_of[right]})
+                edges.append(extra)
+                o[left] = o[left] | {extra}
+                used_bridges.update(extra)
+    hypergraph = Hypergraph(edges=edges)
+    return PreJigsawCertificate(rows, cols, hypergraph, pi, o, paths)
+
+
+def prejigsaw_to_jigsaw_dilution(
+    certificate: PreJigsawCertificate,
+) -> tuple[DilutionSequence, Hypergraph] | None:
+    """For a *degree-2* pre-jigsaw, the dilution to the ``rows x cols`` jigsaw.
+
+    Merging on every interior path vertex collapses each group ``o(e)`` into a
+    single edge containing the ``pi``-images of ``e``'s jigsaw vertices;
+    deleting any leftover non-image vertices and empty subedges yields the
+    jigsaw (Section 5 notes this merging is exactly what fails for degree
+    greater than 2, so the function returns ``None`` in that case).
+    """
+    hypergraph = certificate.hypergraph
+    if hypergraph.degree() > 2:
+        return None
+    pi_image = frozenset(certificate.pi[v] for v in certificate.jigsaw.vertices)
+    operations = []
+    current = hypergraph
+    interior = sorted(
+        (v for v in certificate.path_vertices() if v not in pi_image),
+        key=repr,
+    )
+    for vertex in interior:
+        if vertex not in current.vertices:
+            continue
+        operation = MergeOnVertex(vertex)
+        operations.append(operation)
+        current = operation.apply(current)
+    for vertex in sorted(current.vertices, key=repr):
+        if vertex in pi_image:
+            continue
+        operation = DeleteVertex(vertex)
+        operations.append(operation)
+        current = operation.apply(current)
+    while current.has_empty_edge() and current.num_edges > 1:
+        operation = DeleteSubedge(frozenset())
+        operations.append(operation)
+        current = operation.apply(current)
+    return DilutionSequence(operations), current

@@ -1,0 +1,23 @@
+"""Graph minors: minor maps, minor search, grid minors, expressive minors.
+
+Graph minors enter the paper through the dual: for a degree-2 hypergraph
+``H``, a grid minor of ``H^d`` pulls back to a jigsaw dilution of ``H``
+(Lemma 4.4).  This subpackage provides validated minor maps, an exact
+backtracking minor-containment test for small instances, grid-minor search
+helpers for the structured instances used in the benches, and the *expressive*
+minors of Appendix D that drive the bounded-degree generalisation.
+"""
+
+from repro.minors.minor_map import MinorMap
+from repro.minors.search import find_minor_map, has_minor
+from repro.minors.grid_minor import find_grid_minor, largest_grid_minor_dimension
+from repro.minors.expressive import ExpressiveMinorMap
+
+__all__ = [
+    "MinorMap",
+    "find_minor_map",
+    "has_minor",
+    "find_grid_minor",
+    "largest_grid_minor_dimension",
+    "ExpressiveMinorMap",
+]

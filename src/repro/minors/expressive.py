@@ -1,0 +1,172 @@
+"""Expressive minors (Definition D.1, Appendix D).
+
+An *expressive minor map* is a minor map ``mu`` of a graph ``G`` into (the
+primal graph of) a hypergraph ``H`` together with an injective edge map
+``rho : E(G) -> E(H)`` such that
+
+1. ``rho`` is injective,
+2. ``rho({u, v})`` intersects both branch sets ``mu(u)`` and ``mu(v)``, and
+3. for incident pattern edges ``e1, e2`` sharing ``v`` there is a path from
+   ``rho(e1)`` to ``rho(e2)`` that uses only vertices of ``mu(v)`` and avoids
+   every other marked edge ``rho(E(G))``.
+
+Expressive minors retain edge structure that ordinary Gaifman-graph minors
+lose (a huge hyperedge would otherwise swallow entire grid blocks); they are
+the engine behind the bounded-degree pre-jigsaw theorem (Theorem 5.2 via
+Lemmas D.2 and D.4).  This module provides the certificate object with a full
+validator plus a helper that derives an expressive minor map in the easy case
+where the hypergraph is 2-uniform (every ordinary minor is then expressive,
+as noted after Definition D.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.minors.minor_map import MinorMap
+
+
+class ExpressiveMinorMap:
+    """A candidate expressive minor map with validation.
+
+    Parameters
+    ----------
+    minor_map:
+        The underlying :class:`MinorMap` of the pattern graph into the
+        hypergraph ``H`` (branch sets are sets of vertices of ``H``).
+    edge_map:
+        Mapping from pattern edges (frozensets of two pattern vertices) to
+        hyperedges of ``H``.
+    """
+
+    def __init__(self, minor_map: MinorMap, edge_map: Mapping[frozenset, frozenset]) -> None:
+        self.minor_map = minor_map
+        self.edge_map: dict[frozenset, frozenset] = {
+            frozenset(e): frozenset(f) for e, f in edge_map.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def pattern(self) -> Hypergraph:
+        return self.minor_map.pattern
+
+    @property
+    def host(self) -> Hypergraph:
+        return self.minor_map.host
+
+    def marked_edges(self) -> frozenset:
+        return frozenset(self.edge_map.values())
+
+    # ------------------------------------------------------------------
+    def edge_map_total_and_injective(self) -> bool:
+        if set(self.edge_map) != set(self.pattern.edges):
+            return False
+        images = list(self.edge_map.values())
+        return len(set(images)) == len(images)
+
+    def edge_map_into_host(self) -> bool:
+        return all(image in self.host.edges for image in self.edge_map.values())
+
+    def edges_touch_branch_sets(self) -> bool:
+        for pattern_edge, host_edge in self.edge_map.items():
+            endpoints = tuple(pattern_edge)
+            if len(endpoints) != 2:
+                return False
+            u, v = endpoints
+            if not (host_edge & self.minor_map.branch_set(u)):
+                return False
+            if not (host_edge & self.minor_map.branch_set(v)):
+                return False
+        return True
+
+    def incident_edges_linked(self) -> bool:
+        """Condition 3: for incident pattern edges, a connecting path inside
+        the shared branch set avoiding all other marked edges."""
+        marked = self.marked_edges()
+        pattern_edges = sorted(self.pattern.edges, key=lambda e: sorted(map(repr, e)))
+        for i, e1 in enumerate(pattern_edges):
+            for e2 in pattern_edges[i + 1:]:
+                shared = e1 & e2
+                if not shared:
+                    continue
+                (v,) = tuple(shared) if len(shared) == 1 else (next(iter(shared)),)
+                if not self._path_between_marked(
+                    self.edge_map[e1], self.edge_map[e2], self.minor_map.branch_set(v), marked
+                ):
+                    return False
+        return True
+
+    def _path_between_marked(
+        self,
+        start_edge: frozenset,
+        end_edge: frozenset,
+        allowed_vertices: frozenset,
+        marked: frozenset,
+    ) -> bool:
+        """Is there a path (in ``H``) from ``start_edge`` to ``end_edge`` that
+        uses only vertices of ``allowed_vertices`` and no marked edge other
+        than the endpoints themselves?"""
+        if start_edge & end_edge & allowed_vertices:
+            return True
+        usable_edges = [
+            e for e in self.host.edges if e not in marked or e in (start_edge, end_edge)
+        ]
+        # BFS over edges; two edges are adjacent if they share an allowed vertex.
+        frontier = [start_edge]
+        seen = {start_edge}
+        while frontier:
+            current = frontier.pop(0)
+            for other in usable_edges:
+                if other in seen:
+                    continue
+                if current & other & allowed_vertices:
+                    if other == end_edge:
+                        return True
+                    seen.add(other)
+                    frontier.append(other)
+        return False
+
+    def is_valid(self) -> bool:
+        return (
+            self.minor_map.is_valid()
+            and self.edge_map_total_and_injective()
+            and self.edge_map_into_host()
+            and self.edges_touch_branch_sets()
+            and self.incident_edges_linked()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ExpressiveMinorMap(pattern_edges={len(self.edge_map)}, "
+            f"valid={self.is_valid()})"
+        )
+
+
+def expressive_from_minor_on_graph(minor_map: MinorMap) -> ExpressiveMinorMap | None:
+    """For a 2-uniform host, every minor map extends to an expressive one.
+
+    Each pattern edge ``{u, v}`` is mapped to *some* host edge joining the two
+    branch sets; the connecting-path condition is then satisfiable because the
+    host edges are single primal edges.  Returns ``None`` if the host is not
+    2-uniform or some pattern edge has no witnessing host edge.
+    """
+    host = minor_map.host
+    if host.rank() > 2:
+        return None
+    edge_map: dict[frozenset, frozenset] = {}
+    used: set = set()
+    for pattern_edge in sorted(minor_map.pattern.edges, key=lambda e: sorted(map(repr, e))):
+        u, v = tuple(pattern_edge)
+        witnesses = [
+            e
+            for e in host.edges
+            if e & minor_map.branch_set(u) and e & minor_map.branch_set(v) and e not in used
+        ]
+        if not witnesses:
+            return None
+        choice = sorted(witnesses, key=lambda e: sorted(map(repr, e)))[0]
+        edge_map[pattern_edge] = choice
+        used.add(choice)
+    candidate = ExpressiveMinorMap(minor_map, edge_map)
+    return candidate if candidate.is_valid() else None

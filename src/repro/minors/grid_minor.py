@@ -1,0 +1,189 @@
+"""Grid-minor search.
+
+The Excluded Grid Theorem (Proposition 4.5) guarantees that graphs of large
+treewidth contain large grid minors, but its proof is far beyond the scope of
+an executable reproduction; what the pipeline of Theorem 4.7 actually needs is
+to *find* a grid minor in concrete dual hypergraphs.  This module provides:
+
+* :func:`suppress_low_degree_vertices` — a structure-aware preprocessing step
+  that contracts degree-1/degree-2 vertices into neighbours (a sequence of
+  legitimate minor operations) while remembering the branch sets;
+* :func:`find_grid_minor` — tries an isomorphism/fast path on the suppressed
+  graph, then falls back to the generic backtracking search of
+  :mod:`repro.minors.search`, and composes branch sets so the returned
+  :class:`MinorMap` always refers to the original host;
+* :func:`largest_grid_minor_dimension` — the largest ``n`` such that an
+  ``n x n`` grid minor was found within a budget.
+"""
+
+from __future__ import annotations
+
+from repro.hypergraphs.graphs import Graph, grid_graph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.isomorphism import find_isomorphism
+from repro.minors.minor_map import MinorMap
+from repro.minors.search import MinorSearchBudgetExceeded, find_minor_map
+
+
+def _as_simple_graph(host: Hypergraph) -> Graph:
+    """The host's adjacency as a simple graph (singleton edges dropped,
+    larger edges expanded into cliques)."""
+    edges = set()
+    for edge in host.edges:
+        members = sorted(edge, key=repr)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                edges.add(frozenset({u, v}))
+    return Graph(host.vertices, edges)
+
+
+def suppress_low_degree_vertices(host: Hypergraph) -> tuple[Graph, dict]:
+    """Contract away "subdivision-like" vertices, tracking branch sets.
+
+    A degree-2 vertex is contracted into a neighbour only when that neighbour
+    has degree at least 3 — this removes subdivision vertices (such as the
+    connector edges of thickened jigsaws, seen from the dual) while leaving
+    genuine low-degree branch vertices like the corners of a grid alone.
+    Degree-0 and degree-1 vertices are deleted outright.  The preprocessing is
+    a heuristic fast path: contractions are legitimate minor operations, so a
+    minor of the reduced graph is always a minor of the host, but the converse
+    can fail in contrived cases — :func:`find_grid_minor` therefore falls back
+    to searching the raw host when the fast path finds nothing.
+
+    Returns ``(reduced_graph, branches)`` where ``branches`` maps every vertex
+    of the reduced graph to the frozenset of original host vertices it now
+    represents.
+    """
+    graph = _as_simple_graph(host)
+    branches: dict = {v: frozenset({v}) for v in graph.vertices}
+    changed = True
+    while changed:
+        changed = False
+        for vertex in sorted(graph.vertices, key=repr):
+            degree = graph.degree(vertex)
+            if degree > 2:
+                continue
+            neighbours = sorted(graph.neighbours(vertex), key=repr)
+            if degree == 0:
+                if len(graph.vertices) > 1:
+                    graph = Graph(graph.vertices - {vertex}, graph.edges)
+                    branches.pop(vertex, None)
+                    changed = True
+                    break
+                continue
+            if degree == 1:
+                graph = graph.delete_graph_vertex(vertex)
+                branches.pop(vertex, None)
+                changed = True
+                break
+            # degree == 2: contract only into a neighbour of degree >= 3.
+            first, second = neighbours
+            if graph.has_edge(first, second):
+                # Contracting would create a parallel edge; delete instead
+                # (the triangle keeps first-second adjacent, so no minor is lost).
+                graph = graph.delete_graph_vertex(vertex)
+                branches.pop(vertex, None)
+                changed = True
+                break
+            target = None
+            if graph.degree(first) >= 3:
+                target = first
+            elif graph.degree(second) >= 3:
+                target = second
+            if target is None:
+                continue
+            other = second if target == first else first
+            new_edges = [e for e in graph.edges if vertex not in e]
+            new_edges.append(frozenset({target, other}))
+            graph = Graph(graph.vertices - {vertex}, new_edges)
+            branches[target] = branches[target] | branches.pop(vertex)
+            changed = True
+            break
+    branches = {v: branches[v] for v in graph.vertices}
+    return graph, branches
+
+
+def find_grid_minor(
+    host: Hypergraph,
+    rows: int,
+    cols: int | None = None,
+    max_nodes: int = 500_000,
+) -> MinorMap | None:
+    """A minor map of the ``rows x cols`` grid into ``host``, or ``None``.
+
+    Strategy: suppress low-degree vertices (recording branch sets), try a
+    direct isomorphism between the suppressed graph and the grid, then fall
+    back to the generic backtracking search on the suppressed graph, and
+    finally on the raw host.  Branch sets are composed so the returned map is
+    a valid minor map into the *original* host.
+    """
+    if cols is None:
+        cols = rows
+    pattern = grid_graph(rows, cols)
+    host_graph = _as_simple_graph(host)
+
+    # Fast path 1: the host graph itself is (isomorphic to) the grid.
+    direct = _isomorphism_as_minor_map(pattern, host_graph)
+    if direct is not None:
+        return MinorMap(pattern, host_graph, direct.mapping)
+
+    # Fast path 2: suppress low-degree vertices and try again.
+    reduced, branches = suppress_low_degree_vertices(host)
+    via_reduction = _isomorphism_as_minor_map(pattern, reduced)
+    candidate = via_reduction
+    if candidate is None:
+        slack = max(1, reduced.num_vertices - pattern.num_vertices + 1)
+        branch_cap = min(slack, 4)
+        try:
+            candidate = find_minor_map(
+                pattern, reduced, max_branch_size=branch_cap, max_nodes=max_nodes
+            )
+        except MinorSearchBudgetExceeded:
+            candidate = None
+    if candidate is not None:
+        composed = {
+            v: frozenset().union(*(branches[w] for w in branch))
+            for v, branch in candidate.mapping.items()
+        }
+        composed_map = MinorMap(pattern, host_graph, composed)
+        if composed_map.is_valid():
+            return composed_map
+
+    # Last resort: generic search on the raw host graph (kept on a tight
+    # budget — large instances should go through planted structure instead).
+    try:
+        return find_minor_map(
+            pattern,
+            host_graph,
+            max_branch_size=min(max(1, host_graph.num_vertices - pattern.num_vertices + 1), 4),
+            max_nodes=min(max_nodes, 100_000),
+        )
+    except MinorSearchBudgetExceeded:
+        return None
+
+
+def _isomorphism_as_minor_map(pattern: Graph, host: Graph) -> MinorMap | None:
+    """If pattern and host are isomorphic graphs, the isomorphism viewed as a
+    minor map with singleton branch sets."""
+    if pattern.num_vertices != host.num_vertices or pattern.num_edges != host.num_edges:
+        return None
+    mapping = find_isomorphism(
+        Hypergraph(pattern.vertices, pattern.edges),
+        Hypergraph(host.vertices, host.edges),
+    )
+    if mapping is None:
+        return None
+    return MinorMap(pattern, host, {v: frozenset({mapping[v]}) for v in pattern.vertices})
+
+
+def largest_grid_minor_dimension(
+    host: Hypergraph, max_dimension: int = 5, max_nodes: int = 200_000
+) -> int:
+    """The largest ``n <= max_dimension`` for which an ``n x n`` grid minor
+    was found (0 if not even the 1x1 grid, i.e. the host has no vertices)."""
+    best = 0
+    for n in range(1, max_dimension + 1):
+        if find_grid_minor(host, n, max_nodes=max_nodes) is None:
+            break
+        best = n
+    return best

@@ -1,0 +1,128 @@
+"""Minor maps (Section 2) with full validation.
+
+A graph ``G`` is a minor of a graph ``F`` if there is a map
+``mu : V(G) -> 2^{V(F)}`` such that
+
+1. every image ``mu(v)`` (the *branch set*) is connected in ``F``,
+2. distinct branch sets are disjoint, and
+3. for every edge ``{u, v}`` of ``G`` there is an edge of ``F`` joining
+   ``mu(u)`` and ``mu(v)``.
+
+Minor maps are used here both on plain graphs and on the primal graphs of
+duals of hypergraphs (where ``F`` may be a rank-2 hypergraph); the validation
+therefore works against any hypergraph host, with "connected" and "adjacent"
+interpreted through shared hyperedges.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+Vertex = Hashable
+
+
+class MinorMap:
+    """A candidate minor map ``mu`` from a pattern graph into a host.
+
+    Parameters
+    ----------
+    pattern:
+        The graph ``G`` (any 2-uniform hypergraph or :class:`Graph`).
+    host:
+        The host ``F`` — a graph, or more generally a hypergraph whose
+        adjacency is induced by shared edges.
+    mapping:
+        Mapping from pattern vertices to iterables of host vertices.
+    """
+
+    def __init__(
+        self,
+        pattern: Hypergraph,
+        host: Hypergraph,
+        mapping: Mapping[Vertex, Iterable[Vertex]],
+    ) -> None:
+        self.pattern = pattern
+        self.host = host
+        self.mapping: dict[Vertex, frozenset] = {
+            v: frozenset(branch) for v, branch in mapping.items()
+        }
+
+    # ------------------------------------------------------------------
+    def branch_set(self, vertex: Vertex) -> frozenset:
+        return self.mapping[vertex]
+
+    def is_onto(self) -> bool:
+        """True if the branch sets cover every host vertex."""
+        covered: set = set()
+        for branch in self.mapping.values():
+            covered.update(branch)
+        return covered == set(self.host.vertices)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def covers_all_pattern_vertices(self) -> bool:
+        return set(self.mapping) == set(self.pattern.vertices)
+
+    def branch_sets_nonempty(self) -> bool:
+        return all(self.mapping[v] for v in self.mapping)
+
+    def branch_sets_in_host(self) -> bool:
+        return all(branch <= self.host.vertices for branch in self.mapping.values())
+
+    def branch_sets_connected(self) -> bool:
+        for branch in self.mapping.values():
+            if not branch:
+                return False
+            induced = self.host.induced_subhypergraph(branch)
+            # Induced subhypergraph drops isolated vertices from edges only;
+            # connectivity must consider all branch vertices.
+            components = induced.connected_components()
+            isolated = branch - induced.vertices
+            if isolated and len(branch) > 1:
+                return False
+            if len(components) > 1:
+                return False
+        return True
+
+    def branch_sets_disjoint(self) -> bool:
+        seen: set = set()
+        for branch in self.mapping.values():
+            if branch & seen:
+                return False
+            seen.update(branch)
+        return True
+
+    def adjacency_witnessed(self) -> bool:
+        for edge in self.pattern.edges:
+            if len(edge) != 2:
+                return False
+            u, v = tuple(edge)
+            if not self._host_edge_between(self.mapping[u], self.mapping[v]):
+                return False
+        return True
+
+    def _host_edge_between(self, first: frozenset, second: frozenset) -> bool:
+        for edge in self.host.edges:
+            if edge & first and edge & second:
+                return True
+        return False
+
+    def is_valid(self) -> bool:
+        """Check all minor-map conditions."""
+        return (
+            self.covers_all_pattern_vertices()
+            and self.branch_sets_nonempty()
+            and self.branch_sets_in_host()
+            and self.branch_sets_disjoint()
+            and self.branch_sets_connected()
+            and self.adjacency_witnessed()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"MinorMap(pattern={self.pattern.num_vertices} vertices, "
+            f"host={self.host.num_vertices} vertices, valid={self.is_valid()})"
+        )

@@ -1,0 +1,155 @@
+"""Exact minor-containment search for small graphs.
+
+Deciding whether a fixed graph ``G`` is a minor of ``F`` is NP-complete when
+``G`` is part of the input (which is exactly the situation in Theorem 3.5's
+reduction), so this module provides an exponential but carefully pruned
+backtracking search that assigns a connected *branch set* of host vertices to
+every pattern vertex.  It is intended for the small instances exercised in
+tests and benches; the grid-specific helpers in
+:mod:`repro.minors.grid_minor` use structure-aware preprocessing to stay fast
+on the larger planted instances.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.minors.minor_map import MinorMap
+
+Vertex = Hashable
+
+
+class MinorSearchBudgetExceeded(RuntimeError):
+    """Raised when the minor search exceeds its node budget."""
+
+
+def _adjacency(host: Hypergraph) -> dict:
+    return {v: host.neighbours(v) for v in host.vertices}
+
+
+def _connected_subsets(
+    adjacency: dict, seed: Vertex, allowed: frozenset, max_size: int
+):
+    """Yield connected subsets of ``allowed`` containing ``seed`` whose
+    minimum element (by repr) is ``seed``, up to ``max_size`` vertices.
+
+    Requiring the seed to be the minimum avoids yielding the same subset from
+    several seeds.
+    """
+    seed_key = repr(seed)
+
+    def grow(current: frozenset, frontier: frozenset):
+        yield current
+        if len(current) >= max_size:
+            return
+        candidates = sorted(
+            (v for v in frontier if repr(v) > seed_key and v not in current),
+            key=repr,
+        )
+        for index, vertex in enumerate(candidates):
+            new_frontier = (frontier | adjacency[vertex]) & allowed
+            # Exclude earlier candidates to avoid duplicates.
+            blocked = frozenset(candidates[:index])
+            yield from grow(current | {vertex}, new_frontier - blocked)
+
+    initial_frontier = adjacency[seed] & allowed
+    yield from grow(frozenset({seed}), initial_frontier)
+
+
+def find_minor_map(
+    pattern: Hypergraph,
+    host: Hypergraph,
+    max_branch_size: int | None = None,
+    max_nodes: int = 500_000,
+) -> MinorMap | None:
+    """A valid minor map of ``pattern`` into ``host``, or ``None``.
+
+    ``pattern`` must be a graph (2-uniform).  ``max_branch_size`` caps the
+    size of individual branch sets (default: the slack
+    ``|V(host)| - |V(pattern)| + 1``); ``max_nodes`` caps the number of
+    explored partial assignments and raises
+    :class:`MinorSearchBudgetExceeded` when exhausted.
+    """
+    if not pattern.is_graph():
+        raise ValueError("the pattern of a minor map must be a graph")
+    if pattern.num_vertices == 0:
+        return MinorMap(pattern, host, {})
+    if pattern.num_vertices > host.num_vertices or pattern.num_edges > host.num_edges:
+        return None
+    if max_branch_size is None:
+        max_branch_size = max(1, host.num_vertices - pattern.num_vertices + 1)
+
+    adjacency = _adjacency(host)
+    pattern_order = _search_order(pattern)
+    pattern_neighbours = {v: pattern.neighbours(v) for v in pattern.vertices}
+    expanded = 0
+
+    def host_edge_between(first: frozenset, second: frozenset) -> bool:
+        for v in first:
+            if adjacency[v] & second:
+                return True
+        return False
+
+    def backtrack(index: int, assignment: dict, used: frozenset):
+        nonlocal expanded
+        if index == len(pattern_order):
+            candidate = MinorMap(pattern, host, assignment)
+            return candidate if candidate.is_valid() else None
+        expanded += 1
+        if expanded > max_nodes:
+            raise MinorSearchBudgetExceeded(
+                f"minor search exceeded {max_nodes} partial assignments"
+            )
+        vertex = pattern_order[index]
+        mapped_neighbours = [
+            assignment[u] for u in pattern_neighbours[vertex] if u in assignment
+        ]
+        allowed = frozenset(host.vertices) - used
+        seeds = sorted(allowed, key=repr)
+        for seed in seeds:
+            for branch in _connected_subsets(adjacency, seed, allowed, max_branch_size):
+                if any(not host_edge_between(branch, other) for other in mapped_neighbours):
+                    continue
+                assignment[vertex] = branch
+                result = backtrack(index + 1, assignment, used | branch)
+                if result is not None:
+                    return result
+                del assignment[vertex]
+        return None
+
+    return backtrack(0, {}, frozenset())
+
+
+def has_minor(
+    pattern: Hypergraph,
+    host: Hypergraph,
+    max_branch_size: int | None = None,
+    max_nodes: int = 500_000,
+) -> bool:
+    """True if ``pattern`` is a minor of ``host`` (within the search budget)."""
+    return find_minor_map(pattern, host, max_branch_size, max_nodes) is not None
+
+
+def _search_order(pattern: Hypergraph) -> list:
+    """Pattern vertices in a connectivity-friendly order: BFS from a highest
+    degree vertex, so each new vertex usually has mapped neighbours that
+    constrain its branch set."""
+    if not pattern.vertices:
+        return []
+    start = max(pattern.vertices, key=lambda v: (pattern.degree(v), repr(v)))
+    order = [start]
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop(0)
+        for neighbour in sorted(pattern.neighbours(current), key=repr):
+            if neighbour not in seen:
+                seen.add(neighbour)
+                order.append(neighbour)
+                frontier.append(neighbour)
+    for vertex in pattern.vertex_list():
+        if vertex not in seen:
+            order.append(vertex)
+            seen.add(vertex)
+    return order

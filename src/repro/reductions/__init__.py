@@ -1,0 +1,38 @@
+"""The paper's reductions, implemented as executable instance transformations.
+
+* :mod:`repro.reductions.dilution_reduction` — the Theorem 3.4 fpt-reduction:
+  given a CQ instance whose hypergraph is a dilution of ``H``, build an
+  equivalent instance whose hypergraph is ``H`` by traversing the dilution
+  sequence in reverse.
+* :mod:`repro.reductions.parsimonious` — Theorem 4.15: the same reduction is
+  parsimonious, so it transfers counting hardness as well; this module
+  provides the counting wrapper and verification helpers.
+* :mod:`repro.reductions.query_reduction` — the Section 4.3 bridge from
+  hypergraph classes to query classes via cores (Proposition 4.10 direction).
+"""
+
+from repro.reductions.dilution_reduction import (
+    DilutionReductionResult,
+    normalize_query,
+    reduce_along_dilution,
+)
+from repro.reductions.parsimonious import (
+    counting_reduction,
+    verify_answer_preservation,
+    verify_parsimony,
+)
+from repro.reductions.query_reduction import (
+    core_hypergraph_class,
+    core_instance,
+)
+
+__all__ = [
+    "DilutionReductionResult",
+    "normalize_query",
+    "reduce_along_dilution",
+    "counting_reduction",
+    "verify_answer_preservation",
+    "verify_parsimony",
+    "core_hypergraph_class",
+    "core_instance",
+]

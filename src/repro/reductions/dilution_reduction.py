@@ -1,0 +1,347 @@
+"""The Theorem 3.4 reduction: CQ answering reduces along hypergraph dilutions.
+
+Setting: a CQ ``q`` with database ``D_q`` whose hypergraph is ``M``, and a
+hypergraph ``H`` together with a dilution sequence ``W`` from ``H`` to ``M``.
+Traversing ``W`` in reverse, each dilution operation is *undone* on the
+instance level:
+
+* **vertex deletion** (of ``v``) is undone by re-attaching ``v`` to every edge
+  that contained it, extending the corresponding relations by a single fresh
+  constant ``star_0`` in the new position;
+* **merging on ``v``** is undone by splitting the merged edge's atom back into
+  one atom per original edge, sharing the reconstructed variable ``v`` whose
+  value is a *distinct* fresh constant per tuple — a key making every split
+  relation functionally dependent on ``v``;
+* **subedge deletion** is undone by adding back an atom for the subedge whose
+  relation is the projection of a covering edge's relation.
+
+Every step preserves the answers modulo projection onto the original
+variables, and in fact preserves the *number* of answers (the reduction is
+parsimonious — Theorem 4.15, exercised in :mod:`repro.reductions.parsimonious`).
+The per-step database blow-up is at most proportional to ``degree(H)``, giving
+the fpt size bound ``||D_p|| = O(degree(H)^l * ||D_q||)`` recorded in
+:attr:`DilutionReductionResult.steps` and replayed by benchmark E6.
+
+The reduction expects a *normalised* instance — self-join-free, no repeated
+variables inside an atom, exactly one atom per hypergraph edge —
+:func:`normalize_query` converts any constant-free CQ with no repeated
+variables into this form without changing its answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cq.database import Database, Relation
+from repro.cq.query import Atom, Constant, ConjunctiveQuery
+from repro.dilutions.operations import (
+    DeleteSubedge,
+    DeleteVertex,
+    DilutionOperation,
+    MergeOnVertex,
+)
+from repro.dilutions.sequence import DilutionSequence
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+@dataclass
+class ReductionStep:
+    """Bookkeeping for a single reversed dilution operation."""
+
+    operation: DilutionOperation
+    database_size: int
+    query_atoms: int
+
+
+@dataclass
+class DilutionReductionResult:
+    """The reduced instance ``(p, D_p)`` plus per-step statistics."""
+
+    query: ConjunctiveQuery
+    database: Database
+    original_query: ConjunctiveQuery
+    original_database: Database
+    steps: list[ReductionStep] = field(default_factory=list)
+
+    @property
+    def blow_up(self) -> float:
+        """``||D_p|| / ||D_q||`` — compare against ``degree(H)^l``."""
+        original = max(1, self.original_database.size())
+        return self.database.size() / original
+
+
+class _FreshNames:
+    """Fresh relation names and star constants for the reduction."""
+
+    def __init__(self, taken: set[str]) -> None:
+        self._taken = set(taken)
+        self._relation_counter = 0
+        self._star_counter = 0
+
+    def relation(self, hint: str) -> str:
+        while True:
+            candidate = f"{hint}_d{self._relation_counter}"
+            self._relation_counter += 1
+            if candidate not in self._taken:
+                self._taken.add(candidate)
+                return candidate
+
+    def star(self):
+        value = ("star", self._star_counter)
+        self._star_counter += 1
+        return value
+
+    def star_zero(self):
+        return ("star", "0")
+
+
+# ----------------------------------------------------------------------
+# Normalisation
+# ----------------------------------------------------------------------
+def normalize_query(
+    query: ConjunctiveQuery, database: Database
+) -> tuple[ConjunctiveQuery, Database]:
+    """Rewrite ``(q, D)`` so that the query is self-join-free and has exactly
+    one atom per hypergraph edge, preserving the answer set exactly.
+
+    Self-joins are split by renaming relation symbols (copying relations);
+    several atoms over the same variable scope are merged into a single atom
+    whose relation is the intersection of their reordered relations.  Queries
+    with repeated variables inside an atom or with constants are rejected —
+    the paper's lower-bound machinery never needs them (cf. the class ``Q_J``
+    in Theorem 4.8) and Section 3 discusses why dilution-level operations do
+    not interact well with them.
+    """
+    if query.has_repeated_variables():
+        raise ValueError("normalization requires no repeated variables inside an atom")
+    if query.has_constants():
+        raise ValueError("normalization requires constant-free queries")
+
+    fresh = _FreshNames(set(database.relations))
+    new_database = database.copy()
+
+    # Step 1: split self-joins.
+    seen_relations: set[str] = set()
+    renamed_atoms: list[Atom] = []
+    for atom in query.atoms:
+        if atom.relation in seen_relations:
+            new_name = fresh.relation(atom.relation)
+            source = database.relation(atom.relation)
+            new_database.add_relation(Relation(new_name, source.arity, source.tuples))
+            renamed_atoms.append(Atom(new_name, atom.terms))
+        else:
+            seen_relations.add(atom.relation)
+            renamed_atoms.append(atom)
+
+    # Step 2: merge atoms sharing a variable scope into one intersection atom.
+    by_scope: dict[frozenset, list[Atom]] = {}
+    for atom in renamed_atoms:
+        by_scope.setdefault(atom.variable_set(), []).append(atom)
+    final_atoms: list[Atom] = []
+    for scope in sorted(by_scope, key=lambda s: sorted(map(repr, s))):
+        atoms = by_scope[scope]
+        if len(atoms) == 1:
+            final_atoms.append(atoms[0])
+            continue
+        variables = sorted(scope, key=repr)
+        tuple_sets = []
+        for atom in atoms:
+            relation = new_database.relation(atom.relation)
+            positions = [list(atom.terms).index(v) for v in variables]
+            tuple_sets.append({tuple(row[i] for i in positions) for row in relation.tuples})
+        merged_rows = set.intersection(*tuple_sets) if tuple_sets else set()
+        name = fresh.relation("MERGED")
+        new_database.add_relation(Relation(name, len(variables), merged_rows))
+        final_atoms.append(Atom(name, variables))
+
+    normalized = ConjunctiveQuery(final_atoms, free_variables=query.free_variables)
+    return normalized, new_database
+
+
+# ----------------------------------------------------------------------
+# The reduction itself
+# ----------------------------------------------------------------------
+def reduce_along_dilution(
+    query: ConjunctiveQuery,
+    database: Database,
+    source_hypergraph: Hypergraph,
+    sequence: DilutionSequence,
+) -> DilutionReductionResult:
+    """Theorem 3.4: build ``(p, D_p)`` with hypergraph ``source_hypergraph``
+    such that the answers of ``p`` over ``D_p``, projected onto the variables
+    of ``query``, are exactly the answers of ``query`` over ``database``.
+
+    ``sequence`` must transform ``source_hypergraph`` into exactly the
+    hypergraph of ``query`` (same vertex labels) — e.g. a sequence found by
+    :func:`repro.dilutions.search.find_dilution_sequence` against
+    ``query.hypergraph()`` composed with the appropriate relabelling, or a
+    planted sequence from the generators.
+    """
+    normalized, current_database = normalize_query(query, database)
+    stages = sequence.intermediate_hypergraphs(source_hypergraph)
+    if stages[-1].edges != normalized.hypergraph().edges:
+        raise ValueError(
+            "the dilution sequence does not produce the query's hypergraph "
+            f"(expected edges of {normalized.hypergraph()!r}, got {stages[-1]!r})"
+        )
+    fresh = _FreshNames(set(current_database.relations))
+
+    # atom_of maps every edge of the current hypergraph to its (single) atom.
+    atom_of: dict[frozenset, Atom] = {
+        atom.variable_set(): atom for atom in normalized.atoms
+    }
+    steps: list[ReductionStep] = []
+
+    for operation, before, after in zip(
+        reversed(sequence.operations), reversed(stages[:-1]), reversed(stages[1:])
+    ):
+        atom_of, current_database = _reverse_operation(
+            operation, before, after, atom_of, current_database, fresh
+        )
+        steps.append(
+            ReductionStep(
+                operation=operation,
+                database_size=current_database.size(),
+                query_atoms=len(atom_of),
+            )
+        )
+
+    final_atoms = [atom_of[edge] for edge in sorted(atom_of, key=lambda e: sorted(map(repr, e)))]
+    final_query = ConjunctiveQuery(final_atoms, free_variables=None)
+    return DilutionReductionResult(
+        query=final_query,
+        database=current_database,
+        original_query=normalized,
+        original_database=database,
+        steps=steps,
+    )
+
+
+def _reverse_operation(
+    operation: DilutionOperation,
+    before: Hypergraph,
+    after: Hypergraph,
+    atom_of: dict,
+    database: Database,
+    fresh: _FreshNames,
+) -> tuple[dict, Database]:
+    if isinstance(operation, DeleteVertex):
+        return _reverse_delete_vertex(operation, before, after, atom_of, database, fresh)
+    if isinstance(operation, MergeOnVertex):
+        return _reverse_merge(operation, before, after, atom_of, database, fresh)
+    if isinstance(operation, DeleteSubedge):
+        return _reverse_delete_subedge(operation, before, after, atom_of, database, fresh)
+    raise TypeError(f"unknown dilution operation {operation!r}")
+
+
+def _atom_variables(edge: frozenset) -> list:
+    return sorted(edge, key=repr)
+
+
+def _copy_shared_edges(before: Hypergraph, after: Hypergraph, atom_of: dict) -> dict:
+    """Atoms for edges present in both hypergraphs are carried over unchanged."""
+    return {
+        edge: atom_of[edge]
+        for edge in before.edges
+        if edge in after.edges and edge in atom_of
+    }
+
+
+def _reverse_delete_vertex(
+    operation: DeleteVertex,
+    before: Hypergraph,
+    after: Hypergraph,
+    atom_of: dict,
+    database: Database,
+    fresh: _FreshNames,
+) -> tuple[dict, Database]:
+    vertex = operation.vertex
+    new_atom_of = _copy_shared_edges(before, after, atom_of)
+    new_database = database.copy()
+    star = fresh.star_zero()
+    for edge in before.edges:
+        if vertex not in edge:
+            continue
+        pre_edge = edge - {vertex}
+        base_atom = atom_of[pre_edge]
+        base_relation = new_database.relation(base_atom.relation)
+        variables = list(base_atom.terms) + [vertex]
+        name = fresh.relation(f"S_{base_atom.relation}")
+        extended = Relation(name, len(variables))
+        for row in base_relation.tuples:
+            extended.add(tuple(row) + (star,))
+        new_database.add_relation(extended)
+        new_atom_of[edge] = Atom(name, variables)
+    return new_atom_of, new_database
+
+
+def _reverse_merge(
+    operation: MergeOnVertex,
+    before: Hypergraph,
+    after: Hypergraph,
+    atom_of: dict,
+    database: Database,
+    fresh: _FreshNames,
+) -> tuple[dict, Database]:
+    vertex = operation.vertex
+    incident = before.incident_edges(vertex)
+    merged_edge: set = set()
+    for edge in incident:
+        merged_edge.update(edge)
+    merged_edge.discard(vertex)
+    merged_edge = frozenset(merged_edge)
+
+    new_atom_of = _copy_shared_edges(before, after, atom_of)
+    new_database = database.copy()
+    base_atom = atom_of[merged_edge]
+    base_relation = new_database.relation(base_atom.relation)
+    base_variables = list(base_atom.terms)
+
+    # R': every tuple of the merged edge's relation extended by a distinct key.
+    keyed_rows = []
+    for row in sorted(base_relation.tuples, key=repr):
+        keyed_rows.append(tuple(row) + (fresh.star(),))
+    keyed_columns = base_variables + [vertex]
+
+    for edge in sorted(incident, key=lambda e: sorted(map(repr, e))):
+        variables = _atom_variables(edge)
+        positions = [keyed_columns.index(v) for v in variables]
+        name = fresh.relation("SPLIT")
+        projected = Relation(name, len(variables))
+        for row in keyed_rows:
+            projected.add(tuple(row[i] for i in positions))
+        new_database.add_relation(projected)
+        new_atom_of[edge] = Atom(name, variables)
+    return new_atom_of, new_database
+
+
+def _reverse_delete_subedge(
+    operation: DeleteSubedge,
+    before: Hypergraph,
+    after: Hypergraph,
+    atom_of: dict,
+    database: Database,
+    fresh: _FreshNames,
+) -> tuple[dict, Database]:
+    subedge = operation.edge
+    new_atom_of = _copy_shared_edges(before, after, atom_of)
+    new_database = database.copy()
+    hosts = sorted(
+        (e for e in after.edges if subedge < e and e in atom_of),
+        key=lambda e: (len(e), sorted(map(repr, e))),
+    )
+    if not hosts:
+        raise ValueError(f"no covering edge found for deleted subedge {set(subedge)!r}")
+    host_atom = atom_of[hosts[0]]
+    host_relation = new_database.relation(host_atom.relation)
+    variables = _atom_variables(subedge)
+    positions = [list(host_atom.terms).index(v) for v in variables]
+    name = fresh.relation("SUB")
+    projected = Relation(name, len(variables))
+    for row in host_relation.tuples:
+        projected.add(tuple(row[i] for i in positions))
+    if not variables and host_relation.tuples:
+        projected.add(())
+    new_database.add_relation(projected)
+    new_atom_of[subedge] = Atom(name, variables)
+    return new_atom_of, new_database

@@ -1,0 +1,71 @@
+"""Theorem 4.15: the dilution reduction is parsimonious.
+
+The Theorem 3.4 reduction not only preserves satisfiability — inspecting the
+per-operation reversals shows it preserves the *number* of solutions: every
+solution of the original (full) query extends uniquely to a solution of the
+reduced query (star constants are functionally determined), and every solution
+of the reduced query projects to a distinct solution of the original.  That is
+what lets the counting lower bounds of Section 4.4 transfer along dilutions.
+
+This module provides a counting-problem wrapper plus the verification helpers
+the tests and benchmark E8 use to check both answer preservation and
+parsimony on concrete instances.
+"""
+
+from __future__ import annotations
+
+from repro.cq.database import Database
+from repro.cq.homomorphism import count_answers, enumerate_answers
+from repro.cq.query import ConjunctiveQuery
+from repro.dilutions.sequence import DilutionSequence
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.reductions.dilution_reduction import DilutionReductionResult, reduce_along_dilution
+
+
+def counting_reduction(
+    query: ConjunctiveQuery,
+    database: Database,
+    source_hypergraph: Hypergraph,
+    sequence: DilutionSequence,
+) -> DilutionReductionResult:
+    """The parsimonious reduction for the counting problem (#CQ).
+
+    Identical to :func:`reduce_along_dilution` except that the input query is
+    forced to be full (no existential quantification), matching the setting of
+    Section 4.4.
+    """
+    return reduce_along_dilution(query.as_full(), database, source_hypergraph, sequence)
+
+
+def verify_answer_preservation(result: DilutionReductionResult) -> bool:
+    """Check ``pi_vars(q)(p(D_p)) = q(D_q)`` by brute force on both sides.
+
+    Intended for the small instances used in tests; both solvers are the
+    generic backtracking evaluator, so this is an end-to-end independent check
+    of the reduction.
+    """
+    original_full = result.original_query.as_full()
+    original_answers = enumerate_answers(original_full, result.original_database)
+    reduced = result.query.project(original_full.free_variables)
+    projected_answers = enumerate_answers(reduced, result.database)
+    return original_answers == projected_answers
+
+
+def verify_parsimony(result: DilutionReductionResult) -> bool:
+    """Check ``|p(D_p)| = |q(D_q)|`` for the full versions of both queries."""
+    original_count = count_answers(result.original_query.as_full(), result.original_database)
+    reduced_count = count_answers(result.query.as_full(), result.database)
+    return original_count == reduced_count
+
+
+def size_bound_holds(result: DilutionReductionResult, source_degree: int) -> bool:
+    """Check the fpt size bound ``||D_p|| <= c * max(2, degree)^l * ||D_q||``.
+
+    The constant ``c`` accounts for the fixed per-step overhead (one extra
+    attribute per copied relation); ``l`` is the length of the dilution
+    sequence.
+    """
+    length = len(result.steps)
+    base = max(2, source_degree)
+    allowed = 4 * (base ** max(1, length)) * max(1, result.original_database.size())
+    return result.database.size() <= allowed

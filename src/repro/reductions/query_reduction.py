@@ -1,0 +1,38 @@
+"""From hypergraph classes to query classes (Section 4.3).
+
+Theorem 4.11 lifts the hypergraph-level lower bound (Theorem 4.1) to classes
+of queries using Proposition 4.10 (Chen et al.): ``p-BCQ`` over the class of
+hypergraphs of the *cores* of a query class reduces to ``p-BCQ`` over the
+query class itself.  We do not re-prove the reduction; what the experiments
+need is the constructive bridge — compute cores, collect their hypergraphs,
+and produce the canonical instances over those hypergraphs — which this module
+provides.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.cq.core import core_of
+from repro.cq.generators import query_from_hypergraph
+from repro.cq.query import ConjunctiveQuery
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+def core_hypergraph_class(queries: Iterable[ConjunctiveQuery]) -> list[Hypergraph]:
+    """``H_core(Q)``: the hypergraphs of the cores of the given queries."""
+    return [core_of(query).hypergraph() for query in queries]
+
+
+def core_instance(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """The canonical self-join-free query over the hypergraph of ``query``'s
+    core — the object the degree-2 lower bound machinery actually operates on
+    (its degree never exceeds the original query's degree, because the core's
+    hypergraph is a subhypergraph)."""
+    return query_from_hypergraph(core_of(query).hypergraph(), relation_prefix="C")
+
+
+def degree_preserved_by_core(query: ConjunctiveQuery) -> bool:
+    """Check the observation used in Theorem 4.11: taking cores never
+    increases the degree of the hypergraph."""
+    return core_of(query).hypergraph().degree() <= query.hypergraph().degree()

@@ -1,0 +1,17 @@
+"""Constructive versions of the paper's structural lemmas.
+
+* :mod:`repro.structure.lemma44` — from a grid (or any connected graph) minor
+  of the dual of a degree-2 hypergraph to a dilution onto the graph's dual.
+* :mod:`repro.structure.lemma46` — from a tree decomposition of the dual to a
+  GHD of the hypergraph of width at most ``tw + 1``.
+"""
+
+from repro.structure.lemma44 import Lemma44Result, dilution_from_dual_minor
+from repro.structure.lemma46 import ghd_from_dual_tree_decomposition, lemma46_bound
+
+__all__ = [
+    "Lemma44Result",
+    "dilution_from_dual_minor",
+    "ghd_from_dual_tree_decomposition",
+    "lemma46_bound",
+]

@@ -1,0 +1,158 @@
+"""Constructive Lemma 4.4.
+
+Lemma 4.4: let ``G`` be a connected graph and ``H`` a degree-2 hypergraph; if
+``G`` is a minor of ``H^d`` then ``G^d`` is a hypergraph dilution of ``H``.
+
+The proof is constructive and this module follows it step by step:
+
+1. interpret the branch sets of the minor map as sets ``delta(v)`` of edges of
+   ``H`` (vertices of the dual *are* edges of ``H``);
+2. for every pattern edge ``{u, v}`` fix a connector vertex ``c_{u,v}`` of
+   ``H`` lying in an edge of ``delta(u)`` and an edge of ``delta(v)``;
+3. let ``tau_u`` be the vertices incident only to edges of ``delta(u)`` and
+   *merge* on every vertex of ``tau_u`` — this collapses each branch into a
+   single hyperedge ``e_u``;
+4. delete every vertex outside ``C = {c_{u,v}}`` — the result is isomorphic to
+   ``G^d`` (plus possibly an empty leftover edge when the minor map is not
+   onto, removed by a final subedge deletion).
+
+The function returns the dilution sequence together with the resulting
+hypergraph and the edge correspondence ``u -> e_u ∩ C``, so callers (the
+Theorem 4.7 pipeline, the tests) can verify the construction independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dilutions.operations import DeleteSubedge, DeleteVertex, MergeOnVertex
+from repro.dilutions.sequence import DilutionSequence
+from repro.hypergraphs.duality import dual_hypergraph
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.minors.minor_map import MinorMap
+
+
+@dataclass
+class Lemma44Result:
+    """Outcome of the Lemma 4.4 construction."""
+
+    sequence: DilutionSequence
+    result: Hypergraph
+    edge_of_pattern_vertex: dict = field(default_factory=dict)
+    connector_of_pattern_edge: dict = field(default_factory=dict)
+
+
+def dilution_from_dual_minor(
+    hypergraph: Hypergraph, pattern: Hypergraph, minor_map: MinorMap
+) -> Lemma44Result:
+    """Build the dilution sequence of Lemma 4.4.
+
+    Parameters
+    ----------
+    hypergraph:
+        The degree-2 hypergraph ``H``; it should be reduced (no isolated
+        vertices, no empty edges, no duplicate vertex types) — reduce first
+        with :func:`repro.hypergraphs.reduction.reduce_hypergraph`.
+    pattern:
+        The connected graph ``G`` (2-uniform hypergraph).
+    minor_map:
+        A minor map of ``G`` into ``H^d``: branch sets are sets of vertices of
+        the dual, i.e. sets of edges of ``H``.
+    """
+    if hypergraph.degree() > 2:
+        raise ValueError("Lemma 4.4 requires a hypergraph of degree at most 2")
+    if not pattern.is_graph():
+        raise ValueError("the pattern must be a graph")
+
+    delta: dict = {
+        v: frozenset(frozenset(edge) for edge in minor_map.branch_set(v))
+        for v in pattern.vertices
+    }
+    for v, branch in delta.items():
+        unknown = branch - hypergraph.edges
+        if unknown:
+            raise ValueError(
+                f"branch set of {v!r} contains non-edges of H: {sorted(map(sorted, unknown))}"
+            )
+
+    # Step 2: connector vertices c_{u, v}.
+    connectors: dict[frozenset, object] = {}
+    connector_sets: dict = {v: set() for v in pattern.vertices}
+    for pattern_edge in sorted(pattern.edges, key=lambda e: sorted(map(repr, e))):
+        u, v = tuple(sorted(pattern_edge, key=repr))
+        candidates = sorted(
+            (
+                w
+                for w in hypergraph.vertices
+                if any(w in e for e in delta[u]) and any(w in e for e in delta[v])
+            ),
+            key=repr,
+        )
+        if not candidates:
+            raise ValueError(
+                f"no connector vertex between branch sets of {u!r} and {v!r}: "
+                "the supplied map is not a valid minor map into the dual"
+            )
+        connector = candidates[0]
+        connectors[pattern_edge] = connector
+        connector_sets[u].add(connector)
+        connector_sets[v].add(connector)
+
+    all_connectors = frozenset(connectors.values())
+
+    # Step 3: tau_u = vertices incident only to edges in delta(u); merge them.
+    operations = []
+    current = hypergraph
+    for v in sorted(pattern.vertices, key=repr):
+        tau = sorted(
+            (
+                w
+                for w in hypergraph.vertices
+                if hypergraph.incident_edges(w)
+                and hypergraph.incident_edges(w) <= delta[v]
+                and w not in all_connectors
+            ),
+            key=repr,
+        )
+        for w in tau:
+            if w not in current.vertices:
+                continue
+            operation = MergeOnVertex(w)
+            operations.append(operation)
+            current = operation.apply(current)
+
+    # Step 4: delete all vertices outside C.
+    for w in sorted(current.vertices, key=repr):
+        if w in all_connectors:
+            continue
+        operation = DeleteVertex(w)
+        operations.append(operation)
+        current = operation.apply(current)
+
+    # The minor map need not be onto: edges outside every branch set have by
+    # now lost all their vertices and survive (at most) as a single empty
+    # edge, which is a proper subedge of any other edge and can be deleted.
+    if current.has_empty_edge() and current.num_edges > 1:
+        operation = DeleteSubedge(frozenset())
+        operations.append(operation)
+        current = operation.apply(current)
+
+    # Record which resulting edge corresponds to which pattern vertex.
+    edge_of_pattern_vertex = {}
+    for v in pattern.vertices:
+        expected = frozenset(
+            connectors[e] for e in pattern.edges if v in e
+        )
+        edge_of_pattern_vertex[v] = expected
+
+    return Lemma44Result(
+        sequence=DilutionSequence(operations),
+        result=current,
+        edge_of_pattern_vertex=edge_of_pattern_vertex,
+        connector_of_pattern_edge=dict(connectors),
+    )
+
+
+def pattern_dual(pattern: Hypergraph) -> Hypergraph:
+    """``G^d`` for a graph ``G`` — the jigsaw when ``G`` is a grid."""
+    return dual_hypergraph(pattern)

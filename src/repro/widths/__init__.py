@@ -1,0 +1,68 @@
+"""Width parameters: tree decompositions, treewidth, edge covers, GHDs, ghw, fhw.
+
+The paper's characterisation is stated in terms of generalised hypertree width
+(ghw); its proofs route through treewidth of the dual (Lemma 4.6), balanced
+edge separators (the jigsaw lower bound of Section 4.2), and fractional edge
+covers (the fhw/ghw equivalence under bounded degree).  This subpackage
+implements all of these as certified bounds: upper bounds always come with a
+witnessing decomposition and lower bounds with a combinatorial certificate.
+"""
+
+from repro.widths.tree_decomposition import TreeDecomposition
+from repro.widths.treewidth import (
+    TreewidthResult,
+    treewidth,
+    treewidth_exact,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+    tree_decomposition_from_elimination_order,
+)
+from repro.widths.edge_cover import (
+    fractional_edge_cover_number,
+    greedy_edge_cover,
+    integral_edge_cover,
+    integral_edge_cover_number,
+)
+from repro.widths.ghd import GeneralizedHypertreeDecomposition
+from repro.widths.ghw import (
+    GHWResult,
+    ghd_from_tree_decomposition,
+    ghd_via_dual_treewidth,
+    ghw,
+    ghw_lower_bound,
+    ghw_upper_bound,
+)
+from repro.widths.fhw import fhw_of_decomposition, fhw_upper_bound
+from repro.widths.separators import (
+    balanced_edge_separator,
+    minimum_balanced_separator_size,
+    separator_components,
+)
+from repro.widths.acyclicity import join_tree_decomposition
+
+__all__ = [
+    "TreeDecomposition",
+    "TreewidthResult",
+    "treewidth",
+    "treewidth_exact",
+    "treewidth_lower_bound",
+    "treewidth_upper_bound",
+    "tree_decomposition_from_elimination_order",
+    "fractional_edge_cover_number",
+    "greedy_edge_cover",
+    "integral_edge_cover",
+    "integral_edge_cover_number",
+    "GeneralizedHypertreeDecomposition",
+    "GHWResult",
+    "ghd_from_tree_decomposition",
+    "ghd_via_dual_treewidth",
+    "ghw",
+    "ghw_lower_bound",
+    "ghw_upper_bound",
+    "fhw_of_decomposition",
+    "fhw_upper_bound",
+    "balanced_edge_separator",
+    "minimum_balanced_separator_size",
+    "separator_components",
+    "join_tree_decomposition",
+]

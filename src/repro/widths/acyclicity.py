@@ -1,0 +1,46 @@
+"""Join trees for alpha-acyclic hypergraphs as width-1 GHDs.
+
+Alpha-acyclicity is the ghw = 1 case: a hypergraph is alpha-acyclic iff it has
+a *join tree*, a tree whose nodes are the hyperedges and in which, for every
+vertex, the edges containing it form a connected subtree.  The join tree is
+both the base case of the width hierarchy and the structure on which the
+Yannakakis algorithm (and therefore the Proposition 2.2 / 4.14 upper bounds)
+operates.
+"""
+
+from __future__ import annotations
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.hypergraphs.properties import gyo_reduction
+from repro.widths.ghd import GeneralizedHypertreeDecomposition
+from repro.widths.tree_decomposition import TreeDecomposition
+
+
+def join_tree_decomposition(hypergraph: Hypergraph) -> GeneralizedHypertreeDecomposition | None:
+    """A width-1 GHD (join tree) for an alpha-acyclic hypergraph, else None.
+
+    Nodes are indexed by the hyperedges themselves; every bag equals its edge
+    and is covered by exactly that edge, so the width is 1.
+    """
+    result = gyo_reduction(hypergraph)
+    if not result.acyclic:
+        return None
+    edges = [e for e in hypergraph.edges if e]
+    if not edges:
+        return None
+    bags = {edge: edge for edge in edges}
+    tree_edges = []
+    roots = []
+    for edge in result.elimination_order:
+        parent = result.parent.get(edge)
+        if parent is None:
+            roots.append(edge)
+        else:
+            tree_edges.append((edge, parent))
+    # The GYO forest may have several roots (disconnected hypergraph); chain
+    # them so the decomposition is a single tree.
+    for first, second in zip(roots, roots[1:]):
+        tree_edges.append((first, second))
+    decomposition = TreeDecomposition(bags, tree_edges)
+    covers = {edge: [edge] for edge in edges}
+    return GeneralizedHypertreeDecomposition(decomposition, covers)

@@ -1,0 +1,155 @@
+"""Integral and fractional edge covers (Section 2).
+
+A fractional edge cover of a vertex set ``V'`` assigns weights in ``[0, 1]``
+to the edges so that every vertex of ``V'`` receives total weight at least 1
+from its incident edges; its weight is the sum of all edge weights.  The
+integral edge cover number ``rho`` (weights in {0, 1}) defines generalised
+hypertree width as the ``rho``-width; the fractional edge cover number
+``rho*`` defines fractional hypertree width.
+
+The integral problem is set cover, solved exactly by branch and bound with a
+greedy warm start; the fractional problem is a small linear program solved
+with :func:`scipy.optimize.linprog`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+class UncoverableError(ValueError):
+    """Raised when some vertex of the target set lies in no edge at all."""
+
+
+def _relevant_edges(hypergraph: Hypergraph, target: frozenset) -> list[frozenset]:
+    """Edges restricted to their intersection with the target, deduplicated and
+    with dominated (subset) intersections removed; returns the original edges
+    paired implicitly by keeping full edges whose intersections are maximal."""
+    intersections: dict[frozenset, frozenset] = {}
+    for edge in hypergraph.edges:
+        overlap = edge & target
+        if not overlap:
+            continue
+        previous = intersections.get(overlap)
+        if previous is None:
+            intersections[overlap] = edge
+    # Drop intersections strictly contained in another intersection.
+    keys = sorted(intersections, key=len, reverse=True)
+    kept: list[frozenset] = []
+    kept_overlaps: list[frozenset] = []
+    for overlap in keys:
+        if any(overlap < other for other in kept_overlaps):
+            continue
+        kept_overlaps.append(overlap)
+        kept.append(intersections[overlap])
+    return kept
+
+
+def greedy_edge_cover(hypergraph: Hypergraph, vertices: Iterable) -> list[frozenset]:
+    """A greedy (not necessarily minimum) integral edge cover of ``vertices``."""
+    target = frozenset(vertices)
+    _check_coverable(hypergraph, target)
+    uncovered = set(target)
+    cover: list[frozenset] = []
+    edges = list(hypergraph.edges)
+    while uncovered:
+        best = max(edges, key=lambda e: (len(e & uncovered), -len(e), sorted(map(repr, e))))
+        gain = best & uncovered
+        if not gain:  # pragma: no cover - guarded by _check_coverable
+            raise UncoverableError(f"vertices {uncovered!r} cannot be covered")
+        cover.append(best)
+        uncovered -= gain
+    return cover
+
+
+def integral_edge_cover(hypergraph: Hypergraph, vertices: Iterable) -> list[frozenset]:
+    """A minimum integral edge cover of ``vertices`` (list of edges).
+
+    Exact branch and bound: the greedy cover provides the initial upper bound,
+    and a simple "disjoint uncovered vertices" bound prunes the search.
+    """
+    target = frozenset(vertices)
+    if not target:
+        return []
+    _check_coverable(hypergraph, target)
+    edges = _relevant_edges(hypergraph, target)
+    # Order edges by how much of the target they cover, largest first.
+    edges.sort(key=lambda e: (-len(e & target), sorted(map(repr, e))))
+    best_cover = greedy_edge_cover(hypergraph, target)
+    best_size = len(best_cover)
+
+    vertex_order = sorted(target, key=lambda v: len([e for e in edges if v in e]))
+
+    def lower_bound(uncovered: frozenset) -> int:
+        if not uncovered:
+            return 0
+        largest = max(len(e & uncovered) for e in edges if e & uncovered)
+        return -(-len(uncovered) // largest)  # ceil division
+
+    def branch(uncovered: frozenset, chosen: list[frozenset]) -> None:
+        nonlocal best_cover, best_size
+        if not uncovered:
+            if len(chosen) < best_size:
+                best_cover = list(chosen)
+                best_size = len(chosen)
+            return
+        if len(chosen) + lower_bound(uncovered) >= best_size:
+            return
+        pivot = next(v for v in vertex_order if v in uncovered)
+        for edge in edges:
+            if pivot not in edge:
+                continue
+            branch(uncovered - edge, chosen + [edge])
+
+    branch(target, [])
+    return best_cover
+
+
+def integral_edge_cover_number(hypergraph: Hypergraph, vertices: Iterable) -> int:
+    """``rho(vertices)``: the size of a minimum integral edge cover."""
+    return len(integral_edge_cover(hypergraph, vertices))
+
+
+def fractional_edge_cover_number(hypergraph: Hypergraph, vertices: Iterable) -> float:
+    """``rho*(vertices)``: the minimum weight of a fractional edge cover.
+
+    Solved as a linear program: minimise ``sum_e gamma_e`` subject to
+    ``sum_{e incident to v} gamma_e >= 1`` for every target vertex and
+    ``0 <= gamma_e <= 1``.
+    """
+    target = frozenset(vertices)
+    if not target:
+        return 0.0
+    _check_coverable(hypergraph, target)
+    edges = sorted(hypergraph.edges, key=lambda e: sorted(map(repr, e)))
+    target_list = sorted(target, key=repr)
+    # Constraint matrix for A_ub x <= b_ub with the >=1 constraints negated.
+    matrix = np.zeros((len(target_list), len(edges)))
+    for row, vertex in enumerate(target_list):
+        for col, edge in enumerate(edges):
+            if vertex in edge:
+                matrix[row, col] = -1.0
+    result = linprog(
+        c=np.ones(len(edges)),
+        A_ub=matrix,
+        b_ub=-np.ones(len(target_list)),
+        bounds=[(0.0, 1.0)] * len(edges),
+        method="highs",
+    )
+    if not result.success:  # pragma: no cover - linprog failure is unexpected here
+        raise RuntimeError(f"fractional edge cover LP failed: {result.message}")
+    return float(result.fun)
+
+
+def _check_coverable(hypergraph: Hypergraph, target: frozenset) -> None:
+    unknown = target - hypergraph.vertices
+    if unknown:
+        raise KeyError(f"vertices {sorted(map(repr, unknown))} not in hypergraph")
+    for vertex in target:
+        if not hypergraph.incident_edges(vertex):
+            raise UncoverableError(f"vertex {vertex!r} has degree 0 and cannot be covered")

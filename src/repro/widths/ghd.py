@@ -1,0 +1,83 @@
+"""Generalised hypertree decompositions (GHDs).
+
+A GHD is a tree decomposition together with a labelling ``lambda_u`` assigning
+each node a set of hyperedges that covers its bag; its width is the maximum
+number of edges used at any node.  The generalised hypertree width ghw(H) is
+the minimum width over all GHDs, equivalently the ``rho``-width over tree
+decompositions (Section 2).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Mapping
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.widths.tree_decomposition import TreeDecomposition
+
+Node = Hashable
+
+
+class GeneralizedHypertreeDecomposition:
+    """A GHD: tree decomposition plus per-node edge covers.
+
+    Parameters
+    ----------
+    decomposition:
+        The underlying tree decomposition.
+    covers:
+        Mapping from tree nodes to iterables of hyperedges (frozensets).  The
+        union of a node's cover must contain its bag.
+    """
+
+    def __init__(
+        self,
+        decomposition: TreeDecomposition,
+        covers: Mapping[Node, Iterable[frozenset]],
+    ) -> None:
+        self.decomposition = decomposition
+        self.covers: dict[Node, frozenset] = {
+            node: frozenset(frozenset(edge) for edge in edges)
+            for node, edges in covers.items()
+        }
+        missing = set(decomposition.bags) - set(self.covers)
+        if missing:
+            raise ValueError(f"nodes {sorted(map(repr, missing))} have no edge cover")
+
+    # ------------------------------------------------------------------
+    @property
+    def bags(self) -> dict[Node, frozenset]:
+        return self.decomposition.bags
+
+    def width(self) -> int:
+        """The GHD width: the largest number of cover edges at any node."""
+        if not self.covers:
+            return 0
+        return max(len(edges) for edges in self.covers.values())
+
+    # ------------------------------------------------------------------
+    def is_valid_for(self, hypergraph: Hypergraph) -> bool:
+        """Check the tree decomposition conditions and bag coverage."""
+        if not self.decomposition.is_valid_for(hypergraph):
+            return False
+        for node, bag in self.decomposition.bags.items():
+            cover = self.covers.get(node, frozenset())
+            if not cover <= hypergraph.edges:
+                return False
+            union: set = set()
+            for edge in cover:
+                union.update(edge)
+            if not bag <= union:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedHypertreeDecomposition(nodes={len(self.bags)}, "
+            f"width={self.width()})"
+        )
+
+
+def trivial_ghd(hypergraph: Hypergraph) -> GeneralizedHypertreeDecomposition:
+    """The one-node GHD covering everything with all edges (width = |E|)."""
+    decomposition = TreeDecomposition({0: hypergraph.vertices - hypergraph.isolated_vertices()}, [])
+    return GeneralizedHypertreeDecomposition(decomposition, {0: hypergraph.edges})

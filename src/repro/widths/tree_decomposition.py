@@ -1,0 +1,147 @@
+"""Tree decompositions and f-widths (Section 2, following Adler).
+
+A tree decomposition of a hypergraph ``H`` is a pair ``(T, (B_u)_{u in T})``
+where ``T`` is a tree and the bags ``B_u`` are vertex subsets such that
+
+1. every edge of ``H`` is contained in some bag, and
+2. for every vertex ``v``, the set of nodes whose bag contains ``v`` induces a
+   connected subtree of ``T``.
+
+The *f-width* of a decomposition, for ``f`` mapping vertex sets to reals, is
+the maximum of ``f(B_u)``; treewidth is the ``(|B|-1)``-width, generalised
+hypertree width the ``rho``-width for the integral edge cover number ``rho``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Iterable, Mapping
+
+from repro.hypergraphs.hypergraph import Hypergraph
+
+Node = Hashable
+
+
+class TreeDecomposition:
+    """A tree decomposition with explicit tree structure and bags.
+
+    Parameters
+    ----------
+    bags:
+        Mapping from node identifiers to iterables of vertices.
+    tree_edges:
+        Iterable of node pairs forming the tree.  For a single node the edge
+        set is empty.  The node set of the tree is exactly ``bags.keys()``.
+    """
+
+    def __init__(
+        self,
+        bags: Mapping[Node, Iterable],
+        tree_edges: Iterable[tuple[Node, Node]] = (),
+    ) -> None:
+        self.bags: dict[Node, frozenset] = {u: frozenset(b) for u, b in bags.items()}
+        self.tree_edges: set[frozenset] = set()
+        for u, v in tree_edges:
+            if u not in self.bags or v not in self.bags:
+                raise ValueError(f"tree edge ({u!r}, {v!r}) mentions unknown node")
+            if u == v:
+                raise ValueError("tree edges must join distinct nodes")
+            self.tree_edges.add(frozenset({u, v}))
+
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> list[Node]:
+        return sorted(self.bags, key=repr)
+
+    def neighbours(self, node: Node) -> list[Node]:
+        result = []
+        for edge in self.tree_edges:
+            if node in edge:
+                (other,) = edge - {node}
+                result.append(other)
+        return sorted(result, key=repr)
+
+    def all_vertices(self) -> frozenset:
+        covered: set = set()
+        for bag in self.bags.values():
+            covered.update(bag)
+        return frozenset(covered)
+
+    # ------------------------------------------------------------------
+    # Validity
+    # ------------------------------------------------------------------
+    def is_tree(self) -> bool:
+        """The underlying structure must be a tree: connected and acyclic."""
+        nodes = list(self.bags)
+        if not nodes:
+            return True
+        if len(self.tree_edges) != len(nodes) - 1:
+            return False
+        seen = {nodes[0]}
+        frontier = [nodes[0]]
+        while frontier:
+            current = frontier.pop()
+            for other in self.neighbours(current):
+                if other not in seen:
+                    seen.add(other)
+                    frontier.append(other)
+        return len(seen) == len(nodes)
+
+    def covers_edges(self, hypergraph: Hypergraph) -> bool:
+        """Condition (1): every hyperedge is contained in some bag."""
+        bags = list(self.bags.values())
+        return all(any(edge <= bag for bag in bags) for edge in hypergraph.edges)
+
+    def has_connected_occurrences(self, hypergraph: Hypergraph | None = None) -> bool:
+        """Condition (2): occurrences of each vertex induce a connected subtree."""
+        vertices = self.all_vertices() if hypergraph is None else hypergraph.vertices
+        for vertex in vertices:
+            occurrences = [u for u, bag in self.bags.items() if vertex in bag]
+            if not occurrences:
+                if hypergraph is not None and hypergraph.degree(vertex) > 0:
+                    return False
+                continue
+            seen = {occurrences[0]}
+            frontier = [occurrences[0]]
+            occurrence_set = set(occurrences)
+            while frontier:
+                current = frontier.pop()
+                for other in self.neighbours(current):
+                    if other in occurrence_set and other not in seen:
+                        seen.add(other)
+                        frontier.append(other)
+            if len(seen) != len(occurrences):
+                return False
+        return True
+
+    def is_valid_for(self, hypergraph: Hypergraph) -> bool:
+        """Full validity check against a hypergraph."""
+        if not self.is_tree():
+            return False
+        if not all(bag <= hypergraph.vertices for bag in self.bags.values()):
+            return False
+        if not self.covers_edges(hypergraph):
+            return False
+        return self.has_connected_occurrences(hypergraph)
+
+    # ------------------------------------------------------------------
+    # Widths
+    # ------------------------------------------------------------------
+    def f_width(self, f: Callable[[frozenset], float]) -> float:
+        """``sup { f(B_u) | u in T }``; 0 for the empty decomposition."""
+        if not self.bags:
+            return 0
+        return max(f(bag) for bag in self.bags.values())
+
+    def width(self) -> int:
+        """Treewidth-style width: max bag size minus one."""
+        if not self.bags:
+            return 0
+        return int(self.f_width(lambda bag: len(bag) - 1))
+
+    def __repr__(self) -> str:
+        return f"TreeDecomposition(nodes={len(self.bags)}, width={self.width()})"
+
+
+def single_bag_decomposition(hypergraph: Hypergraph) -> TreeDecomposition:
+    """The trivial decomposition with one bag containing every vertex."""
+    return TreeDecomposition({0: hypergraph.vertices}, [])

@@ -1,0 +1,64 @@
+"""Tests for the HyperBench-substitute corpus."""
+
+from repro.benchdata import (
+    corpus_statistics,
+    degree2_ghw_table,
+    generate_corpus,
+    render_table1,
+)
+
+
+class TestCorpus:
+    def test_generation_is_deterministic(self):
+        first = generate_corpus(seed=3, scale=0.05)
+        second = generate_corpus(seed=3, scale=0.05)
+        assert [e.name for e in first] == [e.name for e in second]
+        assert [e.ghw_lower for e in first] == [e.ghw_lower for e in second]
+
+    def test_bounds_are_consistent(self):
+        corpus = generate_corpus(seed=1, scale=0.05)
+        for entry in corpus:
+            assert 0 <= entry.ghw_lower <= entry.ghw_upper
+
+    def test_degree2_families_are_degree2(self):
+        corpus = generate_corpus(seed=2, scale=0.05)
+        for entry in corpus:
+            if entry.family in {"chain", "cycle", "jigsaw", "thickened-jigsaw",
+                                "dual-of-random-graph", "dual-of-partial-k-tree"}:
+                assert entry.degree <= 2, entry.name
+
+    def test_corpus_contains_non_degree2_entries(self):
+        corpus = generate_corpus(seed=2, scale=0.1)
+        assert any(not entry.is_degree_two for entry in corpus)
+
+    def test_statistics_shape(self):
+        corpus = generate_corpus(seed=0, scale=0.05)
+        stats = corpus_statistics(corpus)
+        assert stats["degree2"] <= stats["total"]
+        assert stats["degree2_synthetic"] + stats["degree2_application_like"] == stats["degree2"]
+
+    def test_table1_is_monotone_decreasing(self):
+        corpus = generate_corpus(seed=0, scale=0.1)
+        table = degree2_ghw_table(corpus)
+        amounts = [amount for _, amount in table]
+        assert amounts == sorted(amounts, reverse=True)
+        assert table[0][0] == 1 and table[-1][0] == 5
+
+    def test_table1_has_nontrivial_tail(self):
+        corpus = generate_corpus(seed=0, scale=0.2)
+        table = dict(degree2_ghw_table(corpus))
+        assert table[1] > 0
+        assert table[5] > 0
+
+    def test_render_table1_mentions_all_thresholds(self):
+        corpus = generate_corpus(seed=0, scale=0.05)
+        rendered = render_table1(corpus)
+        assert "ghw > k" in rendered
+        for k in range(1, 6):
+            assert f"\n  {k}" in rendered
+
+    def test_jigsaw_entries_have_dimension_lower_bounds(self):
+        corpus = generate_corpus(seed=4, scale=0.1)
+        jigsaw_entries = [e for e in corpus if e.family == "jigsaw"]
+        assert jigsaw_entries
+        assert any(e.ghw_lower >= 4 for e in jigsaw_entries)

@@ -1,0 +1,66 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cq import generators as cq_generators
+from repro.hypergraphs import Hypergraph, generators
+from repro.hypergraphs.graphs import cycle_graph, grid_graph, path_graph
+
+
+@pytest.fixture
+def triangle() -> Hypergraph:
+    """The triangle graph as a hypergraph (smallest non-acyclic example)."""
+    return Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"a", "c"}])
+
+
+@pytest.fixture
+def figure1_hypergraph() -> Hypergraph:
+    return generators.figure1_hypergraph()
+
+
+@pytest.fixture
+def small_acyclic() -> Hypergraph:
+    """A small alpha-acyclic hypergraph with rank 3."""
+    return Hypergraph(edges=[{"a", "b", "c"}, {"c", "d"}, {"d", "e", "f"}, {"f", "g"}])
+
+
+@pytest.fixture
+def jigsaw22() -> Hypergraph:
+    return generators.jigsaw(2, 2)
+
+
+@pytest.fixture
+def jigsaw33() -> Hypergraph:
+    return generators.jigsaw(3, 3)
+
+
+@pytest.fixture
+def thickened32() -> Hypergraph:
+    return generators.thickened_jigsaw(3, 2)
+
+
+@pytest.fixture
+def grid33():
+    return grid_graph(3, 3)
+
+
+@pytest.fixture
+def cycle5():
+    return cycle_graph(5)
+
+
+@pytest.fixture
+def path4():
+    return path_graph(4)
+
+
+@pytest.fixture
+def cycle_query4():
+    return cq_generators.cycle_query(4)
+
+
+@pytest.fixture
+def cycle_db4(cycle_query4):
+    return cq_generators.grid_constraint_database(cycle_query4, colours=3)

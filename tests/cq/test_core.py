@@ -1,0 +1,107 @@
+"""Tests for query cores, equivalence, and semantic width."""
+
+import pytest
+
+from repro.cq import Atom, ConjunctiveQuery, core_of, queries_equivalent, semantic_ghw
+from repro.cq import generators as cqgen
+from repro.cq.semantic_width import semantic_degree, semantic_treewidth
+from repro.reductions.query_reduction import core_hypergraph_class, core_instance, degree_preserved_by_core
+
+
+class TestCores:
+    def test_core_of_core_free_query_is_itself(self):
+        query = cqgen.cycle_query(5).as_boolean()
+        core = core_of(query)
+        assert len(core.atoms) == len(query.atoms)
+
+    def test_redundant_atom_folds_away(self):
+        # R(x, y) AND R(x, z): z can map to y, so the core has a single atom.
+        query = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("R", ["x", "z"])], free_variables=[]
+        )
+        core = core_of(query)
+        assert len(core.atoms) == 1
+
+    def test_free_variables_are_preserved(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("R", ["x", "z"])], free_variables=["x", "y", "z"]
+        )
+        core = core_of(query)
+        # All variables free: nothing can fold, the query is its own core.
+        assert len(core.atoms) == 2
+
+    def test_equivalence_of_query_and_its_core(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("R", ["x", "z"]), Atom("S", ["y", "w"])],
+            free_variables=[],
+        )
+        assert queries_equivalent(query, core_of(query))
+
+    def test_non_equivalent_queries(self):
+        chain = cqgen.chain_query(2).as_boolean()
+        cycle = cqgen.cycle_query(3).as_boolean()
+        assert not queries_equivalent(chain, cycle)
+
+    def test_directed_cycle_is_its_own_core(self):
+        # The directed 6-cycle self-join query has only rotations as
+        # endomorphisms, so it is a core despite "feeling" foldable.
+        atoms = [Atom("E", [f"x{i}", f"x{(i + 1) % 6}"]) for i in range(6)]
+        query = ConjunctiveQuery(atoms, free_variables=[])
+        assert len(core_of(query).atoms) == 6
+
+    def test_zigzag_cycle_folds_to_single_atom(self):
+        # The alternating-orientation 4-cycle folds onto one of its edges:
+        # x2 -> x0, x3 -> x1 is a retraction, so the core has a single atom.
+        atoms = [
+            Atom("E", ["x0", "x1"]),
+            Atom("E", ["x2", "x1"]),
+            Atom("E", ["x2", "x3"]),
+            Atom("E", ["x0", "x3"]),
+        ]
+        query = ConjunctiveQuery(atoms, free_variables=[])
+        assert len(core_of(query).atoms) == 1
+
+    def test_degree_preserved_by_core(self):
+        query = cqgen.jigsaw_query(2, 2).as_boolean()
+        assert degree_preserved_by_core(query)
+
+    def test_core_instance_and_class(self):
+        queries = [cqgen.cycle_query(4).as_boolean(), cqgen.chain_query(3).as_boolean()]
+        hypergraphs = core_hypergraph_class(queries)
+        assert len(hypergraphs) == 2
+        instance = core_instance(queries[0])
+        assert instance.hypergraph().degree() <= queries[0].hypergraph().degree()
+
+
+class TestSemanticWidth:
+    def test_semantic_ghw_of_acyclic_query(self):
+        result = semantic_ghw(cqgen.chain_query(4))
+        assert result.exact and result.value == 1
+
+    def test_semantic_ghw_of_cycle(self):
+        result = semantic_ghw(cqgen.cycle_query(5))
+        assert result.exact and result.value == 2
+
+    def test_semantic_ghw_collapses_for_foldable_query(self):
+        # The zigzag 4-cycle has a cyclic hypergraph (ghw 2) but folds onto a
+        # single atom, so its semantic ghw is 1 — semantic width must reflect
+        # the core, not the raw query.
+        atoms = [
+            Atom("E", ["x0", "x1"]),
+            Atom("E", ["x2", "x1"]),
+            Atom("E", ["x2", "x3"]),
+            Atom("E", ["x0", "x3"]),
+        ]
+        query = ConjunctiveQuery(atoms, free_variables=[])
+        from repro.widths.ghw import ghw
+
+        assert ghw(query.hypergraph()).value == 2
+        result = semantic_ghw(query)
+        assert result.exact and result.value == 1
+
+    def test_semantic_treewidth_of_clique(self):
+        result = semantic_treewidth(cqgen.clique_query(4))
+        assert result.exact and result.value == 3
+
+    def test_semantic_degree(self):
+        assert semantic_degree(cqgen.jigsaw_query(2, 2)) <= 2

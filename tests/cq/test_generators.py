@@ -1,0 +1,64 @@
+"""Tests for the CQ/database workload generators."""
+
+import pytest
+
+from repro.cq import boolean_answer
+from repro.cq import generators as cqgen
+from repro.hypergraphs import generators as hgen
+
+
+class TestQueryGenerators:
+    def test_query_from_hypergraph_one_atom_per_edge(self, jigsaw33):
+        query = cqgen.query_from_hypergraph(jigsaw33)
+        assert len(query.atoms) == jigsaw33.num_edges
+        assert query.hypergraph().edges == jigsaw33.edges
+
+    def test_query_from_hypergraph_free_variables(self, jigsaw22):
+        some_vertex = next(iter(jigsaw22.vertices))
+        query = cqgen.query_from_hypergraph(jigsaw22, free_variables=[some_vertex])
+        assert query.free_variables == (some_vertex,)
+
+    def test_chain_and_cycle_shapes(self):
+        assert len(cqgen.chain_query(4).atoms) == 4
+        assert len(cqgen.cycle_query(6).atoms) == 6
+        assert cqgen.star_query(5).hypergraph().degree() == 5
+        assert len(cqgen.clique_query(4).atoms) == 6
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            cqgen.cycle_query(2)
+        with pytest.raises(ValueError):
+            cqgen.chain_query(0)
+        with pytest.raises(ValueError):
+            cqgen.clique_query(1)
+
+
+class TestDatabaseGenerators:
+    def test_random_database_matches_schema(self):
+        query = cqgen.cycle_query(4)
+        database = cqgen.random_database(query, 5, 10, seed=1)
+        for atom in query.atoms:
+            assert database.relation(atom.relation).arity == atom.arity
+
+    def test_random_database_deterministic(self):
+        query = cqgen.chain_query(3)
+        assert cqgen.random_database(query, 4, 5, seed=9) == cqgen.random_database(query, 4, 5, seed=9)
+
+    def test_planted_database_always_satisfiable(self):
+        for seed in range(4):
+            query = cqgen.jigsaw_query(2, 2)
+            database = cqgen.planted_database(query, 4, 4, seed=seed)
+            assert boolean_answer(query, database)
+
+    def test_unsatisfiable_database_never_satisfiable(self):
+        for seed in range(4):
+            query = cqgen.cycle_query(5)
+            database = cqgen.unsatisfiable_database(query, 4, 8, seed=seed)
+            assert not boolean_answer(query, database)
+
+    def test_grid_constraint_database_tuples_are_proper(self):
+        query = cqgen.cycle_query(3)
+        database = cqgen.grid_constraint_database(query, colours=3)
+        for relation in database.relations.values():
+            for row in relation.tuples:
+                assert all(a != b for a, b in zip(row, row[1:]))

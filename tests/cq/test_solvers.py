@@ -1,0 +1,178 @@
+"""Tests for the CQ solvers: backtracking baseline, Yannakakis, GHD-guided.
+
+The key invariant exercised throughout: every evaluator agrees with the
+generic backtracking solver on answers, Boolean answers, and counts.
+"""
+
+import pytest
+
+from repro.cq import (
+    Atom,
+    ConjunctiveQuery,
+    Database,
+    boolean_answer,
+    count_answers,
+    decomposition_boolean_answer,
+    decomposition_count_answers,
+    decomposition_enumerate_answers,
+    enumerate_answers,
+)
+from repro.cq import generators as cqgen
+from repro.cq.counting import count_answers_via_join_tree, naive_count
+from repro.cq.decomposition_eval import build_bag_join_tree, DecompositionMismatchError
+from repro.cq.relational import NamedRelation
+from repro.cq.yannakakis import JoinTree, yannakakis_boolean, yannakakis_full
+from repro.widths.ghw import ghw_upper_bound
+
+
+def small_path_instance():
+    query = cqgen.chain_query(3)
+    database = Database()
+    for a in range(3):
+        for b in range(3):
+            if a != b:
+                database.add_fact("R0", (a, b))
+                database.add_fact("R1", (a, b))
+                database.add_fact("R2", (a, b))
+    return query, database
+
+
+class TestBacktrackingSolver:
+    def test_empty_query_is_true(self):
+        assert boolean_answer(ConjunctiveQuery([]), Database())
+
+    def test_missing_relation_means_false(self):
+        query = cqgen.chain_query(2)
+        assert not boolean_answer(query, Database())
+
+    def test_path_instance_counts(self):
+        query, database = small_path_instance()
+        # Walks of length 3 in the complete digraph without loops on 3 nodes.
+        assert count_answers(query, database) == 3 * 2 * 2 * 2
+
+    def test_enumerate_respects_free_variables(self):
+        query, database = small_path_instance()
+        projected = query.project(["x0", "x3"])
+        answers = enumerate_answers(projected, database)
+        assert all(len(row) == 2 for row in answers)
+        assert answers == {
+            (row[0], row[3]) for row in enumerate_answers(query, database)
+        }
+
+    def test_boolean_projection(self):
+        query, database = small_path_instance()
+        assert enumerate_answers(query.as_boolean(), database) == {()}
+
+    def test_planted_database_is_satisfiable(self):
+        query = cqgen.jigsaw_query(2, 2)
+        database = cqgen.planted_database(query, 4, 6, seed=11)
+        assert boolean_answer(query, database)
+
+    def test_unsatisfiable_database(self):
+        query = cqgen.cycle_query(4)
+        database = cqgen.unsatisfiable_database(query, 4, 10, seed=2)
+        assert not boolean_answer(query, database)
+
+    def test_proper_colouring_counts_on_cycles(self):
+        # Proper q-colourings of the cycle C_n: (q-1)^n + (-1)^n (q-1).
+        for n, q in [(3, 3), (4, 3), (5, 2)]:
+            query = cqgen.cycle_query(n)
+            database = cqgen.grid_constraint_database(query, colours=q)
+            expected = (q - 1) ** n + (-1) ** n * (q - 1)
+            assert count_answers(query, database) == expected
+
+
+class TestYannakakis:
+    def _tree(self):
+        relations = {
+            "top": NamedRelation(("x", "y"), {(1, 2), (2, 3)}),
+            "left": NamedRelation(("y", "z"), {(2, 5), (3, 6)}),
+            "right": NamedRelation(("y", "w"), {(2, 7)}),
+        }
+        parent = {"top": None, "left": "top", "right": "top"}
+        return JoinTree(relations, parent)
+
+    def test_join_tree_requires_single_root(self):
+        with pytest.raises(ValueError):
+            JoinTree({"a": NamedRelation(("x",), set())}, {"a": "a"})
+
+    def test_boolean_answer(self):
+        assert yannakakis_boolean(self._tree())
+
+    def test_boolean_false_when_branch_empty(self):
+        tree = self._tree()
+        tree.relations["right"] = NamedRelation(("y", "w"), set())
+        assert not yannakakis_boolean(tree)
+
+    def test_full_enumeration_matches_naive_join(self):
+        tree = self._tree()
+        full = yannakakis_full(tree)
+        assert set(full.columns) == {"x", "y", "z", "w"}
+        assert len(full) == 1
+        assert naive_count(tree) == 1
+
+    def test_projection_output(self):
+        tree = self._tree()
+        result = yannakakis_full(tree, output_columns=("x",))
+        assert result.rows == {(1,)}
+
+    def test_counting_dp_matches_naive(self):
+        tree = self._tree()
+        assert count_answers_via_join_tree(tree) == naive_count(tree)
+
+
+class TestDecompositionGuidedEvaluation:
+    @pytest.mark.parametrize(
+        "query_factory,seed",
+        [
+            (lambda: cqgen.cycle_query(4), 0),
+            (lambda: cqgen.cycle_query(5), 1),
+            (lambda: cqgen.chain_query(4), 2),
+            (lambda: cqgen.star_query(3), 3),
+            (lambda: cqgen.jigsaw_query(2, 2), 4),
+            (lambda: cqgen.clique_query(3), 5),
+        ],
+    )
+    def test_agrees_with_baseline(self, query_factory, seed):
+        query = query_factory()
+        database = cqgen.planted_database(query, 3, 6, seed=seed)
+        assert decomposition_boolean_answer(query, database) == boolean_answer(query, database)
+        assert decomposition_enumerate_answers(query, database) == enumerate_answers(query, database)
+        assert decomposition_count_answers(query, database) == count_answers(query, database)
+
+    def test_unsatisfiable_instances_agree(self):
+        query = cqgen.jigsaw_query(2, 2)
+        database = cqgen.unsatisfiable_database(query, 3, 8, seed=9)
+        assert not decomposition_boolean_answer(query, database)
+
+    def test_counting_requires_full_query(self):
+        query = cqgen.cycle_query(4).as_boolean()
+        database = cqgen.planted_database(query, 3, 5, seed=1)
+        with pytest.raises(ValueError):
+            decomposition_count_answers(query, database)
+
+    def test_boolean_query_enumeration(self):
+        query = cqgen.cycle_query(4).as_boolean()
+        database = cqgen.planted_database(query, 3, 5, seed=1)
+        assert decomposition_enumerate_answers(query, database) == {()}
+
+    def test_explicit_ghd_is_used(self):
+        query = cqgen.cycle_query(4)
+        database = cqgen.grid_constraint_database(query, colours=3)
+        ghd = ghw_upper_bound(query.hypergraph()).decomposition
+        assert decomposition_count_answers(query, database, ghd=ghd) == 18
+
+    def test_mismatched_ghd_rejected(self):
+        query = cqgen.cycle_query(4)
+        other = cqgen.chain_query(6)
+        database = cqgen.grid_constraint_database(query, colours=3)
+        foreign_ghd = ghw_upper_bound(other.hypergraph()).decomposition
+        with pytest.raises(DecompositionMismatchError):
+            build_bag_join_tree(query, database, foreign_ghd)
+
+    def test_bag_join_tree_structure(self):
+        query = cqgen.cycle_query(5)
+        database = cqgen.grid_constraint_database(query, colours=3)
+        ghd = ghw_upper_bound(query.hypergraph()).decomposition
+        tree = build_bag_join_tree(query, database, ghd)
+        assert set(tree.relations) == set(ghd.bags)

@@ -1,0 +1,88 @@
+"""Tests for edge-label tracking (Lemma B.1)."""
+
+from repro.dilutions import (
+    DeleteSubedge,
+    DeleteVertex,
+    DilutionSequence,
+    MergeOnVertex,
+    dilution_edge_labels,
+    dilution_to_dual_minor_map,
+    find_dilution_sequence,
+)
+from repro.hypergraphs import Hypergraph, dual_hypergraph, generators
+from repro.hypergraphs.graphs import grid_graph
+from repro.minors.minor_map import MinorMap
+
+
+class TestLabelTracking:
+    def test_initial_labels_are_singletons(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        result, labels = dilution_edge_labels(h, DilutionSequence())
+        assert result == h
+        assert all(labels[e] == frozenset({e}) for e in h.edges)
+
+    def test_merge_unions_labels(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        sequence = DilutionSequence([MergeOnVertex("b")])
+        result, labels = dilution_edge_labels(h, sequence)
+        merged_edge = frozenset({"a", "c"})
+        assert labels[merged_edge] == frozenset({frozenset({"a", "b"}), frozenset({"b", "c"})})
+
+    def test_vertex_deletion_collapse_unions_labels(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"a", "b", "c"}])
+        sequence = DilutionSequence([DeleteVertex("c")])
+        result, labels = dilution_edge_labels(h, sequence)
+        assert labels[frozenset({"a", "b"})] == frozenset(h.edges)
+
+    def test_subedge_deletion_absorbs_label(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"a", "b", "c"}])
+        sequence = DilutionSequence([DeleteSubedge({"a", "b"})])
+        result, labels = dilution_edge_labels(h, sequence)
+        assert labels[frozenset({"a", "b", "c"})] == frozenset(h.edges)
+
+    def test_labels_partition_into_disjoint_sets(self):
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        _, labels = dilution_edge_labels(source, sequence)
+        seen = set()
+        for label in labels.values():
+            assert not (label & seen)
+            seen.update(label)
+
+    def test_labels_give_minor_map_into_dual(self):
+        # Lemma B.1 on a concrete instance: the labels of a dilution from the
+        # thickened jigsaw to the 2x2 jigsaw form a minor map of the 2x2 grid
+        # into the dual of the source.
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        result, labels = dilution_edge_labels(source, sequence)
+        labels = {edge: branch for edge, branch in labels.items() if branch}
+        dual = dual_hypergraph(source)
+        # The result is (isomorphic to) the jigsaw = dual of the grid, so its
+        # edges play the role of grid vertices.
+        pattern_edges = []
+        result_edges = list(labels)
+        for i, e in enumerate(result_edges):
+            for f in result_edges[i + 1:]:
+                if e & f:
+                    pattern_edges.append({("edge", tuple(sorted(map(repr, e)))),
+                                          ("edge", tuple(sorted(map(repr, f))))})
+        pattern = Hypergraph(
+            vertices=[("edge", tuple(sorted(map(repr, e)))) for e in result_edges],
+            edges=pattern_edges,
+        )
+        mapping = {
+            ("edge", tuple(sorted(map(repr, e)))): labels[e] for e in result_edges
+        }
+        minor = MinorMap(pattern, dual, mapping)
+        assert minor.is_valid()
+
+    def test_dilution_to_dual_minor_map_wrapper(self):
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        labels = dilution_to_dual_minor_map(source, sequence)
+        assert labels
+        assert all(branch <= source.edges for branch in labels.values() if branch)

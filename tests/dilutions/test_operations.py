@@ -1,0 +1,96 @@
+"""Tests for the three dilution operations of Definition 3.1."""
+
+import pytest
+
+from repro.dilutions import DeleteSubedge, DeleteVertex, MergeOnVertex
+from repro.hypergraphs import Hypergraph
+
+
+@pytest.fixture
+def sample():
+    return Hypergraph(edges=[{"a", "b", "c"}, {"c", "d"}, {"d", "e"}, {"a", "b"}])
+
+
+class TestDeleteVertex:
+    def test_apply(self, sample):
+        result = DeleteVertex("c").apply(sample)
+        assert "c" not in result.vertices
+        assert frozenset({"a", "b"}) in result.edges
+        assert frozenset({"d"}) in result.edges
+
+    def test_applicability(self, sample):
+        assert DeleteVertex("a").is_applicable(sample)
+        assert not DeleteVertex("zzz").is_applicable(sample)
+
+    def test_apply_inapplicable_raises(self, sample):
+        with pytest.raises(ValueError):
+            DeleteVertex("zzz").apply(sample)
+
+    def test_deletion_keeps_empty_edges(self):
+        h = Hypergraph(edges=[{"x"}, {"x", "y"}])
+        result = DeleteVertex("x").apply(h)
+        assert result.has_empty_edge()
+
+    def test_never_increases_degree(self, sample):
+        result = DeleteVertex("c").apply(sample)
+        assert result.degree() <= sample.degree()
+
+
+class TestDeleteSubedge:
+    def test_apply_removes_subedge(self, sample):
+        result = DeleteSubedge({"a", "b"}).apply(sample)
+        assert frozenset({"a", "b"}) not in result.edges
+        assert result.num_edges == sample.num_edges - 1
+
+    def test_only_proper_subedges_allowed(self, sample):
+        assert DeleteSubedge({"a", "b"}).is_applicable(sample)
+        assert not DeleteSubedge({"d", "e"}).is_applicable(sample)
+
+    def test_missing_edge_not_applicable(self, sample):
+        assert not DeleteSubedge({"x", "y"}).is_applicable(sample)
+
+    def test_empty_edge_is_subedge_of_everything(self):
+        h = Hypergraph(edges=[set(), {"a"}])
+        assert DeleteSubedge(set()).is_applicable(h)
+        assert not DeleteSubedge(set()).apply(h).has_empty_edge()
+
+    def test_apply_inapplicable_raises(self, sample):
+        with pytest.raises(ValueError):
+            DeleteSubedge({"d", "e"}).apply(sample)
+
+    def test_vertices_are_kept(self, sample):
+        result = DeleteSubedge({"a", "b"}).apply(sample)
+        assert "a" in result.vertices and "b" in result.vertices
+
+
+class TestMergeOnVertex:
+    def test_merge_replaces_incident_edges(self, sample):
+        result = MergeOnVertex("c").apply(sample)
+        assert frozenset({"a", "b", "d"}) in result.edges
+        assert frozenset({"a", "b", "c"}) not in result.edges
+        assert "c" not in result.vertices
+
+    def test_merge_keeps_other_edges(self, sample):
+        result = MergeOnVertex("c").apply(sample)
+        assert frozenset({"d", "e"}) in result.edges
+        assert frozenset({"a", "b"}) in result.edges
+
+    def test_merge_on_figure1_creates_rank4_edge(self, figure1_hypergraph):
+        # Figure 1: merging on y creates an edge with 4 vertices, exceeding
+        # the rank of the original hypergraph, while the degree stays put.
+        result = MergeOnVertex("y").apply(figure1_hypergraph)
+        assert frozenset({"x", "c", "d", "e"}) in result.edges
+        assert result.rank() == 4 > figure1_hypergraph.rank()
+        assert result.degree() <= figure1_hypergraph.degree()
+
+    def test_merge_never_increases_degree(self, sample):
+        result = MergeOnVertex("d").apply(sample)
+        assert result.degree() <= sample.degree()
+
+    def test_merge_inapplicable_raises(self, sample):
+        with pytest.raises(ValueError):
+            MergeOnVertex("zzz").apply(sample)
+
+    def test_merge_reduces_size_for_degree_ge_one(self, sample):
+        result = MergeOnVertex("c").apply(sample)
+        assert result.size < sample.size

@@ -1,0 +1,62 @@
+"""Tests for the dilution decision procedure."""
+
+import pytest
+
+from repro.dilutions import find_dilution_sequence, is_dilution_of
+from repro.dilutions.search import SearchBudgetExceeded
+from repro.hypergraphs import Hypergraph, generators
+
+
+class TestDilutionSearch:
+    def test_every_hypergraph_dilutes_to_itself(self, jigsaw22):
+        sequence = find_dilution_sequence(jigsaw22, jigsaw22)
+        assert sequence is not None
+        assert len(sequence) == 0
+
+    def test_dilutes_to_isomorphic_copy(self, jigsaw22):
+        relabelled, _ = jigsaw22.canonical_relabel()
+        assert is_dilution_of(relabelled, jigsaw22)
+
+    def test_thickened_22_dilutes_to_jigsaw_22(self):
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        assert sequence is not None
+        from repro.hypergraphs.isomorphism import are_isomorphic
+
+        assert are_isomorphic(sequence.apply(source), target)
+
+    def test_hypergraph_dilutes_to_its_reduction(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"a", "b", "c"}, {"c", "d", "e"}])
+        from repro.hypergraphs import reduce_hypergraph
+
+        assert is_dilution_of(reduce_hypergraph(h), h, max_nodes=50_000)
+
+    def test_larger_hypergraph_is_not_a_dilution(self, jigsaw22, jigsaw33):
+        # |V| + |E| strictly decreases, so a bigger hypergraph can never be a
+        # dilution of a smaller one.
+        assert not is_dilution_of(jigsaw33, jigsaw22)
+
+    def test_higher_degree_target_is_rejected_quickly(self):
+        source = generators.hypercycle(4)          # degree 2
+        target = generators.star_hypergraph(3)     # degree 3
+        assert not is_dilution_of(target, source, max_nodes=20_000)
+
+    def test_path_dilutes_to_shorter_path(self):
+        source = generators.hyperpath(4)
+        target = generators.hyperpath(2)
+        assert is_dilution_of(target, source, max_nodes=50_000)
+
+    def test_budget_exception(self):
+        source = generators.thickened_jigsaw(3, 2)
+        target = generators.jigsaw(3, 2)
+        with pytest.raises(SearchBudgetExceeded):
+            find_dilution_sequence(source, target, max_nodes=3)
+
+    def test_found_sequences_are_valid(self):
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        assert sequence.is_applicable_to(source)
+        checks = sequence.check_monotonicity(source)
+        assert checks["degree_monotone"] and checks["size_monotone"]

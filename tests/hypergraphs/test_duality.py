@@ -1,0 +1,60 @@
+"""Tests for dual hypergraphs and primal graphs."""
+
+from repro.hypergraphs import Hypergraph, dual_hypergraph, primal_graph, generators
+from repro.hypergraphs.duality import (
+    double_dual_mapping,
+    dual_degree_equals_rank,
+    is_self_dual_consistent,
+)
+from repro.hypergraphs.graphs import grid_graph
+from repro.hypergraphs.isomorphism import are_isomorphic
+
+
+class TestDual:
+    def test_dual_vertices_are_edges(self, jigsaw22):
+        dual = dual_hypergraph(jigsaw22)
+        assert dual.vertices == jigsaw22.edges
+
+    def test_dual_swaps_degree_and_rank(self, jigsaw33):
+        dual = dual_hypergraph(jigsaw33)
+        assert dual.rank() == jigsaw33.degree()
+        assert dual.degree() == jigsaw33.rank()
+        assert dual_degree_equals_rank(jigsaw33)
+
+    def test_dual_of_jigsaw_is_grid(self, jigsaw33):
+        grid = grid_graph(3, 3)
+        assert are_isomorphic(dual_hypergraph(jigsaw33), Hypergraph(grid.vertices, grid.edges))
+
+    def test_dual_of_graph_has_degree_two(self):
+        graph = generators.erdos_renyi_graph(8, 0.5, seed=3)
+        alive = [v for v in graph.vertices if graph.degree(v) > 0]
+        dual = dual_hypergraph(graph.induced_subhypergraph(alive))
+        assert dual.degree() <= 2
+
+    def test_double_dual_of_reduced_hypergraph(self, jigsaw33):
+        assert is_self_dual_consistent(jigsaw33)
+
+    def test_double_dual_mapping_none_for_unreduced(self):
+        h = Hypergraph(vertices=["isolated"], edges=[{"a", "b"}])
+        assert double_dual_mapping(h) is None
+
+
+class TestPrimalGraph:
+    def test_primal_graph_of_triangle_edge(self):
+        h = Hypergraph(edges=[{"a", "b", "c"}])
+        primal = primal_graph(h)
+        assert primal.num_edges == 3
+
+    def test_primal_graph_of_graph_is_itself(self, cycle5):
+        primal = primal_graph(Hypergraph(cycle5.vertices, cycle5.edges))
+        assert primal.edges == cycle5.edges
+
+    def test_primal_keeps_isolated_vertices(self):
+        h = Hypergraph(vertices=["x"], edges=[{"a", "b"}])
+        assert "x" in primal_graph(h).vertices
+
+    def test_primal_graph_of_jigsaw(self, jigsaw22):
+        primal = primal_graph(jigsaw22)
+        # Every pair of vertices inside one jigsaw edge becomes adjacent.
+        assert primal.num_vertices == jigsaw22.num_vertices
+        assert all(len(e) == 2 for e in primal.edges)

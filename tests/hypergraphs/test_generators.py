@@ -1,0 +1,144 @@
+"""Tests for the hypergraph generators."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph, dual_hypergraph, generators
+from repro.hypergraphs.graphs import grid_graph
+from repro.hypergraphs.isomorphism import are_isomorphic
+from repro.hypergraphs.properties import is_alpha_acyclic
+
+
+class TestJigsawGenerator:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (2, 3), (3, 3), (3, 4), (4, 4)])
+    def test_every_vertex_has_degree_two(self, rows, cols):
+        j = generators.jigsaw(rows, cols)
+        assert all(j.degree(v) == 2 for v in j.vertices)
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 3), (3, 4)])
+    def test_edge_and_vertex_counts(self, rows, cols):
+        j = generators.jigsaw(rows, cols)
+        assert j.num_edges == rows * cols
+        assert j.num_vertices == rows * (cols - 1) + cols * (rows - 1)
+
+    def test_adjacent_edges_share_exactly_one_vertex(self):
+        j = generators.jigsaw(3, 3)
+        e00 = generators.jigsaw_edge_of(3, 3, (0, 0))
+        e01 = generators.jigsaw_edge_of(3, 3, (0, 1))
+        e11 = generators.jigsaw_edge_of(3, 3, (1, 1))
+        assert len(e00 & e01) == 1
+        assert len(e00 & e11) == 0
+        assert e00 in j.edges and e01 in j.edges
+
+    def test_jigsaw_is_dual_of_grid(self):
+        j = generators.jigsaw(3, 4)
+        grid = grid_graph(3, 4)
+        assert are_isomorphic(dual_hypergraph(j), Hypergraph(grid.vertices, grid.edges))
+
+    def test_jigsaw_edge_of_out_of_range(self):
+        with pytest.raises(ValueError):
+            generators.jigsaw_edge_of(3, 3, (3, 0))
+
+    def test_invalid_dimension(self):
+        with pytest.raises(ValueError):
+            generators.jigsaw(0, 3)
+
+
+class TestThickenedJigsaw:
+    def test_degree_two(self):
+        assert generators.thickened_jigsaw(3, 3).degree() == 2
+
+    def test_larger_than_jigsaw(self):
+        base = generators.jigsaw(3, 3)
+        thick = generators.thickened_jigsaw(3, 3)
+        assert thick.size > base.size
+
+    def test_structure_metadata(self):
+        h, big_edge_of, connector_of = generators.thickened_jigsaw_with_structure(2, 3)
+        assert set(big_edge_of) == {(i, j) for i in range(2) for j in range(3)}
+        assert all(edge in h.edges for edge in big_edge_of.values())
+        assert all(edge in h.edges for edge in connector_of.values())
+        assert len(connector_of) == generators.jigsaw(2, 3).num_vertices
+
+    def test_big_edges_do_not_intersect_each_other(self):
+        _, big_edge_of, _ = generators.thickened_jigsaw_with_structure(3, 3)
+        edges = list(big_edge_of.values())
+        for i, e in enumerate(edges):
+            for f in edges[i + 1:]:
+                assert not (e & f)
+
+    def test_degenerate_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            generators.thickened_jigsaw(1, 2)
+
+    def test_figure2_hypergraph_is_thickened_32(self):
+        assert generators.figure2_hypergraph() == generators.thickened_jigsaw(3, 2)
+
+
+class TestOtherFamilies:
+    def test_figure1_hypergraph_shape(self):
+        h = generators.figure1_hypergraph()
+        assert h.degree() == 3
+        assert h.rank() == 3
+        assert h.num_edges == 5
+
+    def test_dual_of_graph_degree_two(self):
+        graph = generators.erdos_renyi_graph(10, 0.4, seed=7)
+        alive = [v for v in graph.vertices if graph.degree(v) > 0]
+        dual = generators.dual_of_graph(graph.induced_subhypergraph(alive))
+        assert dual.degree() <= 2
+
+    def test_random_degree2_hypergraph(self):
+        h = generators.random_degree2_hypergraph(12, 0.3, seed=5)
+        assert h.degree() <= 2
+
+    def test_erdos_renyi_probability_bounds(self):
+        with pytest.raises(ValueError):
+            generators.erdos_renyi_graph(5, 1.5)
+        assert generators.erdos_renyi_graph(5, 0.0).num_edges == 0
+        assert generators.erdos_renyi_graph(5, 1.0).num_edges == 10
+
+    def test_erdos_renyi_deterministic_in_seed(self):
+        first = generators.erdos_renyi_graph(10, 0.5, seed=11)
+        second = generators.erdos_renyi_graph(10, 0.5, seed=11)
+        assert first == second
+
+    def test_partial_ktree_respects_width(self):
+        from repro.widths.treewidth import treewidth_upper_bound
+
+        graph = generators.random_graph_with_treewidth_at_most(10, 2, seed=3)
+        assert treewidth_upper_bound(graph).upper <= 2
+
+    def test_hypercycle_properties(self):
+        h = generators.hypercycle(5, edge_size=3)
+        assert h.num_edges == 5
+        assert h.degree() == 2
+        assert not is_alpha_acyclic(h)
+
+    def test_hyperpath_is_acyclic(self):
+        assert is_alpha_acyclic(generators.hyperpath(6, edge_size=3))
+
+    def test_star_hypergraph_degree(self):
+        h = generators.star_hypergraph(5)
+        assert h.degree("centre") == 5
+        assert is_alpha_acyclic(h)
+
+    def test_random_acyclic_hypergraph(self):
+        for seed in range(3):
+            h = generators.random_acyclic_hypergraph(8, max_rank=4, seed=seed)
+            assert is_alpha_acyclic(h)
+            assert h.rank() <= 4
+
+    def test_disjoint_union(self):
+        a = generators.hypercycle(3)
+        b = generators.hyperpath(2)
+        union = generators.disjoint_union([a, b])
+        assert union.num_edges == a.num_edges + b.num_edges
+        assert not union.is_connected()
+
+    def test_generator_validation_errors(self):
+        with pytest.raises(ValueError):
+            generators.hypercycle(2)
+        with pytest.raises(ValueError):
+            generators.hyperpath(0)
+        with pytest.raises(ValueError):
+            generators.star_hypergraph(0)

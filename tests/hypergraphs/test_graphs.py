@@ -1,0 +1,118 @@
+"""Tests for the graph layer and standard graph families."""
+
+import pytest
+
+from repro.hypergraphs.graphs import (
+    Graph,
+    as_graph,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+from repro.hypergraphs import Hypergraph
+
+
+class TestGraphConstruction:
+    def test_rejects_non_binary_edges(self):
+        with pytest.raises(ValueError):
+            Graph(edges=[{"a", "b", "c"}])
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            Graph(edges=[{"a"}])
+
+    def test_as_graph_conversion(self):
+        h = Hypergraph(edges=[{"a", "b"}])
+        assert isinstance(as_graph(h), Graph)
+        with pytest.raises(ValueError):
+            as_graph(Hypergraph(edges=[{"a", "b", "c"}]))
+
+    def test_adjacency(self):
+        g = path_graph(3)
+        assert g.adjacency()[1] == frozenset({0, 2})
+
+    def test_has_edge(self):
+        g = cycle_graph(4)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(0, 2)
+
+
+class TestFamilies:
+    def test_path_graph(self):
+        g = path_graph(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 4
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.num_edges == 6
+        assert all(g.degree(v) == 2 for v in g.vertices)
+
+    def test_cycle_requires_three_vertices(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.vertices)
+
+    def test_star_graph(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.num_edges == 4
+
+    def test_grid_graph_dimensions(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 4 * 2  # horizontal + vertical edges
+
+    def test_grid_graph_degrees(self):
+        g = grid_graph(3, 3)
+        degrees = sorted(g.degree(v) for v in g.vertices)
+        assert degrees == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+    def test_grid_graph_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            grid_graph(0, 3)
+
+
+class TestGraphOperations:
+    def test_contract_edge_merges_neighbourhoods(self):
+        g = path_graph(4)
+        contracted = g.contract_edge(1, 2, merged_name="m")
+        assert contracted.num_vertices == 3
+        assert contracted.has_edge(0, "m")
+        assert contracted.has_edge("m", 3)
+
+    def test_contract_non_edge_raises(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            g.contract_edge(0, 3)
+
+    def test_contract_triangle_drops_parallel_edges(self):
+        g = cycle_graph(3)
+        contracted = g.contract_edge(0, 1, merged_name="m")
+        assert contracted.num_vertices == 2
+        assert contracted.num_edges == 1
+
+    def test_delete_graph_vertex(self):
+        g = cycle_graph(4)
+        reduced = g.delete_graph_vertex(0)
+        assert reduced.num_vertices == 3
+        assert reduced.num_edges == 2
+
+    def test_delete_graph_edge(self):
+        g = cycle_graph(4)
+        reduced = g.delete_graph_edge(0, 1)
+        assert reduced.num_edges == 3
+        with pytest.raises(ValueError):
+            g.delete_graph_edge(0, 2)
+
+    def test_to_hypergraph_keeps_data(self):
+        g = path_graph(3)
+        h = g.to_hypergraph()
+        assert h.edges == g.edges
+        assert h.vertices == g.vertices

@@ -1,0 +1,203 @@
+"""Unit tests for the core Hypergraph data structure."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph
+
+
+class TestConstruction:
+    def test_vertices_collected_from_edges(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+        assert h.vertices == frozenset({"x", "y", "z"})
+
+    def test_explicit_isolated_vertices(self):
+        h = Hypergraph(vertices=["lonely"], edges=[{"x", "y"}])
+        assert "lonely" in h.vertices
+        assert h.degree("lonely") == 0
+        assert h.isolated_vertices() == frozenset({"lonely"})
+
+    def test_duplicate_edges_collapse(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "x"}])
+        assert h.num_edges == 1
+
+    def test_empty_edge_allowed(self):
+        h = Hypergraph(edges=[set(), {"x"}])
+        assert h.has_empty_edge()
+        assert h.num_edges == 2
+
+    def test_empty_hypergraph(self):
+        h = Hypergraph()
+        assert h.num_vertices == 0
+        assert h.num_edges == 0
+        assert h.degree() == 0
+        assert h.rank() == 0
+
+    def test_size_measure(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+        assert h.size == 3 + 2
+
+    def test_equality_and_hash(self):
+        h1 = Hypergraph(edges=[{"x", "y"}])
+        h2 = Hypergraph(edges=[{"y", "x"}])
+        assert h1 == h2
+        assert hash(h1) == hash(h2)
+        assert h1 != Hypergraph(edges=[{"x", "z"}])
+
+
+class TestIncidenceAndDegree:
+    def test_incident_edges(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "w"}])
+        assert h.incident_edges("y") == frozenset({frozenset({"x", "y"}), frozenset({"y", "z"})})
+
+    def test_degree_of_vertex_and_hypergraph(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"y", "w"}])
+        assert h.degree("y") == 3
+        assert h.degree("x") == 1
+        assert h.degree() == 3
+
+    def test_rank(self):
+        h = Hypergraph(edges=[{"a"}, {"a", "b", "c", "d"}])
+        assert h.rank() == 4
+
+    def test_unknown_vertex_raises(self):
+        h = Hypergraph(edges=[{"x", "y"}])
+        with pytest.raises(KeyError):
+            h.incident_edges("nope")
+
+    def test_vertex_type(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"x", "z"}])
+        assert h.vertex_type("x") == h.incident_edges("x")
+
+
+class TestModifications:
+    def test_delete_vertex_removes_from_edges(self):
+        h = Hypergraph(edges=[{"x", "y", "z"}, {"z", "w"}])
+        result = h.delete_vertex("z")
+        assert frozenset({"x", "y"}) in result.edges
+        assert frozenset({"w"}) in result.edges
+        assert "z" not in result.vertices
+
+    def test_delete_vertex_can_collapse_edges(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"x", "y", "z"}])
+        result = h.delete_vertex("z")
+        assert result.num_edges == 1
+
+    def test_delete_vertex_keeps_empty_edge_by_default(self):
+        h = Hypergraph(edges=[{"v"}, {"v", "w"}])
+        result = h.delete_vertex("v")
+        assert result.has_empty_edge()
+
+    def test_delete_vertices_drops_empty_edges(self):
+        h = Hypergraph(edges=[{"v"}, {"v", "w"}])
+        result = h.delete_vertices(["v"])
+        assert not result.has_empty_edge()
+
+    def test_induced_subhypergraph(self):
+        h = Hypergraph(edges=[{"a", "b", "c"}, {"c", "d"}])
+        induced = h.induced_subhypergraph({"a", "b"})
+        assert induced.edges == frozenset({frozenset({"a", "b"})})
+
+    def test_delete_edge(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        result = h.delete_edge({"a", "b"})
+        assert result.num_edges == 1
+        assert "a" in result.vertices  # vertices are kept
+
+    def test_delete_missing_edge_raises(self):
+        h = Hypergraph(edges=[{"a", "b"}])
+        with pytest.raises(KeyError):
+            h.delete_edge({"a", "c"})
+
+    def test_add_edge_and_vertex(self):
+        h = Hypergraph(edges=[{"a", "b"}])
+        assert h.add_edge({"b", "c"}).num_edges == 2
+        assert "z" in h.add_vertex("z").vertices
+
+    def test_merge_on_vertex(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}, {"z", "w"}])
+        merged = h.merge_on_vertex("y")
+        assert frozenset({"x", "z"}) in merged.edges
+        assert "y" not in merged.vertices
+        assert frozenset({"z", "w"}) in merged.edges
+        assert merged.num_edges == 2
+
+    def test_merge_on_degree_one_vertex(self):
+        h = Hypergraph(edges=[{"x", "y"}, {"y", "z"}])
+        merged = h.merge_on_vertex("x")
+        assert frozenset({"y"}) in merged.edges
+
+    def test_relabel_injective_required(self):
+        h = Hypergraph(edges=[{"a", "b"}])
+        with pytest.raises(ValueError):
+            h.relabel(lambda v: "same")
+
+    def test_canonical_relabel_roundtrip(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        relabelled, mapping = h.canonical_relabel()
+        assert relabelled.num_edges == h.num_edges
+        assert set(mapping.values()) == set(range(h.num_vertices))
+
+
+class TestConnectivity:
+    def test_connected_components(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"c", "d"}])
+        components = h.connected_components()
+        assert len(components) == 2
+        assert frozenset({"a", "b"}) in components
+
+    def test_is_connected(self):
+        assert Hypergraph(edges=[{"a", "b"}, {"b", "c"}]).is_connected()
+        assert not Hypergraph(edges=[{"a", "b"}, {"c", "d"}]).is_connected()
+
+    def test_isolated_vertex_is_own_component(self):
+        h = Hypergraph(vertices=["x"], edges=[{"a", "b"}])
+        assert len(h.connected_components()) == 2
+
+    def test_find_path_alternates_vertices_and_edges(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"c", "d"}])
+        path = h.find_path("a", "d")
+        assert path[0] == "a"
+        assert path[-1] == "d"
+        # Alternating structure: odd positions are edges.
+        assert all(isinstance(path[i], frozenset) for i in range(1, len(path), 2))
+
+    def test_find_path_none_when_disconnected(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"c", "d"}])
+        assert h.find_path("a", "c") is None
+
+    def test_edges_connected(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"d", "e"}])
+        assert h.edges_connected([frozenset({"a", "b"}), frozenset({"b", "c"})])
+        assert not h.edges_connected([frozenset({"a", "b"}), frozenset({"d", "e"})])
+
+    def test_edge_connected_components(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"d", "e"}])
+        groups = h.edge_connected_components()
+        assert len(groups) == 2
+
+
+class TestPredicates:
+    def test_is_reduced_positive(self, jigsaw33):
+        assert jigsaw33.is_reduced()
+
+    def test_is_reduced_fails_with_isolated_vertex(self):
+        h = Hypergraph(vertices=["x"], edges=[{"a", "b"}])
+        assert not h.is_reduced()
+
+    def test_is_reduced_fails_with_empty_edge(self):
+        assert not Hypergraph(edges=[set(), {"a", "b"}]).is_reduced()
+
+    def test_is_reduced_fails_with_duplicate_vertex_types(self):
+        h = Hypergraph(edges=[{"a", "b", "c"}])
+        # a, b, c all have the same type {the edge}.
+        assert not h.is_reduced()
+
+    def test_is_graph(self):
+        assert Hypergraph(edges=[{"a", "b"}, {"b", "c"}]).is_graph()
+        assert not Hypergraph(edges=[{"a", "b", "c"}]).is_graph()
+
+    def test_is_subhypergraph_of(self):
+        small = Hypergraph(edges=[{"a", "b"}])
+        big = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        assert small.is_subhypergraph_of(big)
+        assert not big.is_subhypergraph_of(small)

@@ -1,0 +1,73 @@
+"""Tests for hypergraph properties: acyclicity, histograms, statistics."""
+
+from repro.hypergraphs import Hypergraph, generators
+from repro.hypergraphs.properties import (
+    degree_histogram,
+    edge_size_histogram,
+    gyo_reduction,
+    hypergraph_statistics,
+    is_alpha_acyclic,
+    join_forest,
+    vertex_types,
+)
+
+
+class TestAcyclicity:
+    def test_single_edge_is_acyclic(self):
+        assert is_alpha_acyclic(Hypergraph(edges=[{"a", "b", "c"}]))
+
+    def test_triangle_is_cyclic(self, triangle):
+        assert not is_alpha_acyclic(triangle)
+
+    def test_covered_triangle_is_acyclic(self, triangle):
+        covered = triangle.add_edge({"a", "b", "c"})
+        assert is_alpha_acyclic(covered)
+
+    def test_jigsaw_is_cyclic(self, jigsaw22):
+        assert not is_alpha_acyclic(jigsaw22)
+
+    def test_acyclic_fixture(self, small_acyclic):
+        assert is_alpha_acyclic(small_acyclic)
+
+    def test_gyo_residual_on_cycle(self):
+        h = generators.hypercycle(4)
+        result = gyo_reduction(h)
+        assert not result.acyclic
+        assert result.residual
+
+    def test_join_forest_for_acyclic(self, small_acyclic):
+        forest = join_forest(small_acyclic)
+        assert forest is not None
+        assert set(forest) == set(small_acyclic.edges)
+        roots = [edge for edge, parent in forest.items() if parent is None]
+        assert len(roots) == 1
+
+    def test_join_forest_none_for_cyclic(self, triangle):
+        assert join_forest(triangle) is None
+
+    def test_disconnected_acyclic(self):
+        h = generators.disjoint_union([generators.hyperpath(2), generators.hyperpath(3)])
+        assert is_alpha_acyclic(h)
+
+
+class TestStatistics:
+    def test_vertex_types(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        types = vertex_types(h)
+        assert types["b"] == h.incident_edges("b")
+
+    def test_degree_histogram(self, jigsaw33):
+        histogram = degree_histogram(jigsaw33)
+        assert histogram == {2: jigsaw33.num_vertices}
+
+    def test_edge_size_histogram(self, jigsaw33):
+        histogram = edge_size_histogram(jigsaw33)
+        assert sum(histogram.values()) == jigsaw33.num_edges
+        assert set(histogram) == {2, 3, 4}
+
+    def test_hypergraph_statistics_record(self, jigsaw22):
+        stats = hypergraph_statistics(jigsaw22)
+        assert stats.degree == 2
+        assert stats.connected
+        assert not stats.alpha_acyclic
+        assert stats.reduced

@@ -1,0 +1,55 @@
+"""Tests for reduced hypergraphs and the Lemma 3.6 dilution sequence."""
+
+from repro.hypergraphs import Hypergraph, reduce_hypergraph, reduction_dilution_sequence
+
+
+class TestReduceHypergraph:
+    def test_already_reduced_is_unchanged(self, jigsaw33):
+        assert reduce_hypergraph(jigsaw33) == jigsaw33
+
+    def test_isolated_vertices_removed(self):
+        h = Hypergraph(vertices=["x"], edges=[{"a", "b"}])
+        assert "x" not in reduce_hypergraph(h).vertices
+
+    def test_empty_edges_removed(self):
+        h = Hypergraph(edges=[set(), {"a", "b"}])
+        assert not reduce_hypergraph(h).has_empty_edge()
+
+    def test_duplicate_vertex_types_collapse(self):
+        h = Hypergraph(edges=[{"a", "b", "c"}, {"c", "d"}])
+        reduced = reduce_hypergraph(h)
+        # a and b share the type {abc}; only one survives.
+        assert reduced.num_vertices == 3
+        assert reduced.is_reduced()
+
+    def test_result_is_always_reduced(self):
+        h = Hypergraph(
+            vertices=["iso"],
+            edges=[set(), {"a", "b"}, {"a", "b", "c"}, {"c", "d", "e"}],
+        )
+        assert reduce_hypergraph(h).is_reduced()
+
+
+class TestReductionDilutionSequence:
+    def test_sequence_reproduces_reduced_hypergraph(self):
+        h = Hypergraph(
+            vertices=["iso"],
+            edges=[{"a", "b"}, {"a", "b", "c"}, {"c", "d", "e"}],
+        )
+        sequence = reduction_dilution_sequence(h)
+        assert sequence.apply(h) == reduce_hypergraph(h)
+
+    def test_sequence_is_applicable_step_by_step(self):
+        h = Hypergraph(vertices=["iso"], edges=[{"a", "b"}, {"b", "c", "d"}])
+        sequence = reduction_dilution_sequence(h)
+        assert sequence.is_applicable_to(h)
+
+    def test_sequence_empty_for_reduced_input(self, jigsaw22):
+        assert len(reduction_dilution_sequence(jigsaw22)) == 0
+
+    def test_sequence_monotone(self):
+        h = Hypergraph(vertices=["iso"], edges=[{"a", "b"}, {"a", "b", "c"}])
+        sequence = reduction_dilution_sequence(h)
+        checks = sequence.check_monotonicity(h)
+        assert checks["degree_monotone"]
+        assert checks["size_monotone"]

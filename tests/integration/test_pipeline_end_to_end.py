@@ -1,0 +1,111 @@
+"""Integration tests chaining several subsystems, mirroring the paper's proofs.
+
+These tests execute the actual proof pipelines end to end:
+
+* Theorem 4.7: degree-2 hypergraph -> reduce -> dual -> grid minor ->
+  Lemma 4.4 -> jigsaw dilution, with every certificate validated.
+* Theorem 4.8 machinery: jigsaw dilution + Theorem 3.4 reduction transports a
+  CQ instance from the jigsaw to the original hypergraph, preserving answers
+  and counts.
+* Lemma 4.6 + Proposition 2.2: the dual-treewidth GHD actually answers
+  queries over the hypergraph it decomposes.
+"""
+
+from repro.cq import (
+    boolean_answer,
+    count_answers,
+    decomposition_boolean_answer,
+    decomposition_count_answers,
+)
+from repro.cq import generators as cqgen
+from repro.hypergraphs import generators
+from repro.hypergraphs.isomorphism import are_isomorphic
+from repro.jigsaws import dilute_to_jigsaw, planted_thickened_jigsaw_minor
+from repro.reductions import reduce_along_dilution
+from repro.reductions.parsimonious import verify_answer_preservation, verify_parsimony
+from repro.structure import lemma46_bound
+from repro.widths.ghw import ghw, ghw_upper_bound
+
+
+class TestTheorem47Pipeline:
+    def test_full_pipeline_with_certificates(self):
+        source = generators.thickened_jigsaw(3, 2)
+        certificate = dilute_to_jigsaw(source, 3, 2)
+        assert certificate is not None
+        # Every claim of the certificate is re-checked independently.
+        assert certificate.result_is_jigsaw()
+        assert certificate.sequence_replays()
+        assert certificate.grid_minor.is_valid()
+        assert certificate.reduced.is_reduced()
+        checks = certificate.sequence.check_monotonicity(source)
+        assert checks["degree_monotone"] and checks["size_monotone"]
+
+    def test_pipeline_preserves_ghw_lower_bound_direction(self):
+        # The source dilutes to a 3x3 jigsaw, so by Lemma 3.2(3) its ghw is at
+        # least the jigsaw's, which the separator argument puts at >= 3.
+        hypergraph, minor = planted_thickened_jigsaw_minor(3, 3)
+        certificate = dilute_to_jigsaw(hypergraph, 3, 3, minor=minor)
+        assert certificate.result_is_jigsaw()
+        jigsaw_bounds = ghw(certificate.result, separator_budget=3)
+        source_bounds = ghw_upper_bound(hypergraph)
+        assert jigsaw_bounds.lower >= 3
+        assert source_bounds.upper >= jigsaw_bounds.lower
+
+
+class TestTheorem34Transport:
+    def test_jigsaw_instance_transported_to_thickened_source(self):
+        # This is the reduction used in Theorem 4.8: hardness of the jigsaw
+        # class transports to any class whose members dilute to jigsaws.
+        source = generators.thickened_jigsaw(2, 2)
+        certificate = dilute_to_jigsaw(source, 2, 2)
+        diluted = certificate.sequence.apply(source)
+        query = cqgen.query_from_hypergraph(diluted, relation_prefix="J")
+        for seed, satisfiable in [(0, True), (1, False)]:
+            if satisfiable:
+                database = cqgen.planted_database(query, 3, 5, seed=seed)
+            else:
+                database = cqgen.unsatisfiable_database(query, 3, 5, seed=seed)
+            result = reduce_along_dilution(query, database, source, certificate.sequence)
+            assert verify_answer_preservation(result)
+            assert verify_parsimony(result)
+            assert boolean_answer(result.query, result.database) == boolean_answer(query, database)
+
+    def test_transported_instance_answerable_by_decomposition(self):
+        source = generators.thickened_jigsaw(2, 2)
+        certificate = dilute_to_jigsaw(source, 2, 2)
+        diluted = certificate.sequence.apply(source)
+        query = cqgen.query_from_hypergraph(diluted)
+        database = cqgen.planted_database(query, 3, 5, seed=3)
+        result = reduce_along_dilution(query, database, source, certificate.sequence)
+        assert decomposition_boolean_answer(result.query, result.database) == boolean_answer(
+            query, database
+        )
+        assert decomposition_count_answers(result.query, result.database) == count_answers(
+            query, database
+        )
+
+
+class TestLemma46WithEvaluation:
+    def test_dual_ghd_answers_queries(self):
+        hypergraph = generators.jigsaw(2, 3)
+        outcome = lemma46_bound(hypergraph)
+        assert outcome["ghd_valid"] and outcome["inequality_holds"]
+        query = cqgen.query_from_hypergraph(hypergraph)
+        database = cqgen.planted_database(query, 3, 6, seed=2)
+        from repro.widths.ghw import ghd_via_dual_treewidth
+
+        ghd = ghd_via_dual_treewidth(hypergraph)
+        assert decomposition_boolean_answer(query, database, ghd=ghd) == boolean_answer(
+            query, database
+        )
+
+    def test_counting_matches_on_degree2_corpus_sample(self):
+        from repro.benchdata import generate_corpus
+
+        corpus = [e for e in generate_corpus(seed=5, scale=0.02) if e.is_degree_two]
+        small = [e for e in corpus if e.hypergraph.num_edges <= 6][:4]
+        assert small
+        for entry in small:
+            query = cqgen.query_from_hypergraph(entry.hypergraph)
+            database = cqgen.planted_database(query, 3, 4, seed=1)
+            assert decomposition_count_answers(query, database) == count_answers(query, database)

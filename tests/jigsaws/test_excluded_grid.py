@@ -1,0 +1,55 @@
+"""Tests for the Theorem 4.7 pipeline (excluded-grid analogue)."""
+
+import pytest
+
+from repro.hypergraphs import generators
+from repro.jigsaws import (
+    dilute_to_jigsaw,
+    largest_jigsaw_dilution,
+    planted_thickened_jigsaw_minor,
+)
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 2)])
+    def test_thickened_jigsaw_dilutes_automatically(self, rows, cols):
+        certificate = dilute_to_jigsaw(generators.thickened_jigsaw(rows, cols), rows, cols)
+        assert certificate is not None
+        assert certificate.result_is_jigsaw()
+        assert certificate.sequence_replays()
+
+    def test_planted_minor_route_for_larger_dimensions(self):
+        hypergraph, minor = planted_thickened_jigsaw_minor(4, 4)
+        certificate = dilute_to_jigsaw(hypergraph, 4, 4, minor=minor)
+        assert certificate is not None
+        assert certificate.result_is_jigsaw()
+        assert certificate.sequence_replays()
+
+    def test_planted_minor_is_valid(self):
+        _, minor = planted_thickened_jigsaw_minor(3, 3)
+        assert minor.is_valid()
+
+    def test_degree_three_input_rejected(self):
+        with pytest.raises(ValueError):
+            dilute_to_jigsaw(generators.star_hypergraph(3), 2)
+
+    def test_acyclic_hypergraph_has_no_large_jigsaw(self):
+        certificate = dilute_to_jigsaw(generators.hyperpath(6), 2, max_nodes=20_000)
+        assert certificate is None
+
+    def test_largest_jigsaw_dilution_on_thickened(self):
+        certificate = largest_jigsaw_dilution(
+            generators.thickened_jigsaw(2, 2), max_dimension=3, max_nodes=50_000
+        )
+        assert certificate is not None
+        assert (certificate.rows, certificate.cols) == (2, 2)
+
+    def test_certificate_sequence_monotonicity(self):
+        certificate = dilute_to_jigsaw(generators.thickened_jigsaw(2, 2), 2, 2)
+        checks = certificate.sequence.check_monotonicity(certificate.source)
+        assert checks["degree_monotone"] and checks["size_monotone"]
+
+    def test_certificate_records_dual_and_reduced(self):
+        certificate = dilute_to_jigsaw(generators.thickened_jigsaw(2, 2), 2, 2)
+        assert certificate.reduced.is_reduced()
+        assert certificate.dual.num_vertices == certificate.reduced.num_edges

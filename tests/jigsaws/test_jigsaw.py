@@ -1,0 +1,68 @@
+"""Tests for jigsaw construction, recognition, and reductions."""
+
+import pytest
+
+from repro.hypergraphs import generators
+from repro.hypergraphs.isomorphism import are_isomorphic
+from repro.jigsaws import (
+    is_jigsaw,
+    jigsaw,
+    jigsaw_column_reduction_sequence,
+    jigsaw_dimension,
+)
+from repro.jigsaws.jigsaw import verify_jigsaw_properties
+
+
+class TestRecognition:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (2, 3), (3, 3), (3, 4)])
+    def test_jigsaw_dimension_recovered(self, rows, cols):
+        dims = jigsaw_dimension(jigsaw(rows, cols))
+        assert dims == tuple(sorted((rows, cols)))
+
+    def test_non_jigsaw_rejected(self, small_acyclic):
+        assert not is_jigsaw(small_acyclic)
+
+    def test_thickened_jigsaw_is_not_a_jigsaw(self, thickened32):
+        assert not is_jigsaw(thickened32)
+
+    def test_cycle_is_not_a_jigsaw(self):
+        assert not is_jigsaw(generators.hypercycle(6))
+
+    def test_degree_three_rejected_quickly(self):
+        assert jigsaw_dimension(generators.star_hypergraph(3)) is None
+
+
+class TestDefinitionProperties:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 3), (3, 4)])
+    def test_verify_jigsaw_properties(self, rows, cols):
+        checks = verify_jigsaw_properties(jigsaw(rows, cols), rows, cols)
+        assert all(checks.values()), checks
+
+    def test_property_check_fails_on_wrong_dimension(self):
+        checks = verify_jigsaw_properties(jigsaw(3, 3), 2, 4)
+        assert not all(checks.values())
+
+
+class TestColumnReduction:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 3), (2, 4), (4, 3)])
+    def test_column_reduction_gives_smaller_jigsaw(self, rows, cols):
+        sequence = jigsaw_column_reduction_sequence(rows, cols)
+        result = sequence.apply(jigsaw(rows, cols))
+        assert are_isomorphic(result, jigsaw(rows, cols - 1))
+
+    def test_column_reduction_is_a_dilution_sequence(self):
+        sequence = jigsaw_column_reduction_sequence(3, 3)
+        assert sequence.is_applicable_to(jigsaw(3, 3))
+        checks = sequence.check_monotonicity(jigsaw(3, 3))
+        assert checks["degree_monotone"] and checks["size_monotone"]
+
+    def test_column_reduction_requires_two_columns(self):
+        with pytest.raises(ValueError):
+            jigsaw_column_reduction_sequence(3, 1)
+
+    def test_repeated_reduction_reaches_single_column(self):
+        current = jigsaw(3, 4)
+        for cols in (4, 3, 2):
+            sequence = jigsaw_column_reduction_sequence(3, cols)
+            current = sequence.apply(current)
+        assert are_isomorphic(current, jigsaw(3, 1))

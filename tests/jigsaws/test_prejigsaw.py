@@ -1,0 +1,70 @@
+"""Tests for pre-jigsaws (Definition 5.1)."""
+
+import pytest
+
+from repro.hypergraphs import generators
+from repro.hypergraphs.isomorphism import are_isomorphic
+from repro.jigsaws import (
+    jigsaw_as_prejigsaw,
+    planted_prejigsaw,
+    prejigsaw_to_jigsaw_dilution,
+)
+
+
+class TestCertificates:
+    def test_jigsaw_is_a_prejigsaw_of_itself(self):
+        certificate = jigsaw_as_prejigsaw(3, 3)
+        assert certificate.is_valid()
+
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (2, 3), (3, 3)])
+    def test_planted_degree2_prejigsaw_is_valid(self, rows, cols):
+        certificate = planted_prejigsaw(rows, cols, degree=2)
+        assert certificate.is_valid()
+        assert certificate.hypergraph.degree() == 2
+
+    def test_planted_degree3_prejigsaw_is_valid(self):
+        certificate = planted_prejigsaw(3, 3, degree=3)
+        assert certificate.is_valid()
+        assert certificate.hypergraph.degree() == 3
+
+    def test_invalid_degree_rejected(self):
+        with pytest.raises(ValueError):
+            planted_prejigsaw(3, 3, degree=4)
+
+    def test_small_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            planted_prejigsaw(1, 3)
+
+    def test_broken_certificate_detected(self):
+        certificate = planted_prejigsaw(2, 2, degree=2)
+        # Drop one group: edges are no longer all covered.
+        some_edge = next(iter(certificate.o))
+        del certificate.o[some_edge]
+        assert not certificate.is_valid()
+
+    def test_paths_avoid_pi_images(self):
+        certificate = planted_prejigsaw(3, 3, degree=2)
+        pi_image = {certificate.pi[v] for v in certificate.jigsaw.vertices}
+        for path in certificate.paths.values():
+            assert not (set(path[1:-1]) & pi_image)
+
+
+class TestDilutionToJigsaw:
+    @pytest.mark.parametrize("rows,cols", [(2, 2), (3, 3)])
+    def test_degree2_prejigsaw_dilutes_to_jigsaw(self, rows, cols):
+        certificate = planted_prejigsaw(rows, cols, degree=2)
+        outcome = prejigsaw_to_jigsaw_dilution(certificate)
+        assert outcome is not None
+        sequence, result = outcome
+        assert are_isomorphic(result, generators.jigsaw(rows, cols))
+        assert sequence.is_applicable_to(certificate.hypergraph)
+
+    def test_degree3_prejigsaw_does_not_dilute_by_path_merging(self):
+        certificate = planted_prejigsaw(3, 3, degree=3)
+        assert prejigsaw_to_jigsaw_dilution(certificate) is None
+
+    def test_trivial_certificate_dilution_is_identity_like(self):
+        certificate = jigsaw_as_prejigsaw(2, 3)
+        sequence, result = prejigsaw_to_jigsaw_dilution(certificate)
+        assert are_isomorphic(result, generators.jigsaw(2, 3))
+        assert len(sequence) == 0

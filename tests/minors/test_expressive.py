@@ -1,0 +1,56 @@
+"""Tests for expressive minor maps (Definition D.1)."""
+
+from repro.hypergraphs import Hypergraph
+from repro.hypergraphs.graphs import cycle_graph, grid_graph, path_graph
+from repro.minors import ExpressiveMinorMap, MinorMap, find_minor_map
+from repro.minors.expressive import expressive_from_minor_on_graph
+
+
+class TestExpressiveMinors:
+    def test_graph_minor_extends_to_expressive(self):
+        host = grid_graph(3, 3)
+        minor = find_minor_map(grid_graph(2, 2), host)
+        expressive = expressive_from_minor_on_graph(minor)
+        assert expressive is not None
+        assert expressive.is_valid()
+
+    def test_rank_above_two_not_automatic(self):
+        host = Hypergraph(edges=[{"a", "b", "c"}])
+        pattern = path_graph(2)
+        minor = MinorMap(pattern, host, {0: {"a"}, 1: {"b"}})
+        assert expressive_from_minor_on_graph(minor) is None
+
+    def test_injectivity_required(self):
+        host = cycle_graph(3)
+        pattern = cycle_graph(3)
+        minor = MinorMap(pattern, host, {v: {v} for v in host.vertices})
+        same_edge = frozenset({0, 1})
+        candidate = ExpressiveMinorMap(minor, {e: same_edge for e in pattern.edges})
+        assert not candidate.edge_map_total_and_injective()
+        assert not candidate.is_valid()
+
+    def test_edge_must_touch_both_branch_sets(self):
+        host = path_graph(4)
+        pattern = path_graph(2)
+        minor = MinorMap(pattern, host, {0: {0}, 1: {1}})
+        candidate = ExpressiveMinorMap(minor, {frozenset({0, 1}): frozenset({2, 3})})
+        assert not candidate.edges_touch_branch_sets()
+
+    def test_identity_expressive_map_on_cycle(self):
+        host = cycle_graph(4)
+        minor = MinorMap(host, host, {v: {v} for v in host.vertices})
+        expressive = expressive_from_minor_on_graph(minor)
+        assert expressive is not None and expressive.is_valid()
+
+    def test_marked_edges_reported(self):
+        host = cycle_graph(4)
+        minor = MinorMap(host, host, {v: {v} for v in host.vertices})
+        expressive = expressive_from_minor_on_graph(minor)
+        assert expressive.marked_edges() == host.edges
+
+    def test_edge_map_into_host_check(self):
+        host = path_graph(3)
+        pattern = path_graph(2)
+        minor = MinorMap(pattern, host, {0: {0}, 1: {1}})
+        candidate = ExpressiveMinorMap(minor, {frozenset({0, 1}): frozenset({"x", "y"})})
+        assert not candidate.edge_map_into_host()

@@ -1,0 +1,57 @@
+"""Tests for grid-minor search."""
+
+from repro.hypergraphs import dual_hypergraph, generators
+from repro.hypergraphs.graphs import grid_graph
+from repro.minors.grid_minor import (
+    find_grid_minor,
+    largest_grid_minor_dimension,
+    suppress_low_degree_vertices,
+)
+
+
+class TestSuppression:
+    def test_suppression_of_subdivided_path_keeps_minor(self):
+        # Dual of a thickened jigsaw: connector vertices have degree 2 and
+        # neighbours of degree >= 3 get contracted away.
+        dual = dual_hypergraph(generators.thickened_jigsaw(3, 3))
+        reduced, branches = suppress_low_degree_vertices(dual)
+        assert reduced.num_vertices <= dual.num_vertices
+        covered = set()
+        for branch in branches.values():
+            covered.update(branch)
+        assert covered <= set(dual.vertices)
+
+    def test_branches_are_disjoint(self):
+        dual = dual_hypergraph(generators.thickened_jigsaw(2, 3))
+        _, branches = suppress_low_degree_vertices(dual)
+        seen = set()
+        for branch in branches.values():
+            assert not (branch & seen)
+            seen.update(branch)
+
+
+class TestFindGridMinor:
+    def test_grid_is_its_own_minor(self):
+        host = grid_graph(3, 3)
+        minor = find_grid_minor(host, 3, 3)
+        assert minor is not None and minor.is_valid()
+
+    def test_grid_minor_in_dual_of_thickened_jigsaw(self):
+        dual = dual_hypergraph(generators.thickened_jigsaw(2, 2))
+        minor = find_grid_minor(dual, 2, 2)
+        assert minor is not None and minor.is_valid()
+
+    def test_no_large_grid_in_a_path(self):
+        host = generators.hyperpath(6)
+        assert find_grid_minor(host, 3, 3, max_nodes=20_000) is None
+
+    def test_largest_dimension_on_grid(self):
+        assert largest_grid_minor_dimension(grid_graph(3, 3), max_dimension=4) >= 2
+
+    def test_largest_dimension_on_tree_is_one(self):
+        assert largest_grid_minor_dimension(generators.hyperpath(5), max_dimension=3) == 1
+
+    def test_rectangular_grid_minor(self):
+        host = grid_graph(3, 4)
+        minor = find_grid_minor(host, 2, 3)
+        assert minor is not None and minor.is_valid()

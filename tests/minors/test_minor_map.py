@@ -1,0 +1,73 @@
+"""Tests for minor map validation."""
+
+from repro.hypergraphs import Hypergraph, dual_hypergraph, generators
+from repro.hypergraphs.graphs import cycle_graph, grid_graph, path_graph
+from repro.minors import MinorMap
+
+
+class TestMinorMapValidation:
+    def test_identity_map_is_valid(self):
+        g = cycle_graph(4)
+        mapping = {v: {v} for v in g.vertices}
+        assert MinorMap(g, g, mapping).is_valid()
+
+    def test_contraction_branch_sets(self):
+        # C4 is a minor of C6 by contracting two opposite edges.
+        host = cycle_graph(6)
+        pattern = cycle_graph(4)
+        mapping = {0: {0, 1}, 1: {2}, 2: {3, 4}, 3: {5}}
+        assert MinorMap(pattern, host, mapping).is_valid()
+
+    def test_disconnected_branch_set_invalid(self):
+        host = path_graph(5)
+        pattern = path_graph(2)
+        mapping = {0: {0, 4}, 1: {2}}
+        assert not MinorMap(pattern, host, mapping).branch_sets_connected()
+
+    def test_overlapping_branch_sets_invalid(self):
+        host = path_graph(4)
+        pattern = path_graph(2)
+        mapping = {0: {0, 1}, 1: {1, 2}}
+        assert not MinorMap(pattern, host, mapping).branch_sets_disjoint()
+
+    def test_missing_adjacency_invalid(self):
+        host = path_graph(5)
+        pattern = path_graph(2)
+        mapping = {0: {0}, 1: {4}}
+        minor = MinorMap(pattern, host, mapping)
+        assert not minor.adjacency_witnessed()
+        assert not minor.is_valid()
+
+    def test_missing_pattern_vertex_invalid(self):
+        host = path_graph(3)
+        pattern = path_graph(2)
+        assert not MinorMap(pattern, host, {0: {0}}).is_valid()
+
+    def test_empty_branch_set_invalid(self):
+        host = path_graph(3)
+        pattern = path_graph(2)
+        assert not MinorMap(pattern, host, {0: set(), 1: {1}}).is_valid()
+
+    def test_branch_outside_host_invalid(self):
+        host = path_graph(3)
+        pattern = path_graph(2)
+        assert not MinorMap(pattern, host, {0: {"zzz"}, 1: {1}}).branch_sets_in_host()
+
+    def test_is_onto(self):
+        host = path_graph(3)
+        pattern = path_graph(3)
+        full = MinorMap(pattern, host, {v: {v} for v in host.vertices})
+        assert full.is_onto()
+        partial = MinorMap(path_graph(2), host, {0: {0}, 1: {1}})
+        assert not partial.is_onto()
+
+    def test_minor_map_into_hypergraph_host(self):
+        # Branch sets of edges in a dual hypergraph host (rank 2).
+        source = generators.thickened_jigsaw(2, 2)
+        dual = dual_hypergraph(source)
+        grid = grid_graph(2, 2)
+        from repro.jigsaws import planted_thickened_jigsaw_minor
+
+        _, minor = planted_thickened_jigsaw_minor(2, 2)
+        assert minor.is_valid()
+        assert minor.pattern.edges == grid.edges

@@ -1,0 +1,56 @@
+"""Tests for the generic minor-containment search."""
+
+import pytest
+
+from repro.hypergraphs.graphs import complete_graph, cycle_graph, grid_graph, path_graph, star_graph
+from repro.minors import find_minor_map, has_minor
+from repro.minors.search import MinorSearchBudgetExceeded
+
+
+class TestMinorSearch:
+    def test_subgraph_is_minor(self):
+        assert has_minor(path_graph(3), cycle_graph(5))
+
+    def test_cycle_minor_of_longer_cycle(self):
+        minor = find_minor_map(cycle_graph(3), cycle_graph(6))
+        assert minor is not None
+        assert minor.is_valid()
+
+    def test_triangle_not_minor_of_tree(self):
+        assert not has_minor(cycle_graph(3), star_graph(5))
+
+    def test_k4_minor_of_grid_3x3(self):
+        # The 3x3 grid contains K4 as a minor.
+        assert has_minor(complete_graph(4), grid_graph(3, 3))
+
+    def test_k5_not_minor_of_small_path(self):
+        assert not has_minor(complete_graph(5), path_graph(6))
+
+    def test_grid_2x2_minor_of_grid_3x3(self):
+        minor = find_minor_map(grid_graph(2, 2), grid_graph(3, 3))
+        assert minor is not None and minor.is_valid()
+
+    def test_pattern_larger_than_host_rejected_immediately(self):
+        assert find_minor_map(grid_graph(3, 3), grid_graph(2, 2)) is None
+
+    def test_pattern_must_be_graph(self):
+        from repro.hypergraphs import Hypergraph
+
+        with pytest.raises(ValueError):
+            find_minor_map(Hypergraph(edges=[{"a", "b", "c"}]), grid_graph(2, 2))
+
+    def test_budget_exception(self):
+        with pytest.raises(MinorSearchBudgetExceeded):
+            find_minor_map(grid_graph(2, 3), grid_graph(3, 3), max_nodes=2)
+
+    def test_empty_pattern(self):
+        from repro.hypergraphs import Hypergraph
+
+        result = find_minor_map(Hypergraph(), grid_graph(2, 2))
+        assert result is not None
+
+    def test_returned_map_is_valid_with_nontrivial_branches(self):
+        minor = find_minor_map(cycle_graph(4), cycle_graph(7))
+        assert minor is not None
+        assert minor.is_valid()
+        assert sum(len(b) for b in minor.mapping.values()) >= 4

@@ -1,0 +1,86 @@
+"""Property-based tests for the CQ engine and the Theorem 3.4 reduction."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq import generators as cqgen
+from repro.cq.decomposition_eval import (
+    decomposition_boolean_answer,
+    decomposition_count_answers,
+    decomposition_enumerate_answers,
+)
+from repro.cq.homomorphism import boolean_answer, count_answers, enumerate_answers
+from repro.dilutions import DilutionSequence, MergeOnVertex, DeleteVertex
+from repro.hypergraphs import Hypergraph
+from repro.reductions import reduce_along_dilution
+from repro.reductions.parsimonious import verify_answer_preservation, verify_parsimony
+
+
+@st.composite
+def small_query_and_database(draw):
+    """A random small query (chain/cycle/star/jigsaw) with a random database."""
+    kind = draw(st.sampled_from(["chain", "cycle", "star", "jigsaw"]))
+    if kind == "chain":
+        query = cqgen.chain_query(draw(st.integers(2, 4)))
+    elif kind == "cycle":
+        query = cqgen.cycle_query(draw(st.integers(3, 5)))
+    elif kind == "star":
+        query = cqgen.star_query(draw(st.integers(2, 4)))
+    else:
+        query = cqgen.jigsaw_query(2, 2)
+    seed = draw(st.integers(0, 10_000))
+    planted = draw(st.booleans())
+    if planted:
+        database = cqgen.planted_database(query, 3, draw(st.integers(2, 6)), seed=seed)
+    else:
+        database = cqgen.random_database(query, 3, draw(st.integers(2, 6)), seed=seed)
+    return query, database
+
+
+@given(small_query_and_database())
+@settings(max_examples=40, deadline=None)
+def test_decomposition_evaluation_agrees_with_baseline(instance):
+    query, database = instance
+    assert decomposition_boolean_answer(query, database) == boolean_answer(query, database)
+    assert decomposition_enumerate_answers(query, database) == enumerate_answers(query, database)
+    assert decomposition_count_answers(query, database) == count_answers(query, database)
+
+
+@st.composite
+def merge_reduction_instance(draw):
+    """A source hypergraph with one merge operation, plus a database for the
+    diluted query — the minimal non-trivial Theorem 3.4 scenario."""
+    extra = draw(st.integers(1, 3))
+    edges = [{"a", "v"}, {"v", "b"}] + [{f"w{i}", f"w{i+1}"} for i in range(extra)]
+    edges.append({"b", "w0"})
+    source = Hypergraph(edges=edges)
+    sequence = DilutionSequence([MergeOnVertex("v")])
+    seed = draw(st.integers(0, 10_000))
+    return source, sequence, seed
+
+
+@given(merge_reduction_instance())
+@settings(max_examples=25, deadline=None)
+def test_reduction_preserves_answers_and_counts(instance):
+    source, sequence, seed = instance
+    diluted = sequence.apply(source)
+    query = cqgen.query_from_hypergraph(diluted)
+    database = cqgen.random_database(query, 3, 5, seed=seed)
+    result = reduce_along_dilution(query, database, source, sequence)
+    assert result.query.hypergraph().edges == source.edges
+    assert verify_answer_preservation(result)
+    assert verify_parsimony(result)
+
+
+@given(st.integers(0, 10_000), st.integers(2, 4))
+@settings(max_examples=25, deadline=None)
+def test_vertex_deletion_reduction_roundtrip(seed, length):
+    source = Hypergraph(
+        edges=[{f"x{i}", f"x{i+1}", "extra"} if i == 0 else {f"x{i}", f"x{i+1}"} for i in range(length)]
+    )
+    sequence = DilutionSequence([DeleteVertex("extra")])
+    diluted = sequence.apply(source)
+    query = cqgen.query_from_hypergraph(diluted)
+    database = cqgen.random_database(query, 3, 6, seed=seed)
+    result = reduce_along_dilution(query, database, source, sequence)
+    assert verify_answer_preservation(result)
+    assert verify_parsimony(result)

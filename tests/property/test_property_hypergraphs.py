@@ -1,0 +1,81 @@
+"""Property-based tests for the hypergraph substrate (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraphs import Hypergraph, dual_hypergraph, primal_graph, reduce_hypergraph
+from repro.hypergraphs.properties import is_alpha_acyclic
+
+
+@st.composite
+def hypergraphs(draw, max_vertices: int = 8, max_edges: int = 8):
+    """Random small hypergraphs over integer vertices."""
+    n = draw(st.integers(min_value=1, max_value=max_vertices))
+    vertices = list(range(n))
+    num_edges = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = [
+        draw(st.sets(st.sampled_from(vertices), min_size=1, max_size=min(4, n)))
+        for _ in range(num_edges)
+    ]
+    return Hypergraph(vertices=vertices, edges=edges)
+
+
+@given(hypergraphs())
+@settings(max_examples=60, deadline=None)
+def test_degree_rank_duality(h):
+    """degree(H^d) <= rank(H) and rank(H^d) <= degree(H) always hold."""
+    dual = dual_hypergraph(h)
+    assert dual.degree() <= max(1, h.rank())
+    assert dual.rank() <= max(1, h.degree())
+
+
+@given(hypergraphs())
+@settings(max_examples=60, deadline=None)
+def test_reduction_is_idempotent_and_reduced(h):
+    reduced = reduce_hypergraph(h)
+    assert reduce_hypergraph(reduced) == reduced
+    if reduced.edges:
+        assert reduced.is_reduced()
+
+
+@given(hypergraphs())
+@settings(max_examples=60, deadline=None)
+def test_vertex_deletion_never_increases_degree_or_size(h):
+    for v in list(h.vertices)[:3]:
+        result = h.delete_vertex(v)
+        assert result.degree() <= h.degree()
+        assert result.size <= h.size
+
+
+@given(hypergraphs())
+@settings(max_examples=60, deadline=None)
+def test_merge_never_increases_degree(h):
+    for v in list(h.vertices)[:3]:
+        merged = h.merge_on_vertex(v)
+        assert merged.degree() <= max(1, h.degree())
+
+
+@given(hypergraphs())
+@settings(max_examples=40, deadline=None)
+def test_primal_graph_is_a_graph_with_same_connectivity(h):
+    primal = primal_graph(h)
+    assert primal.is_graph()
+    assert len(primal.connected_components()) == len(h.connected_components())
+
+
+@given(hypergraphs())
+@settings(max_examples=40, deadline=None)
+def test_acyclicity_invariant_under_adding_covering_edge(h):
+    if not h.edges:
+        return
+    covered = h.add_edge(frozenset().union(*h.edges))
+    assert is_alpha_acyclic(covered)
+
+
+@given(hypergraphs(), hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_isomorphism_reflexive_and_label_invariant(a, b):
+    from repro.hypergraphs.isomorphism import are_isomorphic
+
+    assert are_isomorphic(a, a)
+    relabelled = a.relabel(lambda v: ("tag", v))
+    assert are_isomorphic(a, relabelled)

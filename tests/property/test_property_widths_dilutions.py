@@ -1,0 +1,76 @@
+"""Property-based tests for width bounds and dilution invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dilutions import DeleteSubedge, DeleteVertex, MergeOnVertex
+from repro.hypergraphs import Hypergraph, generators
+from repro.hypergraphs.properties import is_alpha_acyclic
+from repro.widths.ghw import ghw_lower_bound, ghw_upper_bound
+from repro.widths.treewidth import treewidth_lower_bound, treewidth_upper_bound
+
+
+@st.composite
+def degree2_hypergraphs(draw):
+    """Random degree-2 hypergraphs: duals of random graphs."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.floats(min_value=0.2, max_value=0.7))
+    h = generators.random_degree2_hypergraph(n, p, seed=seed)
+    return h
+
+
+@given(degree2_hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_ghw_bounds_are_ordered_and_certified(h):
+    if not h.edges:
+        return
+    upper = ghw_upper_bound(h)
+    lower = ghw_lower_bound(h, separator_budget=2)
+    assert lower <= upper.upper
+    assert upper.decomposition is None or upper.decomposition.is_valid_for(h)
+    if is_alpha_acyclic(h):
+        assert upper.upper == 1
+
+
+@given(degree2_hypergraphs())
+@settings(max_examples=30, deadline=None)
+def test_treewidth_bounds_ordered(h):
+    if not h.vertices:
+        return
+    assert treewidth_lower_bound(h) <= treewidth_upper_bound(h).upper
+
+
+@given(degree2_hypergraphs(), st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=30, deadline=None)
+def test_random_dilution_operations_respect_lemma32(h, seed):
+    import random
+
+    if not h.vertices:
+        return
+    rng = random.Random(seed)
+    current = h
+    for _ in range(3):
+        if not current.vertices:
+            break
+        vertex = rng.choice(sorted(current.vertices, key=repr))
+        operation = rng.choice([DeleteVertex(vertex), MergeOnVertex(vertex)])
+        successor = operation.apply(current)
+        # Lemma 3.2 (1) and (2).
+        assert successor.degree() <= max(1, current.degree())
+        assert successor.size <= current.size
+        current = successor
+
+
+@given(degree2_hypergraphs())
+@settings(max_examples=20, deadline=None)
+def test_subedge_deletion_preserves_ghw_upper_bound_direction(h):
+    subedges = [
+        e for e in h.edges if any(e < other for other in h.edges)
+    ]
+    if not subedges:
+        return
+    operation = DeleteSubedge(sorted(subedges, key=lambda e: sorted(map(repr, e)))[0])
+    successor = operation.apply(h)
+    # Removing a subedge cannot increase the ghw upper bound beyond the
+    # original (the same decomposition still works).
+    assert ghw_upper_bound(successor).upper <= ghw_upper_bound(h).upper + 1

@@ -1,0 +1,152 @@
+"""Tests for the Theorem 3.4 reduction."""
+
+import pytest
+
+from repro.cq import Atom, ConjunctiveQuery, Database
+from repro.cq import generators as cqgen
+from repro.dilutions import (
+    DeleteSubedge,
+    DeleteVertex,
+    DilutionSequence,
+    MergeOnVertex,
+    find_dilution_sequence,
+)
+from repro.hypergraphs import Hypergraph, generators
+from repro.reductions import normalize_query, reduce_along_dilution
+from repro.reductions.parsimonious import (
+    size_bound_holds,
+    verify_answer_preservation,
+    verify_parsimony,
+)
+
+
+def make_instance(hypergraph, seed=0, satisfiable=True, domain=3, tuples=6):
+    query = cqgen.query_from_hypergraph(hypergraph)
+    if satisfiable:
+        database = cqgen.planted_database(query, domain, tuples, seed=seed)
+    else:
+        database = cqgen.unsatisfiable_database(query, domain, tuples, seed=seed)
+    return query, database
+
+
+class TestNormalization:
+    def test_self_joins_are_split(self):
+        query = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("R", ["y", "z"])])
+        database = Database()
+        database.add_fact("R", (1, 2))
+        database.add_fact("R", (2, 3))
+        normalized, new_database = normalize_query(query, database)
+        assert not normalized.has_self_joins()
+        names = {atom.relation for atom in normalized.atoms}
+        assert len(names) == 2
+        for name in names:
+            assert len(new_database.relation(name)) == 2
+
+    def test_same_scope_atoms_merged(self):
+        query = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y", "x"])])
+        database = Database()
+        database.add_fact("R", (1, 2))
+        database.add_fact("R", (3, 4))
+        database.add_fact("S", (2, 1))
+        normalized, new_database = normalize_query(query, database)
+        assert len(normalized.atoms) == 1
+        merged = new_database.relation(normalized.atoms[0].relation)
+        assert len(merged) == 1  # only (x=1, y=2) satisfies both
+
+    def test_repeated_variables_rejected(self):
+        query = ConjunctiveQuery([Atom("R", ["x", "x"])])
+        with pytest.raises(ValueError):
+            normalize_query(query, Database())
+
+    def test_normalization_preserves_answers(self):
+        from repro.cq.homomorphism import enumerate_answers
+
+        query = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("R", ["y", "z"])])
+        database = Database()
+        for row in [(1, 2), (2, 3), (3, 1)]:
+            database.add_fact("R", row)
+        normalized, new_database = normalize_query(query, database)
+        assert enumerate_answers(query, database) == enumerate_answers(normalized, new_database)
+
+
+class TestSingleOperationReversal:
+    def test_reverse_vertex_deletion(self):
+        source = Hypergraph(edges=[{"a", "b", "v"}, {"b", "c"}])
+        sequence = DilutionSequence([DeleteVertex("v")])
+        target = sequence.apply(source)
+        query = cqgen.query_from_hypergraph(target)
+        database = cqgen.planted_database(query, 3, 5, seed=1)
+        result = reduce_along_dilution(query, database, source, sequence)
+        assert result.query.hypergraph().edges == source.edges
+        assert verify_answer_preservation(result)
+        assert verify_parsimony(result)
+
+    def test_reverse_merge(self):
+        source = Hypergraph(edges=[{"a", "v"}, {"v", "b"}, {"b", "c"}])
+        sequence = DilutionSequence([MergeOnVertex("v")])
+        target = sequence.apply(source)
+        query = cqgen.query_from_hypergraph(target)
+        database = cqgen.planted_database(query, 3, 6, seed=2)
+        result = reduce_along_dilution(query, database, source, sequence)
+        assert result.query.hypergraph().edges == source.edges
+        assert verify_answer_preservation(result)
+        assert verify_parsimony(result)
+
+    def test_reverse_subedge_deletion(self):
+        source = Hypergraph(edges=[{"a", "b"}, {"a", "b", "c"}, {"c", "d"}])
+        sequence = DilutionSequence([DeleteSubedge({"a", "b"})])
+        target = sequence.apply(source)
+        query = cqgen.query_from_hypergraph(target)
+        database = cqgen.planted_database(query, 3, 6, seed=3)
+        result = reduce_along_dilution(query, database, source, sequence)
+        assert result.query.hypergraph().edges == source.edges
+        assert verify_answer_preservation(result)
+        assert verify_parsimony(result)
+
+    def test_wrong_sequence_rejected(self):
+        source = generators.jigsaw(2, 2)
+        query = cqgen.query_from_hypergraph(generators.hypercycle(3))
+        database = cqgen.planted_database(query, 3, 4, seed=0)
+        with pytest.raises(ValueError):
+            reduce_along_dilution(query, database, source, DilutionSequence())
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("satisfiable", [True, False])
+    def test_thickened_jigsaw_reduction(self, satisfiable):
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        diluted = sequence.apply(source)
+        query, database = make_instance(diluted, seed=5, satisfiable=satisfiable)
+        result = reduce_along_dilution(query, database, source, sequence)
+        assert result.query.hypergraph().edges == source.edges
+        assert verify_answer_preservation(result)
+        assert verify_parsimony(result)
+        assert size_bound_holds(result, source.degree())
+
+    def test_reduction_along_lemma36_sequence(self):
+        from repro.hypergraphs import reduction_dilution_sequence
+
+        source = Hypergraph(
+            vertices=["isolated"],
+            edges=[{"a", "b"}, {"a", "b", "c"}, {"c", "d", "e"}],
+        )
+        sequence = reduction_dilution_sequence(source)
+        reduced = sequence.apply(source)
+        query = cqgen.query_from_hypergraph(reduced)
+        database = cqgen.planted_database(query, 3, 5, seed=8)
+        result = reduce_along_dilution(query, database, source, sequence)
+        assert verify_answer_preservation(result)
+        assert verify_parsimony(result)
+
+    def test_blow_up_and_steps_recorded(self):
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        diluted = sequence.apply(source)
+        query, database = make_instance(diluted, seed=4)
+        result = reduce_along_dilution(query, database, source, sequence)
+        assert len(result.steps) == len(sequence)
+        assert result.blow_up >= 1.0
+        assert all(step.database_size > 0 for step in result.steps)

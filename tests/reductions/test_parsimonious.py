@@ -1,0 +1,44 @@
+"""Tests for the counting (parsimonious) side of the reduction."""
+
+from repro.cq import count_answers, decomposition_count_answers
+from repro.cq import generators as cqgen
+from repro.dilutions import DilutionSequence, MergeOnVertex, find_dilution_sequence
+from repro.hypergraphs import Hypergraph, generators
+from repro.reductions import counting_reduction
+from repro.reductions.parsimonious import verify_parsimony
+
+
+class TestCountingReduction:
+    def test_counts_preserved_on_colouring_instance(self):
+        # The cycle query with a proper-colouring database has a known count;
+        # the reduction to a merged-vertex source must preserve it exactly.
+        source = Hypergraph(edges=[{"x0", "v"}, {"v", "x1"}, {"x1", "x2"}, {"x2", "x3"}, {"x3", "x0"}])
+        sequence = DilutionSequence([MergeOnVertex("v")])
+        diluted = sequence.apply(source)
+        query = cqgen.query_from_hypergraph(diluted)
+        database = cqgen.grid_constraint_database(query, colours=3)
+        expected = count_answers(query, database)
+        result = counting_reduction(query, database, source, sequence)
+        assert count_answers(result.query, result.database) == expected
+
+    def test_parsimony_on_random_instances(self):
+        source = generators.thickened_jigsaw(2, 2)
+        target = generators.jigsaw(2, 2)
+        sequence = find_dilution_sequence(source, target, max_nodes=100_000)
+        diluted = sequence.apply(source)
+        for seed in range(3):
+            query = cqgen.query_from_hypergraph(diluted)
+            database = cqgen.planted_database(query, 3, 5, seed=seed)
+            result = counting_reduction(query, database, source, sequence)
+            assert verify_parsimony(result)
+
+    def test_reduced_instance_counts_match_decomposition_counting(self):
+        source = Hypergraph(edges=[{"a", "v"}, {"v", "b"}, {"b", "c"}, {"c", "a"}])
+        sequence = DilutionSequence([MergeOnVertex("v")])
+        diluted = sequence.apply(source)
+        query = cqgen.query_from_hypergraph(diluted)
+        database = cqgen.grid_constraint_database(query, colours=3)
+        result = counting_reduction(query, database, source, sequence)
+        assert decomposition_count_answers(result.query, result.database) == count_answers(
+            query, database
+        )

@@ -1,0 +1,78 @@
+"""Tests for the constructive Lemma 4.4."""
+
+import pytest
+
+from repro.hypergraphs import dual_hypergraph, generators
+from repro.hypergraphs.graphs import cycle_graph, grid_graph
+from repro.hypergraphs.isomorphism import are_isomorphic
+from repro.minors.grid_minor import find_grid_minor
+from repro.minors.minor_map import MinorMap
+from repro.structure import dilution_from_dual_minor
+from repro.structure.lemma44 import pattern_dual
+
+
+class TestLemma44:
+    def test_thickened_jigsaw_to_jigsaw(self):
+        hypergraph = generators.thickened_jigsaw(2, 2)
+        dual = dual_hypergraph(hypergraph)
+        pattern = grid_graph(2, 2)
+        minor = find_grid_minor(dual, 2, 2)
+        result = dilution_from_dual_minor(hypergraph, pattern, minor)
+        assert are_isomorphic(result.result, generators.jigsaw(2, 2))
+        assert result.sequence.apply(hypergraph) == result.result
+
+    def test_planted_minor_route(self):
+        hypergraph, minor = __import__(
+            "repro.jigsaws", fromlist=["planted_thickened_jigsaw_minor"]
+        ).planted_thickened_jigsaw_minor(3, 3)
+        pattern = grid_graph(3, 3)
+        result = dilution_from_dual_minor(hypergraph, pattern, minor)
+        assert are_isomorphic(result.result, generators.jigsaw(3, 3))
+
+    def test_cycle_pattern(self):
+        # The dual of a hyper-cycle is (essentially) a cycle graph; the cycle
+        # pattern maps into it with singleton branch sets.
+        hypergraph = generators.hypercycle(5)
+        dual = dual_hypergraph(hypergraph)
+        pattern = cycle_graph(5)
+        # Build an explicit minor map: edges of the hypercycle as branch sets.
+        edges = sorted(hypergraph.edges, key=lambda e: sorted(map(repr, e)))
+        ordered = [edges[0]]
+        while len(ordered) < len(edges):
+            last = ordered[-1]
+            nxt = next(
+                e for e in edges if e not in ordered and (e & last)
+            )
+            ordered.append(nxt)
+        mapping = {i: {ordered[i]} for i in range(5)}
+        minor = MinorMap(pattern, dual, mapping)
+        assert minor.is_valid()
+        result = dilution_from_dual_minor(hypergraph, pattern, minor)
+        assert are_isomorphic(result.result, pattern_dual(pattern))
+
+    def test_degree_bound_enforced(self):
+        with pytest.raises(ValueError):
+            dilution_from_dual_minor(
+                generators.star_hypergraph(3),
+                grid_graph(2, 2),
+                MinorMap(grid_graph(2, 2), generators.star_hypergraph(3), {}),
+            )
+
+    def test_result_edges_match_connector_sets(self):
+        hypergraph = generators.thickened_jigsaw(2, 2)
+        dual = dual_hypergraph(hypergraph)
+        pattern = grid_graph(2, 2)
+        minor = find_grid_minor(dual, 2, 2)
+        result = dilution_from_dual_minor(hypergraph, pattern, minor)
+        for vertex, expected_edge in result.edge_of_pattern_vertex.items():
+            assert expected_edge in result.result.edges
+
+    def test_sequence_is_valid_dilution(self):
+        hypergraph = generators.thickened_jigsaw(2, 3)
+        dual = dual_hypergraph(hypergraph)
+        pattern = grid_graph(2, 3)
+        minor = find_grid_minor(dual, 2, 3)
+        result = dilution_from_dual_minor(hypergraph, pattern, minor)
+        assert result.sequence.is_applicable_to(hypergraph)
+        checks = result.sequence.check_monotonicity(hypergraph)
+        assert checks["degree_monotone"] and checks["size_monotone"]

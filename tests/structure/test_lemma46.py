@@ -1,0 +1,47 @@
+"""Tests for the constructive Lemma 4.6 (ghw(H) <= tw(H^d) + 1)."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph, dual_hypergraph, generators, reduce_hypergraph
+from repro.structure import ghd_from_dual_tree_decomposition, lemma46_bound
+from repro.widths import TreeDecomposition, treewidth
+
+
+class TestLemma46:
+    @pytest.mark.parametrize(
+        "hypergraph_factory",
+        [
+            lambda: generators.jigsaw(2, 2),
+            lambda: generators.jigsaw(3, 3),
+            lambda: generators.hypercycle(6),
+            lambda: generators.thickened_jigsaw(2, 3),
+            lambda: generators.random_degree2_hypergraph(10, 0.4, seed=3),
+        ],
+    )
+    def test_inequality_holds(self, hypergraph_factory):
+        hypergraph = hypergraph_factory()
+        outcome = lemma46_bound(hypergraph)
+        assert outcome["ghd_valid"]
+        assert outcome["inequality_holds"]
+
+    def test_explicit_dual_decomposition(self, jigsaw33):
+        dual = dual_hypergraph(jigsaw33)
+        dual_td = treewidth(dual).decomposition
+        ghd = ghd_from_dual_tree_decomposition(jigsaw33, dual_td)
+        assert ghd.is_valid_for(jigsaw33)
+        assert ghd.width() <= dual_td.width() + 1
+
+    def test_invalid_dual_decomposition_rejected(self, jigsaw22):
+        bogus = TreeDecomposition({0: set()}, [])
+        with pytest.raises(ValueError):
+            ghd_from_dual_tree_decomposition(jigsaw22, bogus)
+
+    def test_empty_hypergraph(self):
+        outcome = lemma46_bound(Hypergraph())
+        assert outcome["inequality_holds"]
+
+    def test_reduction_applied_first(self):
+        h = Hypergraph(vertices=["isolated"], edges=[{"a", "b"}, {"b", "c"}])
+        outcome = lemma46_bound(h)
+        assert outcome["ghd_valid"]
+        assert outcome["inequality_holds"]

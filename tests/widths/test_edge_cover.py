@@ -1,0 +1,80 @@
+"""Tests for integral and fractional edge covers."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph, generators
+from repro.widths import (
+    fractional_edge_cover_number,
+    greedy_edge_cover,
+    integral_edge_cover,
+    integral_edge_cover_number,
+)
+from repro.widths.edge_cover import UncoverableError
+
+
+@pytest.fixture
+def cycle5_hypergraph(cycle5):
+    return Hypergraph(cycle5.vertices, cycle5.edges)
+
+
+class TestIntegralCover:
+    def test_cover_of_empty_set(self, cycle5_hypergraph):
+        assert integral_edge_cover(cycle5_hypergraph, []) == []
+
+    def test_cycle_cover_number(self, cycle5_hypergraph):
+        # Covering all 5 vertices of C5 with edges needs 3 edges.
+        assert integral_edge_cover_number(cycle5_hypergraph, cycle5_hypergraph.vertices) == 3
+
+    def test_single_big_edge_cover(self):
+        h = Hypergraph(edges=[{"a", "b", "c", "d"}, {"a", "b"}, {"c", "d"}])
+        assert integral_edge_cover_number(h, {"a", "b", "c", "d"}) == 1
+
+    def test_cover_is_actually_a_cover(self, jigsaw33):
+        target = set(list(jigsaw33.vertices)[:7])
+        cover = integral_edge_cover(jigsaw33, target)
+        covered = set()
+        for edge in cover:
+            covered.update(edge)
+        assert target <= covered
+
+    def test_cover_edges_come_from_hypergraph(self, jigsaw33):
+        cover = integral_edge_cover(jigsaw33, jigsaw33.vertices)
+        assert all(edge in jigsaw33.edges for edge in cover)
+
+    def test_greedy_cover_at_least_optimal(self, cycle5_hypergraph):
+        greedy = greedy_edge_cover(cycle5_hypergraph, cycle5_hypergraph.vertices)
+        optimal = integral_edge_cover(cycle5_hypergraph, cycle5_hypergraph.vertices)
+        assert len(greedy) >= len(optimal)
+
+    def test_uncoverable_vertex_raises(self):
+        h = Hypergraph(vertices=["lonely"], edges=[{"a", "b"}])
+        with pytest.raises(UncoverableError):
+            integral_edge_cover(h, {"lonely"})
+
+    def test_unknown_vertex_raises(self):
+        h = Hypergraph(edges=[{"a", "b"}])
+        with pytest.raises(KeyError):
+            integral_edge_cover(h, {"zzz"})
+
+
+class TestFractionalCover:
+    def test_fractional_at_most_integral(self, cycle5_hypergraph):
+        vertices = cycle5_hypergraph.vertices
+        fractional = fractional_edge_cover_number(cycle5_hypergraph, vertices)
+        integral = integral_edge_cover_number(cycle5_hypergraph, vertices)
+        assert fractional <= integral + 1e-9
+
+    def test_odd_cycle_fractional_cover(self, cycle5_hypergraph):
+        value = fractional_edge_cover_number(cycle5_hypergraph, cycle5_hypergraph.vertices)
+        assert value == pytest.approx(2.5, abs=1e-6)
+
+    def test_triangle_fractional_cover(self, triangle):
+        value = fractional_edge_cover_number(triangle, triangle.vertices)
+        assert value == pytest.approx(1.5, abs=1e-6)
+
+    def test_empty_target(self, triangle):
+        assert fractional_edge_cover_number(triangle, []) == 0.0
+
+    def test_jigsaw_fractional_cover_bounded_by_edges(self, jigsaw22):
+        value = fractional_edge_cover_number(jigsaw22, jigsaw22.vertices)
+        assert 1.0 <= value <= jigsaw22.num_edges

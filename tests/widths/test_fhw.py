@@ -1,0 +1,37 @@
+"""Tests for fractional hypertree width bounds."""
+
+import pytest
+
+from repro.hypergraphs import generators
+from repro.widths.fhw import fhw_ghw_gap, fhw_of_decomposition, fhw_upper_bound
+from repro.widths.ghw import ghw_upper_bound
+
+
+class TestFHW:
+    def test_acyclic_fhw_is_one(self, small_acyclic):
+        result = fhw_upper_bound(small_acyclic)
+        assert result.upper == pytest.approx(1.0)
+
+    def test_fhw_never_exceeds_ghw_on_same_decomposition(self, jigsaw33):
+        fractional, integral = fhw_ghw_gap(jigsaw33)
+        assert fractional <= integral + 1e-9
+
+    def test_fhw_of_explicit_decomposition(self, triangle):
+        ghd = ghw_upper_bound(triangle).decomposition
+        value = fhw_of_decomposition(triangle, ghd.decomposition)
+        assert 1.0 <= value <= 2.0
+
+    def test_fhw_lower_bound_is_one(self, jigsaw22):
+        result = fhw_upper_bound(jigsaw22)
+        assert result.lower == pytest.approx(1.0)
+        assert result.upper >= result.lower
+
+    def test_empty_hypergraph(self):
+        from repro.hypergraphs import Hypergraph
+
+        assert fhw_upper_bound(Hypergraph()).upper == 0.0
+
+    def test_bounded_degree_gap_is_small_for_cycles(self):
+        h = generators.hypercycle(7)
+        fractional, integral = fhw_ghw_gap(h)
+        assert integral - fractional <= 1.0

@@ -1,0 +1,125 @@
+"""Tests for generalised hypertree width bounds and GHD constructions."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph, generators
+from repro.widths import (
+    GeneralizedHypertreeDecomposition,
+    ghd_from_tree_decomposition,
+    ghd_via_dual_treewidth,
+    ghw,
+    ghw_lower_bound,
+    ghw_upper_bound,
+    join_tree_decomposition,
+    treewidth,
+)
+from repro.widths.ghd import trivial_ghd
+from repro.widths.tree_decomposition import TreeDecomposition
+
+
+class TestGHDValidation:
+    def test_trivial_ghd_is_valid(self, jigsaw22):
+        assert trivial_ghd(jigsaw22).is_valid_for(jigsaw22)
+
+    def test_width_counts_cover_edges(self, jigsaw22):
+        ghd = trivial_ghd(jigsaw22)
+        assert ghd.width() == jigsaw22.num_edges
+
+    def test_missing_cover_raises(self):
+        decomposition = TreeDecomposition({0: {"a", "b"}}, [])
+        with pytest.raises(ValueError):
+            GeneralizedHypertreeDecomposition(decomposition, {})
+
+    def test_invalid_when_bag_not_covered(self):
+        h = Hypergraph(edges=[{"a", "b"}, {"b", "c"}])
+        decomposition = TreeDecomposition({0: {"a", "b", "c"}}, [])
+        ghd = GeneralizedHypertreeDecomposition(decomposition, {0: [frozenset({"a", "b"})]})
+        assert not ghd.is_valid_for(h)
+
+    def test_invalid_when_cover_uses_foreign_edge(self):
+        h = Hypergraph(edges=[{"a", "b"}])
+        decomposition = TreeDecomposition({0: {"a", "b"}}, [])
+        ghd = GeneralizedHypertreeDecomposition(decomposition, {0: [frozenset({"a", "b", "c"})]})
+        assert not ghd.is_valid_for(h)
+
+
+class TestGHWKnownValues:
+    def test_acyclic_hypergraph_has_ghw_one(self, small_acyclic):
+        result = ghw(small_acyclic)
+        assert result.exact and result.value == 1
+
+    def test_cycle_has_ghw_two(self):
+        h = generators.hypercycle(6)
+        result = ghw(h)
+        assert result.exact and result.value == 2
+
+    def test_triangle_has_ghw_two(self, triangle):
+        result = ghw(triangle)
+        assert result.exact and result.value == 2
+
+    @pytest.mark.parametrize("n", [2, 3])
+    def test_jigsaw_lower_bound_matches_dimension(self, n):
+        result = ghw(generators.jigsaw(n, n), separator_budget=n)
+        assert result.lower >= n
+        assert result.upper <= n + 1
+
+    def test_jigsaw_upper_via_lemma46(self, jigsaw33):
+        ghd = ghd_via_dual_treewidth(jigsaw33)
+        assert ghd.is_valid_for(jigsaw33)
+        assert ghd.width() <= treewidth(generators.jigsaw(3, 3)).upper + 1
+
+    def test_empty_hypergraph(self):
+        result = ghw(Hypergraph())
+        assert result.upper == 0
+
+    def test_thickened_jigsaw_bounds(self):
+        h = generators.thickened_jigsaw(3, 3)
+        result = ghw(h, separator_budget=2)
+        assert result.lower >= 2
+        assert result.upper >= result.lower
+
+
+class TestGHWCertificates:
+    def test_upper_bound_comes_with_valid_ghd(self, jigsaw33):
+        result = ghw_upper_bound(jigsaw33)
+        assert result.decomposition is not None
+        assert result.decomposition.is_valid_for(jigsaw33)
+        assert result.decomposition.width() == result.upper
+
+    def test_upper_bound_for_acyclic_is_join_tree(self, small_acyclic):
+        result = ghw_upper_bound(small_acyclic)
+        assert result.upper == 1
+        assert result.decomposition.width() == 1
+
+    def test_ghd_from_tree_decomposition_valid(self, triangle):
+        td = treewidth(triangle).decomposition
+        ghd = ghd_from_tree_decomposition(triangle, td)
+        assert ghd.is_valid_for(triangle)
+
+    def test_lower_bound_monotone_in_budget(self, jigsaw33):
+        weak = ghw_lower_bound(jigsaw33, separator_budget=1)
+        strong = ghw_lower_bound(jigsaw33, separator_budget=2)
+        assert strong >= weak
+
+    def test_lower_never_exceeds_upper(self):
+        for seed in range(3):
+            h = generators.random_degree2_hypergraph(9, 0.4, seed=seed)
+            if not h.edges:
+                continue
+            result = ghw(h, separator_budget=2)
+            assert result.lower <= result.upper
+
+    def test_join_tree_decomposition_none_for_cyclic(self, triangle):
+        assert join_tree_decomposition(triangle) is None
+
+    def test_join_tree_decomposition_width_one(self, small_acyclic):
+        ghd = join_tree_decomposition(small_acyclic)
+        assert ghd is not None
+        assert ghd.width() == 1
+        assert ghd.is_valid_for(small_acyclic)
+
+    def test_value_raises_when_inexact(self):
+        result = ghw(generators.jigsaw(4, 4), separator_budget=2)
+        if not result.exact:
+            with pytest.raises(ValueError):
+                _ = result.value

@@ -1,0 +1,57 @@
+"""Tests for balanced edge separators (the jigsaw ghw lower bound)."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph, generators
+from repro.widths.separators import (
+    balanced_edge_separator,
+    component_edge_weight,
+    is_balanced_separator,
+    minimum_balanced_separator_size,
+    separator_components,
+    separator_ghw_lower_bound,
+)
+
+
+class TestSeparatorMachinery:
+    def test_components_after_removal(self):
+        h = generators.hyperpath(4)
+        middle = sorted(h.edges, key=lambda e: sorted(map(repr, e)))[1]
+        components = separator_components(h, [middle])
+        assert len(components) >= 2
+
+    def test_component_edge_weight(self):
+        h = generators.hyperpath(3)
+        component = frozenset({("c", 0)})
+        assert component_edge_weight(h, component) == 1
+
+    def test_empty_separator_balanced_for_disconnected(self):
+        h = generators.disjoint_union([generators.hyperpath(2), generators.hyperpath(2)])
+        assert is_balanced_separator(h, [])
+
+    def test_path_needs_one_edge(self):
+        h = generators.hyperpath(5)
+        assert minimum_balanced_separator_size(h) == 1
+
+    def test_jigsaw_33_needs_three_edges(self, jigsaw33):
+        size = minimum_balanced_separator_size(jigsaw33, max_edges=3)
+        assert size == 3
+
+    def test_jigsaw_22_needs_two_edges(self, jigsaw22):
+        assert minimum_balanced_separator_size(jigsaw22, max_edges=2) == 2
+
+    def test_budget_exhausted_returns_none(self, jigsaw33):
+        assert minimum_balanced_separator_size(jigsaw33, max_edges=2) is None
+
+    def test_lower_bound_from_budget_exhaustion(self, jigsaw33):
+        assert separator_ghw_lower_bound(jigsaw33, max_edges=2) == 3
+
+    def test_separator_witness_is_balanced(self, jigsaw33):
+        separator = balanced_edge_separator(jigsaw33, max_edges=3)
+        assert separator is not None
+        assert is_balanced_separator(jigsaw33, separator)
+        assert all(edge in jigsaw33.edges for edge in separator)
+
+    def test_lower_bound_at_least_one_for_nonempty(self):
+        h = Hypergraph(edges=[{"a", "b"}])
+        assert separator_ghw_lower_bound(h, max_edges=1) >= 1

@@ -1,0 +1,83 @@
+"""Tests for tree decompositions and f-widths."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph
+from repro.widths import TreeDecomposition
+from repro.widths.tree_decomposition import single_bag_decomposition
+
+
+@pytest.fixture
+def path_hypergraph():
+    return Hypergraph(edges=[{"a", "b"}, {"b", "c"}, {"c", "d"}])
+
+
+@pytest.fixture
+def path_decomposition():
+    return TreeDecomposition(
+        {0: {"a", "b"}, 1: {"b", "c"}, 2: {"c", "d"}},
+        [(0, 1), (1, 2)],
+    )
+
+
+class TestValidity:
+    def test_valid_path_decomposition(self, path_hypergraph, path_decomposition):
+        assert path_decomposition.is_valid_for(path_hypergraph)
+
+    def test_missing_edge_coverage(self, path_hypergraph):
+        decomposition = TreeDecomposition({0: {"a", "b"}, 1: {"c", "d"}}, [(0, 1)])
+        assert not decomposition.covers_edges(path_hypergraph)
+        assert not decomposition.is_valid_for(path_hypergraph)
+
+    def test_broken_connectivity(self, path_hypergraph):
+        decomposition = TreeDecomposition(
+            {0: {"a", "b"}, 1: {"b", "c"}, 2: {"c", "d"}, 3: {"b"}},
+            [(0, 1), (1, 2), (2, 3)],
+        )
+        # 'b' occurs in bags 0, 1 and 3 but not in 2: not connected.
+        assert not decomposition.has_connected_occurrences(path_hypergraph)
+
+    def test_not_a_tree_cycle(self):
+        decomposition = TreeDecomposition(
+            {0: {"a"}, 1: {"a"}, 2: {"a"}},
+            [(0, 1), (1, 2), (2, 0)],
+        )
+        assert not decomposition.is_tree()
+
+    def test_not_a_tree_disconnected(self):
+        decomposition = TreeDecomposition({0: {"a"}, 1: {"b"}}, [])
+        assert not decomposition.is_tree()
+
+    def test_unknown_tree_edge_node(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition({0: {"a"}}, [(0, 1)])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            TreeDecomposition({0: {"a"}}, [(0, 0)])
+
+    def test_bag_outside_vertices(self, path_hypergraph):
+        decomposition = TreeDecomposition({0: {"a", "b", "zzz"}}, [])
+        assert not decomposition.is_valid_for(path_hypergraph)
+
+
+class TestWidths:
+    def test_width_of_path_decomposition(self, path_decomposition):
+        assert path_decomposition.width() == 1
+
+    def test_f_width_custom_function(self, path_decomposition):
+        assert path_decomposition.f_width(len) == 2
+
+    def test_single_bag_decomposition(self, path_hypergraph):
+        decomposition = single_bag_decomposition(path_hypergraph)
+        assert decomposition.is_valid_for(path_hypergraph)
+        assert decomposition.width() == path_hypergraph.num_vertices - 1
+
+    def test_empty_decomposition_width(self):
+        assert TreeDecomposition({}, []).width() == 0
+
+    def test_all_vertices(self, path_decomposition):
+        assert path_decomposition.all_vertices() == frozenset({"a", "b", "c", "d"})
+
+    def test_neighbours(self, path_decomposition):
+        assert path_decomposition.neighbours(1) == [0, 2]

@@ -1,0 +1,95 @@
+"""Tests for treewidth bounds and exact computation."""
+
+import pytest
+
+from repro.hypergraphs import Hypergraph
+from repro.hypergraphs.graphs import complete_graph, cycle_graph, grid_graph, path_graph
+from repro.widths import (
+    tree_decomposition_from_elimination_order,
+    treewidth,
+    treewidth_exact,
+    treewidth_lower_bound,
+    treewidth_upper_bound,
+)
+
+
+class TestKnownValues:
+    def test_path_has_treewidth_one(self):
+        result = treewidth(path_graph(6))
+        assert result.exact and result.value == 1
+
+    def test_cycle_has_treewidth_two(self):
+        result = treewidth(cycle_graph(6))
+        assert result.exact and result.value == 2
+
+    def test_clique_has_treewidth_n_minus_one(self):
+        result = treewidth(complete_graph(5))
+        assert result.exact and result.value == 4
+
+    def test_tree_has_treewidth_one(self):
+        star = Hypergraph(edges=[{0, i} for i in range(1, 6)])
+        result = treewidth(star)
+        assert result.exact and result.value == 1
+
+    @pytest.mark.parametrize("n,expected", [(2, 2), (3, 3)])
+    def test_square_grid_treewidth(self, n, expected):
+        result = treewidth(grid_graph(n, n))
+        assert result.exact and result.value == expected
+
+    def test_rectangular_grid(self):
+        result = treewidth(grid_graph(2, 5))
+        assert result.exact and result.value == 2
+
+    def test_empty_graph(self):
+        result = treewidth(Hypergraph())
+        assert result.upper == 0
+
+    def test_hypergraph_treewidth_is_primal_treewidth(self):
+        triangle_edge = Hypergraph(edges=[{"a", "b", "c"}])
+        result = treewidth(triangle_edge)
+        assert result.exact and result.value == 2
+
+
+class TestBounds:
+    def test_lower_bound_never_exceeds_upper(self):
+        for n in (4, 6, 8):
+            g = grid_graph(2, n)
+            assert treewidth_lower_bound(g) <= treewidth_upper_bound(g).upper
+
+    def test_degeneracy_of_grid(self):
+        assert treewidth_lower_bound(grid_graph(4, 4)) == 2
+
+    def test_upper_bound_decomposition_is_valid(self):
+        g = grid_graph(3, 4)
+        result = treewidth_upper_bound(g)
+        assert result.decomposition.is_valid_for(g)
+
+    def test_heuristic_on_larger_graph(self):
+        g = grid_graph(4, 5)  # 20 vertices: heuristic path
+        result = treewidth(g)
+        assert result.lower <= 4 <= result.upper
+        assert result.decomposition.is_valid_for(g)
+
+    def test_exact_raises_above_limit(self):
+        with pytest.raises(ValueError):
+            treewidth_exact(grid_graph(5, 5), max_vertices=10)
+
+    def test_value_raises_when_not_exact(self):
+        result = treewidth(grid_graph(4, 5))
+        if not result.exact:
+            with pytest.raises(ValueError):
+                _ = result.value
+
+
+class TestEliminationOrderDecomposition:
+    def test_decomposition_from_arbitrary_order_is_valid(self):
+        g = cycle_graph(6)
+        order = sorted(g.vertices)
+        decomposition = tree_decomposition_from_elimination_order(g, order)
+        assert decomposition.is_valid_for(g)
+
+    def test_disconnected_graph_decomposition(self):
+        g = Hypergraph(edges=[{0, 1}, {2, 3}])
+        result = treewidth(g)
+        assert result.decomposition.is_valid_for(g)
+        assert result.value == 1

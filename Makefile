@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-baseline
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Perf-regression gate: re-run the engine benchmarks and fail on >2x slowdown
+# against benchmarks/BENCH_engine.json.
+bench:
+	$(PYTHON) -m pytest -q -m bench benchmarks/check_regression.py
+
+# Refresh the recorded baseline (only after verifying a genuine speedup).
+bench-baseline:
+	$(PYTHON) benchmarks/bench_engine_scaling.py

@@ -1,0 +1,90 @@
+"""Perf regression gate: compare a fresh engine-benchmark run to the baseline.
+
+Re-runs the workloads of :mod:`bench_engine_scaling` (indexed engine only —
+the naive solver's numbers are historical context, not a gate) and compares
+every timing against ``benchmarks/BENCH_engine.json``.  A benchmark point
+fails when it is more than ``THRESHOLD``x slower than the recorded baseline;
+points faster than the baseline always pass (refresh the baseline with
+``python benchmarks/bench_engine_scaling.py`` after a genuine speedup so the
+gate keeps tracking the best known numbers).
+
+Timings below ``MIN_SECONDS`` are ignored for gating: at sub-10ms scale the
+noise floor of a shared machine would dominate the signal.
+
+Run it as a script (``make bench``) or through pytest::
+
+    python benchmarks/check_regression.py
+    python -m pytest -m bench benchmarks/check_regression.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+
+import pytest
+
+from bench_engine_scaling import BASELINE_PATH, run_benchmarks
+
+THRESHOLD = 2.0
+MIN_SECONDS = 0.01
+
+
+def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
+    """Human-readable failure messages for every gated regression."""
+    failures = []
+    for name, baseline_points in baseline.get("benchmarks", {}).items():
+        current_points = {
+            p["scale"]: p for p in current["benchmarks"].get(name, [])
+        }
+        for point in baseline_points:
+            scale = point["scale"]
+            if scale not in current_points:
+                failures.append(f"{name}/{scale}: missing from current run")
+                continue
+            base_seconds = point["indexed_seconds"]
+            now_seconds = current_points[scale]["indexed_seconds"]
+            if max(base_seconds, now_seconds) < MIN_SECONDS:
+                continue
+            if now_seconds > base_seconds * THRESHOLD:
+                failures.append(
+                    f"{name}/{scale}: {now_seconds:.4f}s vs baseline "
+                    f"{base_seconds:.4f}s ({now_seconds / base_seconds:.1f}x > "
+                    f"{THRESHOLD}x threshold)"
+                )
+    return failures
+
+
+def run_gate() -> list[str]:
+    if not BASELINE_PATH.exists():
+        raise FileNotFoundError(
+            f"{BASELINE_PATH} not found; create it with "
+            "`python benchmarks/bench_engine_scaling.py`"
+        )
+    baseline = json.loads(BASELINE_PATH.read_text())
+    current = run_benchmarks(include_naive=False)
+    return compare_to_baseline(current, baseline)
+
+
+@pytest.mark.bench
+def test_engine_perf_no_regression():
+    failures = run_gate()
+    assert not failures, "perf regressions vs BENCH_engine.json:\n" + "\n".join(failures)
+
+
+def main() -> int:
+    failures = run_gate()
+    if failures:
+        print("PERF REGRESSION (vs benchmarks/BENCH_engine.json):")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("engine benchmarks within 2x of BENCH_engine.json baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

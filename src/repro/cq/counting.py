@@ -25,18 +25,25 @@ Node = Hashable
 
 def count_answers_via_join_tree(tree: JoinTree) -> int:
     """The number of assignments to *all* join-tree variables consistent with
-    every node relation (equals ``|q(D)|`` for a full CQ)."""
+    every node relation (equals ``|q(D)|`` for a full CQ).
+
+    For every (parent, child) edge the child weights are grouped by the shared
+    key *once* (``_weights_by_key``), so scoring a parent row is a dict lookup
+    per child instead of a scan over the whole child relation.
+    """
     weights: dict[Node, dict[tuple, int]] = {}
     order = tree.topological_order()
     for node in reversed(order):
         relation = tree.relations[node]
+        child_summaries = [
+            _weights_by_key(relation, tree.relations[child], weights[child])
+            for child in tree.children[node]
+        ]
         node_weights: dict[tuple, int] = {}
         for row in relation.rows:
             weight = 1
-            for child in tree.children[node]:
-                weight *= _compatible_weight(
-                    tree.relations[node], row, tree.relations[child], weights[child]
-                )
+            for parent_key_indexes, grouped in child_summaries:
+                weight *= grouped.get(tuple(row[i] for i in parent_key_indexes), 0)
                 if weight == 0:
                     break
             node_weights[row] = weight
@@ -44,23 +51,24 @@ def count_answers_via_join_tree(tree: JoinTree) -> int:
     return sum(weights[tree.root].values())
 
 
-def _compatible_weight(
+def _weights_by_key(
     parent_relation: NamedRelation,
-    parent_row: tuple,
     child_relation: NamedRelation,
     child_weights: dict[tuple, int],
-) -> int:
-    """Sum of child-row weights compatible with the parent row on shared columns."""
+) -> tuple[list[int], dict[tuple, int]]:
+    """Group the child-row weights by the shared-column key.
+
+    Returns the parent-side key positions plus ``key -> summed weight``, the
+    per-edge summary the DP probes once per parent row.
+    """
     shared = [c for c in parent_relation.columns if c in child_relation.columns]
-    parent_key = tuple(
-        parent_row[parent_relation.column_index(c)] for c in shared
-    )
-    total = 0
+    parent_key_indexes = [parent_relation.column_index(c) for c in shared]
     child_indexes = [child_relation.column_index(c) for c in shared]
+    grouped: dict[tuple, int] = {}
     for row, weight in child_weights.items():
-        if tuple(row[i] for i in child_indexes) == parent_key:
-            total += weight
-    return total
+        key = tuple(row[i] for i in child_indexes)
+        grouped[key] = grouped.get(key, 0) + weight
+    return parent_key_indexes, grouped
 
 
 def naive_count(tree: JoinTree) -> int:

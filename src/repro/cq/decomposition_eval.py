@@ -22,7 +22,7 @@ from collections.abc import Hashable
 
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.relational import NamedRelation, from_atom
+from repro.cq.relational import NamedRelation, from_atom, natural_join_all
 from repro.cq.yannakakis import JoinTree, yannakakis_boolean, yannakakis_full
 from repro.widths.ghd import GeneralizedHypertreeDecomposition
 from repro.widths.ghw import ghw_upper_bound
@@ -66,23 +66,32 @@ def build_bag_join_tree(
     """Materialise bag relations and arrange them along the decomposition tree."""
     edge_atom = _atom_for_edge(query)
     assignment = _assign_atoms_to_nodes(query, ghd)
+    # One atom may be materialised at several nodes (cover edge here, assigned
+    # atom there): build its named relation once and share it — the cached key
+    # indexes on the shared relation then serve every bag join that probes it.
+    materialised: dict = {}
+
+    def relation_for(atom) -> NamedRelation:
+        if atom not in materialised:
+            materialised[atom] = from_atom(atom, database)
+        return materialised[atom]
+
     bag_relations: dict[Node, NamedRelation] = {}
     for node, bag in ghd.bags.items():
-        pieces: list[NamedRelation] = []
+        atoms = []
         for cover_edge in sorted(ghd.covers[node], key=lambda e: sorted(map(repr, e))):
             atom = edge_atom.get(frozenset(cover_edge))
             if atom is not None:
-                pieces.append(from_atom(atom, database))
+                atoms.append(atom)
         for atom in assignment[node]:
-            pieces.append(from_atom(atom, database))
-        if not pieces:
+            if atom not in atoms:
+                atoms.append(atom)
+        if not atoms:
             bag_relations[node] = NamedRelation(tuple(sorted(bag, key=repr)), set())
             if not bag:
                 bag_relations[node] = NamedRelation((), {()})
             continue
-        joined = pieces[0]
-        for piece in pieces[1:]:
-            joined = joined.natural_join(piece)
+        joined = natural_join_all([relation_for(atom) for atom in atoms])
         keep = [c for c in joined.columns if c in bag]
         bag_relations[node] = joined.project(keep)
     parent = _root_tree(ghd)

@@ -1,4 +1,4 @@
-"""A small relational-algebra kernel over named columns.
+"""A zero-copy, hash-indexed relational-algebra kernel over named columns.
 
 The decomposition-guided evaluators (Yannakakis, GHD evaluation, counting)
 work on *named relations*: a :class:`NamedRelation` is a set of rows over an
@@ -6,6 +6,18 @@ ordered tuple of column names (query variables).  Joins and semijoins are
 hash-based, so a single join costs time proportional to the sizes of the
 inputs plus the output — which is what makes the Proposition 2.2 upper bound
 (polynomial-time BCQ for bounded ghw) come out in the experiments.
+
+Three engineering rules keep the constant factors down:
+
+* **cached column positions** — ``column_index`` is a dict lookup, never a
+  ``tuple.index`` scan;
+* **memoized key indexes** — the hash index a join or semijoin builds over a
+  key-column set is cached on the relation and reused by every later
+  operation over the same key (the Yannakakis passes hit the same parent
+  relation once per child); any mutation invalidates the caches;
+* **zero-copy results** — operations that cannot change the row set
+  (projection onto all columns, a semijoin that filters nothing, a rename)
+  return ``self`` or share the underlying row set instead of copying it.
 """
 
 from __future__ import annotations
@@ -14,23 +26,38 @@ from collections.abc import Hashable, Iterable, Sequence
 
 Value = Hashable
 
+_ALL_ROWS = object()  # sentinel index key for the trivial (no-column) key
+
 
 class NamedRelation:
     """An in-memory relation with named columns."""
 
-    __slots__ = ("columns", "rows")
+    __slots__ = ("columns", "rows", "_positions", "_indexes")
 
     def __init__(self, columns: Sequence[Hashable], rows: Iterable[tuple] = ()) -> None:
         self.columns: tuple = tuple(columns)
-        if len(set(self.columns)) != len(self.columns):
+        self._positions: dict = {c: i for i, c in enumerate(self.columns)}
+        if len(self._positions) != len(self.columns):
             raise ValueError(f"duplicate column names: {self.columns!r}")
         self.rows: set[tuple] = set()
+        self._indexes: dict = {}
         width = len(self.columns)
         for row in rows:
             row = tuple(row)
             if len(row) != width:
                 raise ValueError(f"row {row!r} does not match columns {self.columns!r}")
             self.rows.add(row)
+
+    @classmethod
+    def _trusted(cls, columns: tuple, rows: set) -> "NamedRelation":
+        """Internal constructor: adopt an already-validated row set without
+        re-checking widths (and without copying)."""
+        relation = object.__new__(cls)
+        relation.columns = columns
+        relation._positions = {c: i for i, c in enumerate(columns)}
+        relation.rows = rows
+        relation._indexes = {}
+        return relation
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -45,76 +72,142 @@ class NamedRelation:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, NamedRelation):
             return NotImplemented
+        if self.columns == other.columns:
+            return self.rows == other.rows
         if set(self.columns) != set(other.columns):
             return False
-        return self.project(sorted(self.columns, key=repr)).rows == other.project(
-            sorted(other.columns, key=repr)
-        ).rows
+        if len(self.rows) != len(other.rows):
+            return False
+        # Column-permutation index mapping: remap each row of ``other`` into
+        # this relation's column order and test membership — no materialised
+        # projections.
+        mapping = tuple(other._positions[c] for c in self.columns)
+        return all(
+            tuple(row[i] for i in mapping) in self.rows for row in other.rows
+        )
 
     def __repr__(self) -> str:
         return f"NamedRelation(columns={self.columns!r}, rows={len(self.rows)})"
 
     def column_index(self, column: Hashable) -> int:
-        return self.columns.index(column)
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise ValueError(f"{column!r} is not a column of {self.columns!r}") from None
+
+    # ------------------------------------------------------------------
+    # Key indexes (memoized)
+    # ------------------------------------------------------------------
+    def key_index(self, columns: Sequence[Hashable]) -> dict:
+        """The hash index ``key tuple -> tuple of rows`` over the given key
+        columns, built once and cached until the relation is mutated."""
+        positions = tuple(self._positions[c] for c in columns)
+        cache_key = positions if positions else _ALL_ROWS
+        index = self._indexes.get(cache_key)
+        if index is None:
+            index = {}
+            for row in self.rows:
+                index.setdefault(tuple(row[i] for i in positions), []).append(row)
+            self._indexes[cache_key] = index
+        return index
+
+    def invalidate_indexes(self) -> None:
+        """Drop the memoized key indexes (call after any direct mutation of
+        ``rows``; the in-place operations below do it automatically)."""
+        self._indexes.clear()
+
+    @property
+    def cached_index_keys(self) -> tuple:
+        """The key-column position tuples currently memoized (for tests)."""
+        return tuple(k for k in self._indexes if k is not _ALL_ROWS)
 
     # ------------------------------------------------------------------
     def project(self, columns: Sequence[Hashable]) -> "NamedRelation":
         """Projection onto the given columns (duplicates collapse)."""
         columns = tuple(columns)
+        if columns == self.columns:
+            return self
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names: {columns!r}")
         indexes = [self.column_index(c) for c in columns]
         projected = {tuple(row[i] for i in indexes) for row in self.rows}
-        return NamedRelation(columns, projected)
+        return NamedRelation._trusted(columns, projected)
 
     def select_equal(self, column: Hashable, value: Value) -> "NamedRelation":
         index = self.column_index(column)
-        return NamedRelation(self.columns, {row for row in self.rows if row[index] == value})
+        return NamedRelation._trusted(
+            self.columns, {row for row in self.rows if row[index] == value}
+        )
 
     def rename(self, mapping: dict) -> "NamedRelation":
         new_columns = tuple(mapping.get(c, c) for c in self.columns)
-        return NamedRelation(new_columns, self.rows)
+        if len(set(new_columns)) != len(new_columns):
+            raise ValueError(f"duplicate column names: {new_columns!r}")
+        if new_columns == self.columns:
+            return self
+        # Rows are shared (never mutated through a renamed view): in-place
+        # operations rebind ``rows`` to a fresh set instead of mutating it.
+        return NamedRelation._trusted(new_columns, self.rows)
 
     # ------------------------------------------------------------------
     def natural_join(self, other: "NamedRelation") -> "NamedRelation":
-        """Hash-based natural join on the shared columns."""
-        shared = [c for c in self.columns if c in other.columns]
-        other_only = [c for c in other.columns if c not in self.columns]
+        """Hash-based natural join on the shared columns (reusing the cached
+        key index of ``other`` when one exists)."""
+        shared = [c for c in self.columns if c in other._positions]
+        other_only = [c for c in other.columns if c not in self._positions]
         result_columns = self.columns + tuple(other_only)
         if not shared:
+            other_only_indexes = [other._positions[c] for c in other_only]
             rows = {
-                left + tuple(right[other.column_index(c)] for c in other_only)
+                left + tuple(right[i] for i in other_only_indexes)
                 for left in self.rows
                 for right in other.rows
             }
-            return NamedRelation(result_columns, rows)
-        left_key_indexes = [self.column_index(c) for c in shared]
-        right_key_indexes = [other.column_index(c) for c in shared]
-        other_only_indexes = [other.column_index(c) for c in other_only]
-        buckets: dict[tuple, list[tuple]] = {}
-        for right in other.rows:
-            key = tuple(right[i] for i in right_key_indexes)
-            buckets.setdefault(key, []).append(right)
+            return NamedRelation._trusted(result_columns, rows)
+        left_key_indexes = [self._positions[c] for c in shared]
+        other_only_indexes = [other._positions[c] for c in other_only]
+        buckets = other.key_index(shared)
         rows = set()
         for left in self.rows:
             key = tuple(left[i] for i in left_key_indexes)
             for right in buckets.get(key, ()):
                 rows.add(left + tuple(right[i] for i in other_only_indexes))
-        return NamedRelation(result_columns, rows)
+        return NamedRelation._trusted(result_columns, rows)
 
     def semijoin(self, other: "NamedRelation") -> "NamedRelation":
         """Keep the rows of ``self`` that join with at least one row of
-        ``other`` (the Yannakakis filtering primitive)."""
-        shared = [c for c in self.columns if c in other.columns]
+        ``other`` (the Yannakakis filtering primitive).  Returns ``self``
+        unchanged (no copy) when nothing is filtered out."""
+        rows = self._semijoin_rows(other)
+        if rows is self.rows:
+            return self
+        return NamedRelation._trusted(self.columns, rows)
+
+    def semijoin_inplace(self, other: "NamedRelation") -> "NamedRelation":
+        """Like :meth:`semijoin` but updates this relation, invalidating its
+        cached indexes only when rows were actually removed.  Returns ``self``
+        for chaining."""
+        rows = self._semijoin_rows(other)
+        if rows is not self.rows:
+            self.rows = rows
+            self.invalidate_indexes()
+        return self
+
+    def _semijoin_rows(self, other: "NamedRelation") -> set:
+        """The surviving row set of a semijoin; returns ``self.rows`` (the
+        very object) when every row survives."""
+        shared = [c for c in self.columns if c in other._positions]
         if not shared:
-            return self if other.rows else NamedRelation(self.columns, set())
-        left_key_indexes = [self.column_index(c) for c in shared]
-        right_keys = {
-            tuple(row[other.column_index(c)] for c in shared) for row in other.rows
-        }
+            return self.rows if other.rows else set()
+        left_key_indexes = [self._positions[c] for c in shared]
+        right_keys = other.key_index(shared)
         rows = {
             row for row in self.rows
             if tuple(row[i] for i in left_key_indexes) in right_keys
         }
-        return NamedRelation(self.columns, rows)
+        if len(rows) == len(self.rows):
+            return self.rows
+        return rows
 
     def cross_product(self, other: "NamedRelation") -> "NamedRelation":
         if set(self.columns) & set(other.columns):
@@ -122,45 +215,75 @@ class NamedRelation:
         return self.natural_join(other)
 
 
+def natural_join_all(relations: Sequence[NamedRelation]) -> NamedRelation:
+    """Multi-way natural join with a cardinality-ordered greedy plan.
+
+    At every step the two cheapest joinable relations in the pool (preferring
+    pairs that share columns, so cross products are a last resort) are joined
+    and the intermediate result re-enters the pool — i.e. the plan re-sorts by
+    *intermediate* cardinality after each join instead of fixing an order
+    upfront.
+    """
+    pool = list(relations)
+    if not pool:
+        raise ValueError("natural_join_all requires at least one relation")
+    while len(pool) > 1:
+        pool.sort(key=len)
+        # Smallest *connected* pair first; only when no two relations in the
+        # pool share a column does a cross product become unavoidable.
+        pair = None
+        for i in range(len(pool)):
+            columns_i = set(pool[i].columns)
+            for j in range(i + 1, len(pool)):
+                if columns_i & set(pool[j].columns):
+                    pair = (i, j)
+                    break
+            if pair is not None:
+                break
+        if pair is None:
+            pair = (0, 1)
+        i, j = pair
+        right = pool.pop(j)
+        left = pool.pop(i)
+        pool.append(left.natural_join(right))
+    return pool[0]
+
+
 def intersect_all(relations: Sequence[NamedRelation]) -> NamedRelation:
-    """Natural join of a sequence of relations (smallest first)."""
-    if not relations:
-        raise ValueError("intersect_all requires at least one relation")
-    ordered = sorted(relations, key=len)
-    result = ordered[0]
-    for relation in ordered[1:]:
-        result = result.natural_join(relation)
-    return result
+    """Natural join of a sequence of relations (greedy smallest-first on the
+    current intermediate result)."""
+    return natural_join_all(relations)
 
 
 def from_atom(atom, database) -> NamedRelation:
     """The named relation induced by a query atom over a database.
 
     Handles constants (selection) and repeated variables (equality selection)
-    so the rest of the evaluators can assume clean named columns.
+    so the rest of the evaluators can assume clean named columns.  All
+    selections and the projection run in a single pass over the stored rows.
     """
     from repro.cq.query import Constant
 
     relation = database.relation(atom.relation)
-    columns = []
-    rows = set(relation.tuples)
-    # First pass: selections for constants.
-    for index, term in enumerate(atom.terms):
-        if isinstance(term, Constant):
-            rows = {row for row in rows if row[index] == term.value}
-    # Second pass: equality selections for repeated variables, then projection
-    # onto one column per variable.
-    first_position: dict = {}
+    columns: list = []
     keep_indexes: list[int] = []
+    constant_checks: list[tuple[int, object]] = []
+    equality_checks: list[tuple[int, int]] = []
+    first_position: dict = {}
     for index, term in enumerate(atom.terms):
         if isinstance(term, Constant):
-            continue
-        if term in first_position:
-            anchor = first_position[term]
-            rows = {row for row in rows if row[index] == row[anchor]}
+            constant_checks.append((index, term.value))
+        elif term in first_position:
+            equality_checks.append((index, first_position[term]))
         else:
             first_position[term] = index
             keep_indexes.append(index)
             columns.append(term)
-    projected = {tuple(row[i] for i in keep_indexes) for row in rows}
-    return NamedRelation(columns, projected)
+    rows = set()
+    for row in relation.tuples:
+        if any(row[i] != value for i, value in constant_checks):
+            continue
+        if any(row[i] != row[anchor] for i, anchor in equality_checks):
+            continue
+        rows.add(tuple(row[i] for i in keep_indexes))
+    return NamedRelation._trusted(tuple(columns), rows)

@@ -63,16 +63,32 @@ def semijoin_reduce(tree: JoinTree) -> dict[Node, NamedRelation]:
     """
     relations = dict(tree.relations)
     order = tree.topological_order()
+    # Relations we created ourselves (not the caller's) may be filtered in
+    # place; the caller's relations are only replaced, never mutated.  Either
+    # way the semijoins reuse the key indexes cached on the probe side — the
+    # downward pass hits each parent's index once per child.
+    owned: set = set()
+
+    def filter_node(node: Node, against: Node) -> None:
+        current = relations[node]
+        if node in owned:
+            current.semijoin_inplace(relations[against])
+            return
+        filtered = current.semijoin(relations[against])
+        if filtered is not current:
+            relations[node] = filtered
+            owned.add(node)
+
     # Upward pass (leaves to root): filter parents by children.
     for node in reversed(order):
         parent = tree.parent[node]
         if parent is None:
             continue
-        relations[parent] = relations[parent].semijoin(relations[node])
+        filter_node(parent, node)
     # Downward pass (root to leaves): filter children by parents.
     for node in order:
         for child in tree.children[node]:
-            relations[child] = relations[child].semijoin(relations[node])
+            filter_node(child, node)
     return relations
 
 

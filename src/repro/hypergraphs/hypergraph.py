@@ -47,7 +47,7 @@ class Hypergraph:
     2
     """
 
-    __slots__ = ("_vertices", "_edges", "_incidence")
+    __slots__ = ("_vertices", "_edges", "_incidence", "_adjacency", "_hash")
 
     def __init__(
         self,
@@ -60,13 +60,51 @@ class Hypergraph:
             vertex_set.update(edge)
         self._vertices: frozenset = frozenset(vertex_set)
         self._edges: frozenset = edge_set
-        incidence: dict[Vertex, set] = {v: set() for v in self._vertices}
-        for edge in edge_set:
-            for v in edge:
-                incidence[v].add(edge)
-        self._incidence: dict[Vertex, frozenset] = {
-            v: frozenset(es) for v, es in incidence.items()
-        }
+        self._incidence = None
+        self._adjacency = None
+        self._hash = None
+
+    @classmethod
+    def _make(cls, vertices: frozenset, edges: frozenset) -> "Hypergraph":
+        """Trusted copy-on-write constructor: adopt already-normalised parts.
+
+        ``vertices`` must be a frozenset containing every vertex of every edge
+        and ``edges`` a frozenset of frozensets.  The structural-modification
+        methods below satisfy this by construction, so derived hypergraphs
+        (dilution steps, minors, jigsaw intermediates) skip both the
+        re-normalisation and the eager incidence build of ``__init__`` —
+        incidence and adjacency are computed lazily, only for the hypergraphs
+        that are actually queried.
+        """
+        hypergraph = object.__new__(cls)
+        hypergraph._vertices = vertices
+        hypergraph._edges = edges
+        hypergraph._incidence = None
+        hypergraph._adjacency = None
+        hypergraph._hash = None
+        return hypergraph
+
+    def _incidence_map(self) -> dict:
+        """``vertex -> frozenset of incident edges`` (built on first use)."""
+        if self._incidence is None:
+            incidence: dict[Vertex, set] = {v: set() for v in self._vertices}
+            for edge in self._edges:
+                for v in edge:
+                    incidence[v].add(edge)
+            self._incidence = {v: frozenset(es) for v, es in incidence.items()}
+        return self._incidence
+
+    def _adjacency_map(self) -> dict:
+        """``vertex -> frozenset of neighbours`` (built on first use)."""
+        if self._adjacency is None:
+            adjacency: dict[Vertex, set] = {v: set() for v in self._vertices}
+            for edge in self._edges:
+                for v in edge:
+                    adjacency[v].update(edge)
+            self._adjacency = {
+                v: frozenset(others - {v}) for v, others in adjacency.items()
+            }
+        return self._adjacency
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -117,7 +155,9 @@ class Hypergraph:
         return self._vertices == other._vertices and self._edges == other._edges
 
     def __hash__(self) -> int:
-        return hash((self._vertices, self._edges))
+        if self._hash is None:
+            self._hash = hash((self._vertices, self._edges))
+        return self._hash
 
     def __repr__(self) -> str:
         return (
@@ -132,7 +172,7 @@ class Hypergraph:
         """``I_v``: the set of edges incident to ``vertex``."""
         if vertex not in self._vertices:
             raise KeyError(f"vertex {vertex!r} not in hypergraph")
-        return self._incidence[vertex]
+        return self._incidence_map()[vertex]
 
     def degree(self, vertex: Vertex | None = None) -> int:
         """Degree of a vertex, or the maximum degree of the hypergraph."""
@@ -140,7 +180,7 @@ class Hypergraph:
             return len(self.incident_edges(vertex))
         if not self._vertices:
             return 0
-        return max(len(es) for es in self._incidence.values())
+        return max(len(es) for es in self._incidence_map().values())
 
     def rank(self) -> int:
         """``rank(H)``: the maximum edge cardinality."""
@@ -153,7 +193,8 @@ class Hypergraph:
 
     def isolated_vertices(self) -> frozenset:
         """Vertices of degree 0."""
-        return frozenset(v for v in self._vertices if not self._incidence[v])
+        incidence = self._incidence_map()
+        return frozenset(v for v in self._vertices if not incidence[v])
 
     def vertex_type(self, vertex: Vertex) -> frozenset:
         """The *vertex type* of ``vertex``: its set of incident edges ``I_v``."""
@@ -177,8 +218,7 @@ class Hypergraph:
             reduced = edge - {vertex} if vertex in edge else edge
             if reduced or keep_empty_edges:
                 new_edges.append(reduced)
-        new_vertices = self._vertices - {vertex}
-        return Hypergraph(new_vertices, new_edges)
+        return Hypergraph._make(self._vertices - {vertex}, frozenset(new_edges))
 
     def delete_vertices(self, vertices: Iterable[Vertex], keep_empty_edges: bool = False) -> "Hypergraph":
         """Delete several vertices at once (induced subhypergraph on the rest)."""
@@ -191,7 +231,7 @@ class Hypergraph:
             reduced = edge - to_delete
             if reduced or keep_empty_edges:
                 new_edges.append(reduced)
-        return Hypergraph(self._vertices - to_delete, new_edges)
+        return Hypergraph._make(self._vertices - to_delete, frozenset(new_edges))
 
     def induced_subhypergraph(self, vertices: Iterable[Vertex]) -> "Hypergraph":
         """``H[C]``: delete all vertices not in ``vertices`` (dropping empty edges)."""
@@ -206,15 +246,16 @@ class Hypergraph:
         target = frozenset(edge)
         if target not in self._edges:
             raise KeyError(f"edge {set(target)!r} not in hypergraph")
-        return Hypergraph(self._vertices, self._edges - {target})
+        return Hypergraph._make(self._vertices, self._edges - {target})
 
     def add_edge(self, edge: Iterable[Vertex]) -> "Hypergraph":
         """Add an edge (and any new vertices it mentions)."""
-        return Hypergraph(self._vertices, set(self._edges) | {frozenset(edge)})
+        new_edge = frozenset(edge)
+        return Hypergraph._make(self._vertices | new_edge, self._edges | {new_edge})
 
     def add_vertex(self, vertex: Vertex) -> "Hypergraph":
         """Add an isolated vertex."""
-        return Hypergraph(set(self._vertices) | {vertex}, self._edges)
+        return Hypergraph._make(self._vertices | {vertex}, self._edges)
 
     def merge_on_vertex(self, vertex: Vertex) -> "Hypergraph":
         """Dilution operation (3) of Definition 3.1: *merging on* ``vertex``.
@@ -231,7 +272,7 @@ class Hypergraph:
             merged.update(edge)
         merged.discard(vertex)
         new_edges = (self._edges - incident) | {frozenset(merged)}
-        return Hypergraph(self._vertices - {vertex}, new_edges)
+        return Hypergraph._make(self._vertices - {vertex}, new_edges)
 
     def relabel(self, mapping: Callable[[Vertex], Vertex] | dict) -> "Hypergraph":
         """Relabel vertices via a function or dictionary (must be injective)."""
@@ -242,8 +283,8 @@ class Hypergraph:
         new_vertices = [func(v) for v in self._vertices]
         if len(set(new_vertices)) != len(new_vertices):
             raise ValueError("relabelling is not injective")
-        new_edges = [frozenset(func(v) for v in e) for e in self._edges]
-        return Hypergraph(new_vertices, new_edges)
+        new_edges = frozenset(frozenset(func(v) for v in e) for e in self._edges)
+        return Hypergraph._make(frozenset(new_vertices), new_edges)
 
     def canonical_relabel(self) -> tuple["Hypergraph", dict]:
         """Relabel vertices as ``0..n-1`` deterministically; return (H', mapping)."""
@@ -255,11 +296,9 @@ class Hypergraph:
     # ------------------------------------------------------------------
     def neighbours(self, vertex: Vertex) -> frozenset:
         """Vertices sharing at least one edge with ``vertex`` (excluding itself)."""
-        result: set = set()
-        for edge in self.incident_edges(vertex):
-            result.update(edge)
-        result.discard(vertex)
-        return frozenset(result)
+        if vertex not in self._vertices:
+            raise KeyError(f"vertex {vertex!r} not in hypergraph")
+        return self._adjacency_map()[vertex]
 
     def connected_components(self) -> list[frozenset]:
         """Vertex sets of the maximal connected components (isolated vertices
@@ -367,8 +406,9 @@ class Hypergraph:
         if self.isolated_vertices():
             return False
         seen_types: set = set()
+        incidence = self._incidence_map()
         for v in self._vertices:
-            vtype = self._incidence[v]
+            vtype = incidence[v]
             if vtype in seen_types:
                 return False
             seen_types.add(vtype)

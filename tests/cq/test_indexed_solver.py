@@ -1,0 +1,151 @@
+"""The indexed solver is observationally identical to the naive reference.
+
+Property tests over randomized query/database pairs (including constants and
+repeated variables, which exercise the single-pass selection in the atom
+index) plus targeted tests for the ``_AtomIndex`` primitives: inverted-index
+consistency checks and trie-backed extension enumeration.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq import generators as cqgen
+from repro.cq.database import Database
+from repro.cq.homomorphism import (
+    _AtomConstraint,
+    _AtomIndex,
+    _solve,
+    _solve_naive,
+    boolean_answer,
+    count_answers,
+    enumerate_answers,
+)
+from repro.cq.query import Atom, ConjunctiveQuery, Constant
+
+
+def _solution_set(solutions, variables):
+    return {tuple(solution[v] for v in variables) for solution in solutions}
+
+
+@st.composite
+def query_and_database(draw):
+    """A random small query (chain/cycle/star/clique/jigsaw) with a random or
+    planted database."""
+    kind = draw(st.sampled_from(["chain", "cycle", "star", "clique", "jigsaw"]))
+    if kind == "chain":
+        query = cqgen.chain_query(draw(st.integers(2, 4)))
+    elif kind == "cycle":
+        query = cqgen.cycle_query(draw(st.integers(3, 5)))
+    elif kind == "star":
+        query = cqgen.star_query(draw(st.integers(2, 4)))
+    elif kind == "clique":
+        query = cqgen.clique_query(3)
+    else:
+        query = cqgen.jigsaw_query(2, 2)
+    seed = draw(st.integers(0, 10_000))
+    tuples = draw(st.integers(2, 8))
+    if draw(st.booleans()):
+        database = cqgen.planted_database(query, 3, tuples, seed=seed)
+    else:
+        database = cqgen.random_database(query, 4, tuples, seed=seed)
+    return query, database
+
+
+@given(query_and_database())
+@settings(max_examples=60, deadline=None)
+def test_indexed_solver_equals_naive_solver(instance):
+    query, database = instance
+    variables = query.variables
+    indexed = _solution_set(_solve(query, database), variables)
+    naive = _solution_set(_solve_naive(query, database), variables)
+    assert indexed == naive
+
+
+@given(query_and_database())
+@settings(max_examples=30, deadline=None)
+def test_public_api_consistency(instance):
+    query, database = instance
+    answers = enumerate_answers(query, database)
+    assert boolean_answer(query, database) == bool(answers)
+    assert count_answers(query, database) == len(answers)
+
+
+def _constant_query():
+    return ConjunctiveQuery(
+        [
+            Atom("R", ["x", Constant(1)]),
+            Atom("S", ["x", "y", "y"]),
+        ]
+    )
+
+
+def _constant_database():
+    database = Database()
+    for row in [(0, 1), (2, 1), (2, 3), (0, 0)]:
+        database.add_fact("R", row)
+    for row in [(0, 5, 5), (2, 5, 5), (2, 5, 6), (0, 0, 0)]:
+        database.add_fact("S", row)
+    return database
+
+
+def test_constants_and_repeated_variables_agree():
+    query, database = _constant_query(), _constant_database()
+    variables = query.variables
+    assert _solution_set(_solve(query, database), variables) == _solution_set(
+        _solve_naive(query, database), variables
+    ) == {(0, 5), (2, 5), (0, 0)}
+
+
+class TestAtomIndexPrimitives:
+    def _index(self):
+        database = Database()
+        for row in [(1, 2), (1, 3), (2, 3), (3, 1)]:
+            database.add_fact("R", row)
+        return _AtomIndex(Atom("R", ["x", "y"]), database), database
+
+    def test_assignments_match_reference(self):
+        index, database = self._index()
+        reference = _AtomConstraint(Atom("R", ["x", "y"]), database)
+        indexed = {tuple(values) for values in index.assignments}
+        naive = {
+            tuple(a[v] for v in reference.variables) for a in reference.assignments
+        }
+        assert indexed == naive
+
+    def test_consistent_matches_reference(self):
+        index, database = self._index()
+        reference = _AtomConstraint(Atom("R", ["x", "y"]), database)
+        for partial in [{}, {"x": 1}, {"y": 3}, {"x": 1, "y": 3}, {"x": 9}, {"z": 0}]:
+            assert index.consistent(partial) == reference.consistent(partial)
+
+    def test_extensions_prefix_and_non_prefix(self):
+        index, _ = self._index()
+        # Bound prefix (x): trie walk.
+        prefix = {frozenset(e.items()) for e in index.extensions({"x": 1})}
+        assert prefix == {
+            frozenset({("x", 1), ("y", 2)}),
+            frozenset({("x", 1), ("y", 3)}),
+        }
+        # Bound non-prefix (y): inverted-index fallback.
+        non_prefix = {frozenset(e.items()) for e in index.extensions({"y": 3})}
+        assert non_prefix == {
+            frozenset({("x", 1), ("y", 3)}),
+            frozenset({("x", 2), ("y", 3)}),
+        }
+        # Unconstrained: all assignments.
+        assert len(list(index.extensions({}))) == 4
+
+    def test_inverted_index_layout(self):
+        index, _ = self._index()
+        assert set(index.inverted["x"]) == {1, 2, 3}
+        ids = index.inverted["x"][1]
+        assert {index.assignments[rid] for rid in ids} == {(1, 2), (1, 3)}
+
+    def test_constant_only_atom(self):
+        database = Database()
+        database.add_fact("Flag", (7,))
+        present = _AtomIndex(Atom("Flag", [Constant(7)]), database)
+        absent = _AtomIndex(Atom("Flag", [Constant(8)]), database)
+        assert present.assignments == [()]
+        assert list(present.extensions({})) == [{}]
+        assert absent.assignments == []
+        assert not absent.consistent({})

@@ -11,6 +11,11 @@ and writes the results to ``benchmarks/BENCH_engine.json``:
   tree of large random relations.
 * ``ghd_eval`` — end-to-end GHD-guided Boolean evaluation (bag
   materialisation + Yannakakis) on cycle queries over large databases.
+* ``engine_answer`` — the full unified-engine pipeline
+  (``repro.engine.answer``: cached analysis + planning + execution) on the
+  same cycle workloads, so the planner's end-to-end overhead over the raw
+  evaluator is tracked.  Each point also records ``cold_plan_seconds``, the
+  one-off analysis + planning cost before the cache is warm.
 
 Every workload is deterministic (fixed seeds, several seeds per scale point
 summed so one lucky early exit cannot skew the number).  Run it with::
@@ -38,6 +43,7 @@ from repro.cq.decomposition_eval import decomposition_boolean_answer  # noqa: E4
 from repro.cq.homomorphism import _solve, _solve_naive  # noqa: E402
 from repro.cq.relational import NamedRelation  # noqa: E402
 from repro.cq.yannakakis import JoinTree, semijoin_reduce  # noqa: E402
+from repro.engine import Engine  # noqa: E402
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_engine.json"
 
@@ -52,6 +58,12 @@ SEMIJOIN_CHAIN = 6
 # (scale label, cycle length, domain size, tuples per relation) — bag joins
 # materialise ~tuples^2/domain rows per bag, so these stay gate-friendly.
 GHD_SCALES = [("small", 6, 20, 500), ("medium", 6, 30, 1200), ("large", 6, 40, 2400)]
+
+# End-to-end engine points reuse the GHD databases.  The workload is not
+# identical to ghd_eval: answer() enumerates the projected answer set where
+# ghd_eval only decides the Boolean question, so engine points sit slightly
+# above the ghd_eval points by the cost of the enumeration passes.
+ENGINE_SCALES = GHD_SCALES
 
 
 # Every measurement is the minimum over REPEATS runs: the min is the noise-
@@ -160,6 +172,31 @@ def bench_ghd_eval() -> list[dict]:
     return points
 
 
+def bench_engine_answer() -> list[dict]:
+    points = []
+    for label, length, domain, tuples in ENGINE_SCALES:
+        # Projected onto one variable: a full cycle query on a near-threshold
+        # random database has a combinatorial answer set, which would time
+        # the materialisation of the output rather than the engine.
+        query = cqgen.cycle_query(length).project(["x0"])
+        database = cqgen.random_database(query, domain, tuples, seed=97)
+        engine = Engine()
+        # The planner clocks itself; the first plan is the cold (uncached) one.
+        cold_plan = engine.plan(query).planning_seconds
+        seconds = _timed(lambda: engine.answer(query, database))
+        points.append(
+            {
+                "scale": label,
+                "query": f"cycle{length}",
+                "domain": domain,
+                "tuples_per_relation": tuples,
+                "indexed_seconds": seconds,
+                "cold_plan_seconds": cold_plan,
+            }
+        )
+    return points
+
+
 def run_benchmarks(include_naive: bool = True) -> dict:
     """Run all engine benchmarks and return the JSON-ready result document."""
     return {
@@ -170,6 +207,7 @@ def run_benchmarks(include_naive: bool = True) -> dict:
             "solver_boolean": bench_solver(include_naive=include_naive),
             "semijoin_reduce": bench_semijoin(),
             "ghd_eval": bench_ghd_eval(),
+            "engine_answer": bench_engine_answer(),
         },
     }
 

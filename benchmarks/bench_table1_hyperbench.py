@@ -5,9 +5,21 @@ ghw > 1, 575 > 2, 506 > 3, 452 > 4 and 389 > 5.  We regenerate the table over
 the synthetic HyperBench-substitute corpus (DESIGN.md, substitution 1): the
 absolute counts differ, the shape — most degree-2 hypergraphs non-acyclic and
 a large fraction above ghw 5 — is what is being reproduced.
+
+The second benchmark drives the unified engine over the corpus the way a
+HyperBench-style system would: canonical queries for a stratified sample of
+hypergraphs, answered through ``repro.engine``, checking that the planner's
+dispatch agrees with each entry's certified width band.
 """
 
 from repro.benchdata import degree2_ghw_table, generate_corpus, render_table1
+from repro.cq import generators as cq_generators
+from repro.engine import (
+    Engine,
+    STRATEGY_BACKTRACKING,
+    STRATEGY_GHD,
+    STRATEGY_YANNAKAKIS,
+)
 
 PAPER_TABLE1 = {1: 649, 2: 575, 3: 506, 4: 452, 5: 389}
 CORPUS_SCALE = 0.35  # keeps the benchmark run under a minute
@@ -34,3 +46,57 @@ def test_table1_regeneration(benchmark, record_result):
     assert amounts[1] > 0.5 * degree2_total          # most degree-2 entries are non-acyclic
     assert all(amounts[k] >= amounts[k + 1] for k in range(1, 5))
     assert amounts[5] > 0.1 * degree2_total          # a substantial high-ghw tail
+
+
+def _engine_sample(corpus, engine):
+    """One small entry per certified width band, with the expected strategy."""
+
+    def pick(predicate, size_cap):
+        candidates = [
+            e for e in corpus
+            if predicate(e) and e.hypergraph.size <= size_cap
+        ]
+        return min(candidates, key=lambda e: e.hypergraph.size) if candidates else None
+
+    bands = [
+        ("acyclic", pick(lambda e: e.ghw_upper <= 1, 24), STRATEGY_YANNAKAKIS),
+        (
+            "bounded",
+            pick(lambda e: 2 <= e.ghw_upper <= engine.planner.max_ghd_width, 24),
+            STRATEGY_GHD,
+        ),
+        (
+            "high-width",
+            pick(lambda e: e.ghw_lower > engine.planner.max_ghd_width, 40),
+            STRATEGY_BACKTRACKING,
+        ),
+    ]
+    return [(band, entry, expected) for band, entry, expected in bands if entry is not None]
+
+
+def test_table1_engine_dispatch(benchmark, record_result):
+    """Answer canonical corpus queries through the unified engine; the
+    planner must dispatch each width band to its strategy."""
+    corpus = generate_corpus(seed=2022, scale=0.1)
+    engine = Engine()
+    sample = _engine_sample(corpus, engine)
+    assert len(sample) == 3, "corpus sample must cover all three width bands"
+
+    def evaluate():
+        outcomes = []
+        for band, entry, expected in sample:
+            query = cq_generators.query_from_hypergraph(entry.hypergraph)
+            database = cq_generators.planted_database(
+                query, domain_size=3, tuples_per_relation=6, seed=7
+            )
+            result = engine.is_satisfiable(query, database)
+            outcomes.append((band, entry.name, result.strategy, expected, result.value))
+        return outcomes
+
+    outcomes = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    lines = ["engine dispatch over the corpus sample:"]
+    for band, name, strategy, expected, satisfiable in outcomes:
+        lines.append(f"  {band:<11} {name:<24} {strategy:<20} satisfiable={satisfiable}")
+        assert strategy == expected, f"{name}: expected {expected}, planned {strategy}"
+        assert satisfiable is True  # planted databases always satisfy the query
+    record_result("E1_engine_dispatch", "\n".join(lines))

@@ -4,12 +4,9 @@ Run with ``python examples/quickstart.py``.
 """
 
 from repro import (
+    engine,
     ghw,
     hypergraph_generators as generators,
-    boolean_answer,
-    count_answers,
-    decomposition_boolean_answer,
-    decomposition_count_answers,
     find_dilution_sequence,
     jigsaw,
 )
@@ -32,15 +29,28 @@ def main() -> None:
     sequence = find_dilution_sequence(thick, jigsaw(2, 2), max_nodes=100_000)
     print(f"thickened 2x2 jigsaw dilutes to the 2x2 jigsaw in {len(sequence)} operations")
 
-    # 4. Conjunctive query answering: the canonical query over the 2x2 jigsaw,
-    #    evaluated both by the generic solver and through a GHD (the
-    #    Proposition 2.2 route that makes bounded-ghw classes tractable).
+    # 4. Conjunctive query answering through the unified engine: one front
+    #    door (answer / is_satisfiable / count) that analyses the query's
+    #    certified structure and picks the right algorithm — direct
+    #    Yannakakis when acyclic, GHD-guided evaluation (Proposition 2.2)
+    #    when the certified ghw is small, indexed backtracking otherwise.
     query = cq_generators.jigsaw_query(2, 2)
     database = cq_generators.planted_database(query, domain_size=4, tuples_per_relation=8, seed=1)
-    print(f"BCQ (generic solver):     {boolean_answer(query, database)}")
-    print(f"BCQ (GHD-guided):         {decomposition_boolean_answer(query, database)}")
-    print(f"#CQ (generic solver):     {count_answers(query, database)}")
-    print(f"#CQ (join-tree counting): {decomposition_count_answers(query, database)}")
+    plan = engine.plan_query(query)
+    print(f"planned strategy:  {plan.strategy} (certified width {plan.width})")
+    satisfiable = engine.is_satisfiable(query, database, plan=plan)
+    counted = engine.count(query, database, plan=plan)
+    print(f"BCQ answer:        {satisfiable.value}")
+    print(f"#CQ answer:        {counted.value}")
+    print(f"execution took     {counted.timings['execution_seconds']:.4f}s "
+          f"(planning {plan.planning_seconds:.4f}s, cached for repeats)")
+
+    # 5. An acyclic query never pays for a decomposition search: the planner
+    #    reads acyclicity off the GYO join tree.
+    chain = cq_generators.chain_query(4)
+    chain_db = cq_generators.planted_database(chain, domain_size=4, tuples_per_relation=8, seed=2)
+    result = engine.answer(chain, chain_db)
+    print(f"chain query:       {result.strategy}, {len(result.rows)} answers")
 
 
 if __name__ == "__main__":

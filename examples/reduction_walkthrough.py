@@ -9,7 +9,7 @@ modulo projection, and exactly the same number of answers (Theorem 4.15).
 Run with ``python examples/reduction_walkthrough.py``.
 """
 
-from repro.cq import boolean_answer, count_answers
+from repro import engine
 from repro.cq import generators as cq_generators
 from repro.hypergraphs import generators
 from repro.jigsaws import dilute_to_jigsaw
@@ -27,15 +27,17 @@ def main() -> None:
 
     query = cq_generators.query_from_hypergraph(diluted, relation_prefix="J")
     database = cq_generators.planted_database(query, domain_size=3, tuples_per_relation=6, seed=42)
+    plan = engine.plan_query(query)
     print(f"\noriginal instance: {len(query.atoms)} atoms, database size {database.size()}")
-    print(f"  BCQ answer: {boolean_answer(query, database)}")
-    print(f"  #CQ answer: {count_answers(query, database)}")
+    print(f"  engine strategy: {plan.strategy}")
+    print(f"  BCQ answer: {engine.is_satisfiable(query, database, plan=plan).value}")
+    print(f"  #CQ answer: {engine.count(query, database, plan=plan).value}")
 
     result = reduce_along_dilution(query, database, source, certificate.sequence)
     print(f"\nreduced instance: {len(result.query.atoms)} atoms, database size {result.database.size()}")
     print(f"  blow-up factor ||D_p|| / ||D_q||: {result.blow_up:.2f}")
-    print(f"  BCQ answer on the reduced instance: {boolean_answer(result.query, result.database)}")
-    print(f"  #CQ answer on the reduced instance: {count_answers(result.query, result.database)}")
+    print(f"  BCQ answer on the reduced instance: {engine.is_satisfiable(result.query, result.database).value}")
+    print(f"  #CQ answer on the reduced instance: {engine.count(result.query, result.database).value}")
     print(f"\nanswers preserved under projection: {verify_answer_preservation(result)}")
     print(f"reduction is parsimonious:          {verify_parsimony(result)}")
     print("\nper-step database sizes along the reversed dilution sequence:")

@@ -10,6 +10,9 @@ The package is organised by subsystem (see ``DESIGN.md`` for the full map):
 * :mod:`repro.jigsaws` — jigsaws, pre-jigsaws, the Theorem 4.7 pipeline;
 * :mod:`repro.structure` — constructive Lemmas 4.4 and 4.6;
 * :mod:`repro.cq` — conjunctive queries, databases, solvers, counting, cores;
+* :mod:`repro.engine` — the unified query engine: cached structural
+  analysis, the strategy planner, and the executor behind
+  ``answer`` / ``is_satisfiable`` / ``count``;
 * :mod:`repro.reductions` — the Theorem 3.4 / 4.15 instance reductions;
 * :mod:`repro.benchdata` — the HyperBench-substitute corpus behind Table 1.
 """
@@ -44,6 +47,11 @@ from repro.cq import (
 )
 from repro.reductions import reduce_along_dilution
 
+# The unified query engine: repro.engine.answer / is_satisfiable / count is
+# the documented public entry point for query evaluation.
+from repro import engine
+from repro.engine import Engine, EvalResult, Plan, answer, count, is_satisfiable, plan_query
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -72,5 +80,13 @@ __all__ = [
     "decomposition_boolean_answer",
     "decomposition_count_answers",
     "reduce_along_dilution",
+    "engine",
+    "Engine",
+    "EvalResult",
+    "Plan",
+    "answer",
+    "count",
+    "is_satisfiable",
+    "plan_query",
     "__version__",
 ]

@@ -24,7 +24,25 @@ from repro.cq.decomposition_eval import (
 from repro.cq.counting import count_answers_via_join_tree
 from repro.cq.core import core_of, find_homomorphism_between_queries, queries_equivalent
 from repro.cq.semantic_width import semantic_ghw
+from repro.cq.bags import DecompositionMismatchError, build_bag_join_tree
 from repro.cq import generators
+
+# The unified engine (analysis -> plan -> execute) is the documented public
+# entry point; the per-strategy functions above remain as backends.  The
+# engine sits *above* this package, so its names are re-exported lazily
+# (PEP 562) — an eager import here would create a cq -> engine -> cq cycle.
+_ENGINE_EXPORTS = frozenset(
+    {"Engine", "EvalResult", "Plan", "answer", "count", "is_satisfiable", "plan_query"}
+)
+
+
+def __getattr__(name):
+    if name in _ENGINE_EXPORTS:
+        from repro import engine as _engine
+
+        return getattr(_engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Atom",
@@ -44,5 +62,14 @@ __all__ = [
     "find_homomorphism_between_queries",
     "queries_equivalent",
     "semantic_ghw",
+    "DecompositionMismatchError",
+    "build_bag_join_tree",
     "generators",
+    "Engine",
+    "EvalResult",
+    "Plan",
+    "answer",
+    "count",
+    "is_satisfiable",
+    "plan_query",
 ]

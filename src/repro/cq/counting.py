@@ -11,6 +11,11 @@ The correctness of the product step relies on the running-intersection
 property of the join tree (different subtrees only interact through the
 parent bag), which holds for join trees built from tree decompositions /
 GHDs.
+
+The unified engine (:mod:`repro.engine`) routes ``count()`` on full queries
+through this DP whenever the plan carries a decomposition; non-full queries
+fall back to enumeration, because with existential variables the DP would
+count assignments rather than projections.
 """
 
 from __future__ import annotations

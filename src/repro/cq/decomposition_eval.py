@@ -3,10 +3,10 @@
 Given a generalised hypertree decomposition of the query's hypergraph of
 width ``k``, evaluation proceeds in two stages:
 
-1. **Bag materialisation** — for every decomposition node, join the (at most
-   ``k``) relations of its cover ``lambda_u`` together with every atom
-   assigned to that node, and project onto the bag.  Each bag relation has
-   size at most ``||D||^k``.
+1. **Bag materialisation** (:mod:`repro.cq.bags`) — for every decomposition
+   node, join the (at most ``k``) relations of its cover ``lambda_u``
+   together with every atom assigned to that node, and project onto the bag.
+   Each bag relation has size at most ``||D||^k``.
 2. **Acyclic evaluation** — the bag relations arranged along the
    decomposition tree form an acyclic instance equivalent to the original
    query, which Yannakakis answers in polynomial time.
@@ -14,118 +14,24 @@ width ``k``, evaluation proceeds in two stages:
 This is what makes BCQ tractable for classes of bounded ghw, and (for full
 CQs) what makes #CQ polynomial via the counting DP in
 :mod:`repro.cq.counting`.
+
+These functions are the *GHD strategy backend* of the unified engine
+(:mod:`repro.engine`), which computes and caches the witnessing
+decomposition through its analysis pass; they remain directly callable with
+an explicitly supplied (or freshly computed) GHD.
 """
 
 from __future__ import annotations
 
-from collections.abc import Hashable
-
+from repro.cq.bags import (  # noqa: F401  (re-exported for compatibility)
+    DecompositionMismatchError,
+    build_bag_join_tree,
+)
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
-from repro.cq.relational import NamedRelation, from_atom, natural_join_all
-from repro.cq.yannakakis import JoinTree, yannakakis_boolean, yannakakis_full
+from repro.cq.yannakakis import yannakakis_boolean, yannakakis_full
 from repro.widths.ghd import GeneralizedHypertreeDecomposition
 from repro.widths.ghw import ghw_upper_bound
-
-Node = Hashable
-
-
-class DecompositionMismatchError(ValueError):
-    """Raised when the supplied GHD does not fit the query's hypergraph."""
-
-
-def _atom_for_edge(query: ConjunctiveQuery):
-    """Deterministically map each hypergraph edge (variable scope) to one atom."""
-    by_scope: dict[frozenset, list] = {}
-    for atom in query.atoms:
-        by_scope.setdefault(atom.variable_set(), []).append(atom)
-    return {
-        scope: sorted(atoms, key=repr)[0]
-        for scope, atoms in by_scope.items()
-    }
-
-
-def _assign_atoms_to_nodes(query: ConjunctiveQuery, ghd: GeneralizedHypertreeDecomposition) -> dict:
-    """Assign every atom to one decomposition node whose bag contains its scope."""
-    assignment: dict[Node, list] = {node: [] for node in ghd.bags}
-    nodes = sorted(ghd.bags, key=repr)
-    for atom in query.atoms:
-        scope = atom.variable_set()
-        host = next((node for node in nodes if scope <= ghd.bags[node]), None)
-        if host is None:
-            raise DecompositionMismatchError(
-                f"atom {atom!r} is not covered by any bag of the decomposition"
-            )
-        assignment[host].append(atom)
-    return assignment
-
-
-def build_bag_join_tree(
-    query: ConjunctiveQuery, database: Database, ghd: GeneralizedHypertreeDecomposition
-) -> JoinTree:
-    """Materialise bag relations and arrange them along the decomposition tree."""
-    edge_atom = _atom_for_edge(query)
-    assignment = _assign_atoms_to_nodes(query, ghd)
-    # One atom may be materialised at several nodes (cover edge here, assigned
-    # atom there): build its named relation once and share it — the cached key
-    # indexes on the shared relation then serve every bag join that probes it.
-    materialised: dict = {}
-
-    def relation_for(atom) -> NamedRelation:
-        if atom not in materialised:
-            materialised[atom] = from_atom(atom, database)
-        return materialised[atom]
-
-    bag_relations: dict[Node, NamedRelation] = {}
-    for node, bag in ghd.bags.items():
-        atoms = []
-        for cover_edge in sorted(ghd.covers[node], key=lambda e: sorted(map(repr, e))):
-            atom = edge_atom.get(frozenset(cover_edge))
-            if atom is not None:
-                atoms.append(atom)
-        for atom in assignment[node]:
-            if atom not in atoms:
-                atoms.append(atom)
-        if not atoms:
-            bag_relations[node] = NamedRelation(tuple(sorted(bag, key=repr)), set())
-            if not bag:
-                bag_relations[node] = NamedRelation((), {()})
-            continue
-        joined = natural_join_all([relation_for(atom) for atom in atoms])
-        keep = [c for c in joined.columns if c in bag]
-        bag_relations[node] = joined.project(keep)
-    parent = _root_tree(ghd)
-    return JoinTree(bag_relations, parent)
-
-
-def _root_tree(ghd: GeneralizedHypertreeDecomposition) -> dict:
-    """Orient the decomposition tree from an arbitrary (deterministic) root."""
-    nodes = sorted(ghd.bags, key=repr)
-    if not nodes:
-        raise DecompositionMismatchError("the decomposition has no nodes")
-    parent: dict[Node, Node | None] = {}
-    root = nodes[0]
-    parent[root] = None
-    seen = {root}
-    frontier = [root]
-    decomposition = ghd.decomposition
-    while frontier:
-        current = frontier.pop()
-        for neighbour in decomposition.neighbours(current):
-            if neighbour in seen:
-                continue
-            seen.add(neighbour)
-            parent[neighbour] = current
-            frontier.append(neighbour)
-    missing = set(nodes) - seen
-    if missing:
-        # The decomposition tree should be connected; connect leftovers to the
-        # root so evaluation still works (their bags share no variables with
-        # the rest, so this is a plain conjunction).
-        for node in sorted(missing, key=repr):
-            parent[node] = root
-            seen.add(node)
-    return parent
 
 
 def _default_ghd(query: ConjunctiveQuery) -> GeneralizedHypertreeDecomposition:

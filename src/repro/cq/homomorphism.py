@@ -20,6 +20,10 @@ time still degrades on high-width queries — which is precisely the behaviour
 the tractability separation experiments (E7/E8) contrast with the
 decomposition-guided evaluators.  The indexing only removes the Python-level
 overhead that would otherwise drown the algorithmic signal.
+
+Within the unified engine (:mod:`repro.engine`) this module is the
+``indexed-backtracking`` strategy backend — the fallback the planner picks
+when no decomposition within its width limit exists.
 """
 
 from __future__ import annotations

@@ -6,7 +6,12 @@ filtering), a downward pass, and finally join along the tree.  Together with
 join trees for width-1 GHDs it is the algorithmic core of Proposition 2.2's
 upper bound; the GHD-guided evaluator in
 :mod:`repro.cq.decomposition_eval` reduces bounded-ghw queries to exactly this
-routine after materialising bag relations.
+routine after materialising bag relations (:mod:`repro.cq.bags`).
+
+Within the unified engine (:mod:`repro.engine`) this module is the execution
+half of both decomposition strategies: the planner's ``direct-yannakakis``
+and ``ghd-guided`` plans only differ in which decomposition feeds the bag
+materialisation that ends here.
 """
 
 from __future__ import annotations

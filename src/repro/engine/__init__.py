@@ -1,0 +1,95 @@
+"""The unified query engine: analysis → plan → execute.
+
+This subsystem is the single front door for conjunctive-query evaluation.
+Instead of manually computing ``ghw``, building a decomposition, and picking
+between ``yannakakis_*``, the ``decomposition_*_answer`` evaluators, and the
+indexed backtracking solver, callers ask the engine:
+
+>>> from repro import engine
+>>> result = engine.answer(query, database)      # doctest: +SKIP
+>>> result.value, result.strategy, result.plan.explain()  # doctest: +SKIP
+
+The pipeline has three layers, each reusable on its own:
+
+* :mod:`repro.engine.analysis` — :class:`QueryAnalysis`, memoized certified
+  structure (acyclicity, join tree, ghw bounds) per query hypergraph behind
+  an :class:`AnalysisCache` keyed on the hypergraph;
+* :mod:`repro.engine.planner` — :class:`QueryPlanner` emitting explainable
+  :class:`Plan` objects (direct-Yannakakis | GHD-guided |
+  indexed-backtracking, with the witnessing decomposition and a cost
+  rationale);
+* :mod:`repro.engine.executor` — :class:`Engine` / the module-level
+  :func:`answer`, :func:`is_satisfiable`, :func:`count`, returning a uniform
+  :class:`EvalResult` (payload + plan + timings).
+
+Strategy backends are pluggable: see
+:func:`repro.engine.backends.register_backend` and
+``docs/ARCHITECTURE.md``.
+"""
+
+from repro.engine.analysis import AnalysisCache, QueryAnalysis
+from repro.engine.backends import (
+    BacktrackingBackend,
+    DecompositionBackend,
+    EvaluationBackend,
+    TrivialBackend,
+    backend_for,
+    register_backend,
+    registered_strategies,
+    unregister_backend,
+)
+from repro.engine.executor import (
+    DEFAULT_ENGINE,
+    Engine,
+    EvalResult,
+    TASK_ANSWER,
+    TASK_COUNT,
+    TASK_SATISFIABLE,
+    analyze,
+    answer,
+    clear_analysis_cache,
+    count,
+    is_satisfiable,
+    plan_query,
+)
+from repro.engine.planner import (
+    DEFAULT_MAX_GHD_WIDTH,
+    Plan,
+    QueryPlanner,
+    STRATEGY_BACKTRACKING,
+    STRATEGY_GHD,
+    STRATEGY_TRIVIAL,
+    STRATEGY_YANNAKAKIS,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "QueryAnalysis",
+    "EvaluationBackend",
+    "TrivialBackend",
+    "DecompositionBackend",
+    "BacktrackingBackend",
+    "backend_for",
+    "register_backend",
+    "registered_strategies",
+    "unregister_backend",
+    "DEFAULT_ENGINE",
+    "DEFAULT_MAX_GHD_WIDTH",
+    "Engine",
+    "EvalResult",
+    "Plan",
+    "QueryPlanner",
+    "STRATEGY_TRIVIAL",
+    "STRATEGY_YANNAKAKIS",
+    "STRATEGY_GHD",
+    "STRATEGY_BACKTRACKING",
+    "TASK_ANSWER",
+    "TASK_SATISFIABLE",
+    "TASK_COUNT",
+    "analyze",
+    "answer",
+    "clear_analysis_cache",
+    "count",
+    "is_satisfiable",
+    "plan_query",
+]

@@ -1,0 +1,139 @@
+"""The structural analysis pass: certified facts per query hypergraph.
+
+The planner never looks at a query directly — it looks at a
+:class:`QueryAnalysis` of the query's hypergraph: acyclicity (with the
+witnessing width-1 join tree), and certified ghw bounds with the witnessing
+decomposition (reusing :mod:`repro.widths`).  Analyses are memoized in an
+:class:`AnalysisCache` keyed on the hypergraph, so a repeated query — the
+common case for a serving engine — skips re-decomposition entirely.
+
+Cost discipline: the cheap facts (GYO acyclicity + join tree) are computed
+eagerly on construction; the ghw decomposition search only runs on first
+access to :attr:`QueryAnalysis.ghw_bounds` and is then memoized.  Acyclic
+queries therefore never pay for a decomposition search —
+:attr:`QueryAnalysis.searched_decomposition` stays ``False``, which the
+planner dispatch tests assert.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+
+from repro.hypergraphs.hypergraph import Hypergraph
+from repro.widths.acyclicity import join_tree_decomposition
+from repro.widths.ghd import GeneralizedHypertreeDecomposition
+from repro.widths.ghw import GHWResult, ghw_upper_bound
+
+
+class QueryAnalysis:
+    """Memoized structural facts about one query hypergraph."""
+
+    __slots__ = (
+        "hypergraph",
+        "is_acyclic",
+        "join_tree",
+        "_ghw_bounds",
+        "searched_decomposition",
+        "analysis_seconds",
+    )
+
+    def __init__(self, hypergraph: Hypergraph) -> None:
+        start = time.perf_counter()
+        self.hypergraph = hypergraph
+        self.join_tree: GeneralizedHypertreeDecomposition | None = (
+            join_tree_decomposition(hypergraph)
+        )
+        # join_tree_decomposition returns None exactly when the GYO reduction
+        # fails (cyclic) or there is no non-empty edge (trivially acyclic, but
+        # nothing to build a tree over) — so acyclicity needs no second GYO run.
+        self.searched_decomposition = False
+        self._ghw_bounds: GHWResult | None = None
+        if self.join_tree is not None:
+            self.is_acyclic = True
+            self._ghw_bounds = GHWResult(1, 1, self.join_tree)
+        elif not any(edge for edge in hypergraph.edges):
+            # No non-empty edge: nothing to decompose (ghw 0 by convention).
+            self.is_acyclic = True
+            self._ghw_bounds = GHWResult(0, 0, None)
+        else:
+            self.is_acyclic = False
+        self.analysis_seconds = time.perf_counter() - start
+
+    @property
+    def ghw_bounds(self) -> GHWResult:
+        """Certified ghw bounds with the witnessing GHD (search runs once,
+        lazily — acyclic hypergraphs answer from the join tree instead)."""
+        if self._ghw_bounds is None:
+            start = time.perf_counter()
+            self._ghw_bounds = ghw_upper_bound(self.hypergraph)
+            self.searched_decomposition = True
+            self.analysis_seconds += time.perf_counter() - start
+        return self._ghw_bounds
+
+    @property
+    def decomposition(self) -> GeneralizedHypertreeDecomposition | None:
+        """The witnessing decomposition behind the ghw upper bound."""
+        return self.ghw_bounds.decomposition
+
+    @property
+    def width_upper_bound(self) -> int:
+        return self.ghw_bounds.upper
+
+    def __repr__(self) -> str:
+        width = "?" if self._ghw_bounds is None else self._ghw_bounds.upper
+        return (
+            f"QueryAnalysis({self.hypergraph!r}, acyclic={self.is_acyclic}, "
+            f"ghw<={width})"
+        )
+
+
+class AnalysisCache:
+    """An LRU cache of :class:`QueryAnalysis`, keyed on the hypergraph.
+
+    :class:`~repro.hypergraphs.hypergraph.Hypergraph` is immutable and hashes
+    on its ``(vertices, edges)`` structure, so two structurally equal
+    hypergraphs — even distinct objects rebuilt per request — share one
+    analysis, while any copy-on-write derivative (``delete_vertex``,
+    ``add_edge``, ``merge_on_vertex``, ...) differs structurally, hashes
+    differently, and gets a fresh analysis: a derived query can never reuse a
+    stale decomposition.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        if maxsize < 1:
+            raise ValueError("AnalysisCache needs maxsize >= 1")
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Hypergraph, QueryAnalysis] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_create(self, hypergraph: Hypergraph) -> QueryAnalysis:
+        analysis = self._entries.get(hypergraph)
+        if analysis is not None:
+            self.hits += 1
+            self._entries.move_to_end(hypergraph)
+            return analysis
+        self.misses += 1
+        analysis = QueryAnalysis(hypergraph)
+        self._entries[hypergraph] = analysis
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+        return analysis
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, hypergraph: Hypergraph) -> bool:
+        return hypergraph in self._entries
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def info(self) -> dict:
+        return {
+            "size": len(self._entries),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

@@ -1,0 +1,152 @@
+"""Strategy backends: the evaluators behind each plan strategy.
+
+A backend answers the three query tasks — Boolean satisfiability, answer
+enumeration, answer counting — for plans of one strategy.  The built-in
+backends wrap the existing evaluators (:mod:`repro.cq.bags` +
+:mod:`repro.cq.yannakakis` + :mod:`repro.cq.counting` for the decomposition
+strategies, :mod:`repro.cq.homomorphism` for the generic fallback); new
+strategies — a sharded evaluator, an async or multi-backend executor —
+register through :func:`register_backend` and become dispatchable without
+touching the executor.
+"""
+
+from __future__ import annotations
+
+from repro.cq.database import Database
+from repro.cq.decomposition_eval import (
+    decomposition_boolean_answer,
+    decomposition_count_answers,
+    decomposition_enumerate_answers,
+)
+from repro.cq.homomorphism import boolean_answer, count_answers, enumerate_answers
+from repro.cq.query import ConjunctiveQuery
+from repro.engine.planner import (
+    Plan,
+    STRATEGY_BACKTRACKING,
+    STRATEGY_GHD,
+    STRATEGY_TRIVIAL,
+    STRATEGY_YANNAKAKIS,
+)
+
+
+class EvaluationBackend:
+    """Interface every strategy backend implements."""
+
+    name = "abstract"
+
+    def boolean(self, query: ConjunctiveQuery, database: Database, plan: Plan) -> bool:
+        raise NotImplementedError
+
+    def answers(self, query: ConjunctiveQuery, database: Database, plan: Plan) -> set[tuple]:
+        raise NotImplementedError
+
+    def count(self, query: ConjunctiveQuery, database: Database, plan: Plan) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class TrivialBackend(EvaluationBackend):
+    """The empty conjunction: vacuously true, one (empty) answer."""
+
+    name = STRATEGY_TRIVIAL
+
+    def boolean(self, query, database, plan) -> bool:
+        return True
+
+    def answers(self, query, database, plan) -> set[tuple]:
+        return {()}
+
+    def count(self, query, database, plan) -> int:
+        return 1
+
+
+class DecompositionBackend(EvaluationBackend):
+    """Bag materialisation along the plan's decomposition, then Yannakakis
+    (or the join-tree counting DP).  Serves both the direct-Yannakakis
+    strategy (width-1 join tree) and the GHD-guided strategy — the only
+    difference is where the decomposition came from.  Evaluation delegates
+    to :mod:`repro.cq.decomposition_eval` so there is exactly one copy of
+    the build-tree → Yannakakis → projection logic."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _ghd(self, plan: Plan):
+        if plan.decomposition is None:
+            raise ValueError(
+                f"plan for strategy {plan.strategy!r} carries no decomposition"
+            )
+        return plan.decomposition
+
+    def boolean(self, query, database, plan) -> bool:
+        return decomposition_boolean_answer(query, database, self._ghd(plan))
+
+    def answers(self, query, database, plan) -> set[tuple]:
+        return decomposition_enumerate_answers(query, database, self._ghd(plan))
+
+    def count(self, query, database, plan) -> int:
+        if query.is_full():
+            # Proposition 4.14: the DP counts |q(D)| without materialising it.
+            return decomposition_count_answers(query, database, self._ghd(plan))
+        # Non-full queries count distinct projections; enumerate and count
+        # (the DP would count assignments to the existential variables too).
+        return len(self.answers(query, database, plan))
+
+
+class BacktrackingBackend(EvaluationBackend):
+    """The structure-blind fallback: the hash-indexed backtracking solver."""
+
+    name = STRATEGY_BACKTRACKING
+
+    def boolean(self, query, database, plan) -> bool:
+        return boolean_answer(query, database)
+
+    def answers(self, query, database, plan) -> set[tuple]:
+        return enumerate_answers(query, database)
+
+    def count(self, query, database, plan) -> int:
+        return count_answers(query, database)
+
+
+_REGISTRY: dict[str, EvaluationBackend] = {}
+
+
+def register_backend(strategy: str, backend: EvaluationBackend, replace: bool = False) -> None:
+    """Register ``backend`` as the evaluator for plans of ``strategy``.
+
+    Registration is global (module-level): every engine dispatches through
+    the same registry.  Pass ``replace=True`` to swap a built-in out.
+    """
+    if strategy in _REGISTRY and not replace:
+        raise ValueError(
+            f"a backend for strategy {strategy!r} is already registered "
+            "(pass replace=True to substitute it)"
+        )
+    _REGISTRY[strategy] = backend
+
+
+def unregister_backend(strategy: str) -> None:
+    """Remove a registered backend (tests and hot-swapping extensions)."""
+    _REGISTRY.pop(strategy, None)
+
+
+def backend_for(strategy: str) -> EvaluationBackend:
+    try:
+        return _REGISTRY[strategy]
+    except KeyError:
+        raise ValueError(
+            f"no backend registered for strategy {strategy!r}; "
+            f"registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def registered_strategies() -> tuple:
+    return tuple(sorted(_REGISTRY))
+
+
+register_backend(STRATEGY_TRIVIAL, TrivialBackend())
+register_backend(STRATEGY_YANNAKAKIS, DecompositionBackend(STRATEGY_YANNAKAKIS))
+register_backend(STRATEGY_GHD, DecompositionBackend(STRATEGY_GHD))
+register_backend(STRATEGY_BACKTRACKING, BacktrackingBackend())

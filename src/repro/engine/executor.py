@@ -1,0 +1,210 @@
+"""The executor: the engine's single public entry point.
+
+``answer(query, db)``, ``is_satisfiable(query, db)``, and ``count(query,
+db)`` run the full analysis → plan → execute pipeline and return a uniform
+:class:`EvalResult` — the answer payload plus the plan that produced it and
+per-stage timings.  A caller that wants control can plan once and execute
+many times by passing ``plan=`` explicitly (the plan embeds the witnessing
+decomposition, so re-execution skips analysis and planning entirely).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.cq.database import Database
+from repro.cq.query import ConjunctiveQuery
+from repro.engine.analysis import AnalysisCache, QueryAnalysis
+from repro.engine.backends import backend_for
+from repro.engine.planner import DEFAULT_MAX_GHD_WIDTH, Plan, QueryPlanner
+from repro.hypergraphs.hypergraph import Hypergraph
+
+TASK_ANSWER = "answer"
+TASK_SATISFIABLE = "satisfiable"
+TASK_COUNT = "count"
+
+
+@dataclass
+class EvalResult:
+    """The uniform result of one engine call.
+
+    Exactly one of ``rows`` / ``satisfiable`` / ``count`` is populated,
+    matching ``task``; :attr:`value` returns it.  ``timings`` holds
+    ``planning_seconds`` (includes analysis on a cache miss; ``0.0`` when a
+    pre-built plan was passed in), ``execution_seconds``, and
+    ``total_seconds``.
+    """
+
+    task: str
+    plan: Plan
+    rows: set | None = None
+    satisfiable: bool | None = None
+    count: int | None = None
+    timings: dict = field(default_factory=dict)
+
+    @property
+    def value(self):
+        if self.task == TASK_ANSWER:
+            return self.rows
+        if self.task == TASK_SATISFIABLE:
+            return self.satisfiable
+        return self.count
+
+    @property
+    def strategy(self) -> str:
+        return self.plan.strategy
+
+    def __repr__(self) -> str:
+        return (
+            f"EvalResult(task={self.task!r}, value={self.value!r}, "
+            f"strategy={self.strategy!r})"
+        )
+
+
+class Engine:
+    """The unified query engine: analysis → plan → execute.
+
+    One engine owns one analysis cache; the module-level helpers
+    (:func:`answer` & friends) share :data:`DEFAULT_ENGINE`.  Engines are
+    cheap — construct a private one to isolate cache state or change the
+    width limit.
+    """
+
+    def __init__(
+        self,
+        max_ghd_width: int = DEFAULT_MAX_GHD_WIDTH,
+        cache_size: int = 256,
+    ) -> None:
+        self.cache = AnalysisCache(cache_size)
+        self.planner = QueryPlanner(self.analyze, max_ghd_width=max_ghd_width)
+
+    # ------------------------------------------------------------------
+    def analyze(self, target: ConjunctiveQuery | Hypergraph) -> QueryAnalysis:
+        """The (cached) structural analysis of a query or hypergraph."""
+        hypergraph = target.hypergraph() if isinstance(target, ConjunctiveQuery) else target
+        return self.cache.get_or_create(hypergraph)
+
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        use_core: bool = False,
+        force_strategy: str | None = None,
+    ) -> Plan:
+        return self.planner.plan(query, use_core=use_core, force_strategy=force_strategy)
+
+    def cache_info(self) -> dict:
+        return self.cache.info()
+
+    def clear_cache(self) -> None:
+        self.cache.clear()
+
+    # ------------------------------------------------------------------
+    def answer(self, query, database, plan=None, use_core=False) -> EvalResult:
+        """The answer set ``q(D)`` (tuples over the free variables)."""
+        return self._run(TASK_ANSWER, query, database, plan, use_core)
+
+    def is_satisfiable(self, query, database, plan=None, use_core=False) -> EvalResult:
+        """BCQ: is the answer set non-empty?"""
+        return self._run(TASK_SATISFIABLE, query, database, plan, use_core)
+
+    def count(self, query, database, plan=None, use_core=False) -> EvalResult:
+        """#CQ: ``|q(D)|`` for full queries, distinct projections otherwise."""
+        return self._run(TASK_COUNT, query, database, plan, use_core)
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        task: str,
+        query: ConjunctiveQuery,
+        database: Database,
+        plan: Plan | None,
+        use_core: bool,
+    ) -> EvalResult:
+        reused_plan = plan is not None
+        if reused_plan and use_core:
+            raise ValueError(
+                "use_core applies at planning time; pass it to plan() "
+                "(or omit plan=) instead of combining it with a pre-built plan"
+            )
+        if plan is None:
+            plan = self.plan(query, use_core=use_core)
+        elif plan.source_query is not None and (
+            plan.source_query != query
+            # __eq__ compares free variables as a set; answer tuples follow
+            # their *order*, so a reordered projection is a different query.
+            or plan.source_query.free_variables != query.free_variables
+        ):
+            # A plan built for a different query would silently return that
+            # query's answers; hand-built plans (source_query=None) are exempt.
+            raise ValueError(
+                "the supplied plan was built for a different query; "
+                "re-plan or pass the query it was planned for"
+            )
+        backend = backend_for(plan.strategy)
+        target = plan.query
+        result = EvalResult(task=task, plan=plan)
+        start = time.perf_counter()
+        if target.atoms and any(
+            not database.has_relation(atom.relation) for atom in target.atoms
+        ):
+            # Solver semantics: a relation absent from the database is empty,
+            # so a query mentioning it has no answers.
+            empty = True
+        else:
+            empty = False
+        if task == TASK_ANSWER:
+            result.rows = set() if empty else backend.answers(target, database, plan)
+        elif task == TASK_SATISFIABLE:
+            result.satisfiable = False if empty else backend.boolean(target, database, plan)
+        elif task == TASK_COUNT:
+            result.count = 0 if empty else backend.count(target, database, plan)
+        else:
+            raise ValueError(f"unknown task {task!r}")
+        execution = time.perf_counter() - start
+        # A pre-built plan means no planning happened on this call: report
+        # zero rather than re-billing the plan's one-off cost every execution.
+        planning = 0.0 if reused_plan else plan.planning_seconds
+        result.timings = {
+            "planning_seconds": planning,
+            "execution_seconds": execution,
+            "total_seconds": planning + execution,
+        }
+        return result
+
+
+#: The engine behind the module-level convenience API.
+DEFAULT_ENGINE = Engine()
+
+
+def answer(query, database, plan=None, use_core=False, engine=None) -> EvalResult:
+    """``q(D)`` through the default engine (see :class:`Engine.answer`)."""
+    return (engine or DEFAULT_ENGINE).answer(query, database, plan=plan, use_core=use_core)
+
+
+def is_satisfiable(query, database, plan=None, use_core=False, engine=None) -> EvalResult:
+    """BCQ through the default engine."""
+    return (engine or DEFAULT_ENGINE).is_satisfiable(
+        query, database, plan=plan, use_core=use_core
+    )
+
+
+def count(query, database, plan=None, use_core=False, engine=None) -> EvalResult:
+    """#CQ through the default engine."""
+    return (engine or DEFAULT_ENGINE).count(query, database, plan=plan, use_core=use_core)
+
+
+def plan_query(query, use_core=False, force_strategy=None, engine=None) -> Plan:
+    """Plan without executing (inspect strategy, witness, rationale)."""
+    return (engine or DEFAULT_ENGINE).plan(
+        query, use_core=use_core, force_strategy=force_strategy
+    )
+
+
+def analyze(target, engine=None) -> QueryAnalysis:
+    """The cached structural analysis of a query or hypergraph."""
+    return (engine or DEFAULT_ENGINE).analyze(target)
+
+
+def clear_analysis_cache(engine=None) -> None:
+    (engine or DEFAULT_ENGINE).clear_cache()

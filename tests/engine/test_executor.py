@@ -1,0 +1,181 @@
+"""The executor layer: uniform EvalResult, plan reuse, missing relations,
+counting semantics, and pluggable backend registration."""
+
+import pytest
+
+import repro
+from repro.cq import Atom, ConjunctiveQuery, Database
+from repro.cq import generators as cqgen
+from repro.cq.homomorphism import count_answers
+from repro.engine import (
+    Engine,
+    EvaluationBackend,
+    Plan,
+    backend_for,
+    register_backend,
+    unregister_backend,
+)
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def cycle_instance():
+    query = cqgen.cycle_query(4)
+    return query, cqgen.grid_constraint_database(query, colours=3)
+
+
+class TestEvalResult:
+    def test_answer_result_shape(self, engine, cycle_instance):
+        query, database = cycle_instance
+        result = engine.answer(query, database)
+        assert result.task == "answer"
+        assert result.value is result.rows
+        assert result.satisfiable is None and result.count is None
+        assert result.plan is not None
+        assert result.strategy == result.plan.strategy
+        for key in ("planning_seconds", "execution_seconds", "total_seconds"):
+            assert result.timings[key] >= 0.0
+
+    def test_satisfiable_result_shape(self, engine, cycle_instance):
+        query, database = cycle_instance
+        result = engine.is_satisfiable(query, database)
+        assert result.task == "satisfiable"
+        assert result.value is result.satisfiable
+        assert isinstance(result.satisfiable, bool)
+
+    def test_count_result_shape(self, engine, cycle_instance):
+        query, database = cycle_instance
+        result = engine.count(query, database)
+        assert result.task == "count"
+        assert result.value == result.count == count_answers(query, database)
+
+
+class TestPlanReuse:
+    def test_explicit_plan_is_used_verbatim(self, engine, cycle_instance):
+        query, database = cycle_instance
+        plan = engine.plan(query)
+        result = engine.answer(query, database, plan=plan)
+        assert result.plan is plan
+
+    def test_plan_once_execute_many(self, engine, cycle_instance):
+        query, database = cycle_instance
+        plan = engine.plan(query)
+        first = engine.answer(query, database, plan=plan)
+        second = engine.count(query, database, plan=plan)
+        assert second.count == len(first.rows)
+
+    def test_plan_for_different_query_rejected(self, engine, cycle_instance):
+        query, database = cycle_instance
+        plan = engine.plan(cqgen.chain_query(3))
+        with pytest.raises(ValueError, match="different query"):
+            engine.answer(query, database, plan=plan)
+
+    def test_plan_for_reordered_projection_rejected(self, engine):
+        # Same atoms, same free-variable *set*, different order: answer
+        # tuples would come back in the stale column order.
+        query = cqgen.chain_query(3).project(["x0", "x1"])
+        reordered = cqgen.chain_query(3).project(["x1", "x0"])
+        database = cqgen.planted_database(query, 3, 6, seed=1)
+        plan = engine.plan(query)
+        with pytest.raises(ValueError, match="different query"):
+            engine.answer(reordered, database, plan=plan)
+
+    def test_reused_plan_not_rebilled_for_planning(self, engine, cycle_instance):
+        query, database = cycle_instance
+        plan = engine.plan(query)
+        result = engine.answer(query, database, plan=plan)
+        # No planning ran on this call; the one-off cost stays on the plan.
+        assert result.timings["planning_seconds"] == 0.0
+        assert result.timings["total_seconds"] == result.timings["execution_seconds"]
+        assert plan.planning_seconds > 0.0
+
+
+class TestEdgeCases:
+    def test_empty_query(self, engine):
+        query = ConjunctiveQuery([])
+        database = Database()
+        assert engine.is_satisfiable(query, database).satisfiable is True
+        assert engine.answer(query, database).rows == {()}
+        assert engine.count(query, database).count == 1
+
+    def test_missing_relation_means_no_answers(self, engine):
+        query = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("Missing", ["y", "z"])])
+        database = cqgen.random_database(
+            ConjunctiveQuery([Atom("R", ["x", "y"])]), 3, 5, seed=0
+        )
+        assert engine.is_satisfiable(query, database).satisfiable is False
+        assert engine.answer(query, database).rows == set()
+        assert engine.count(query, database).count == 0
+
+    def test_boolean_query_counts_zero_or_one(self, engine, cycle_instance):
+        query, database = cycle_instance
+        boolean = query.as_boolean()
+        assert engine.count(boolean, database).count == 1
+        empty = cqgen.unsatisfiable_database(query, 3, 5, seed=0)
+        assert engine.count(boolean, empty).count == 0
+
+    def test_projected_count_counts_distinct_projections(self, engine):
+        query = cqgen.chain_query(3).project(["x0", "x1"])
+        database = cqgen.planted_database(query, 3, 8, seed=3)
+        result = engine.count(query, database)
+        assert result.count == count_answers(query, database)
+        assert result.count == len(engine.answer(query, database).rows)
+
+
+class TestPublicSurface:
+    def test_top_level_reexports(self, cycle_instance):
+        query, database = cycle_instance
+        assert repro.answer(query, database).rows == repro.engine.answer(query, database).rows
+        assert repro.is_satisfiable(query, database).satisfiable is True
+        assert repro.count(query, database).count > 0
+        assert repro.plan_query(query).strategy == "ghd-guided"
+
+    def test_cq_reexports(self, cycle_instance):
+        from repro import cq
+
+        query, database = cycle_instance
+        assert cq.answer(query, database).rows == repro.answer(query, database).rows
+
+
+class TestBackendRegistry:
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="no backend registered"):
+            backend_for("nonexistent-strategy")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("trivial", EvaluationBackend())
+
+    def test_custom_backend_dispatch(self, engine, cycle_instance):
+        query, database = cycle_instance
+
+        class EchoBackend(EvaluationBackend):
+            name = "echo-test"
+
+            def boolean(self, query, database, plan):
+                return True
+
+            def answers(self, query, database, plan):
+                return {("echo",)}
+
+            def count(self, query, database, plan):
+                return 42
+
+        register_backend("echo-test", EchoBackend(), replace=True)
+        try:
+            plan = Plan(
+                strategy="echo-test",
+                query=query,
+                analysis=None,
+                decomposition=None,
+                width=None,
+                rationale="test backend",
+            )
+            assert engine.answer(query, database, plan=plan).rows == {("echo",)}
+            assert engine.count(query, database, plan=plan).count == 42
+        finally:
+            unregister_backend("echo-test")

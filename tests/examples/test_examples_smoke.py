@@ -1,0 +1,25 @@
+"""Smoke test: every script in examples/ must import and run end-to-end.
+
+API refactors have silently broken the examples before; this module executes
+each script exactly as ``python examples/<name>.py`` would (they are
+small-input demos, about a second each) and asserts it printed something.
+"""
+
+import pathlib
+import runpy
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_found():
+    assert SCRIPTS, f"no example scripts found under {EXAMPLES_DIR}"
+
+
+@pytest.mark.parametrize("script", SCRIPTS, ids=lambda path: path.name)
+def test_example_script_runs(script, capsys):
+    runpy.run_path(str(script), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script.name} produced no output"

@@ -1,10 +1,17 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline
+.PHONY: test bench bench-baseline workload-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# One-seed smoke of the scenario generator + differential conformance
+# harness: every registered strategy vs the naive solver on a small fresh
+# workload.  Override the seed with WORKLOAD_SEEDS=n.
+workload-smoke:
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/workloads tests/engine/test_differential.py tests/engine/test_session.py
 
 # Perf-regression gate: re-run the engine benchmarks and fail on >2x slowdown
 # against benchmarks/BENCH_engine.json.

@@ -50,7 +50,17 @@ from repro.reductions import reduce_along_dilution
 # The unified query engine: repro.engine.answer / is_satisfiable / count is
 # the documented public entry point for query evaluation.
 from repro import engine
-from repro.engine import Engine, EvalResult, Plan, answer, count, is_satisfiable, plan_query
+from repro.engine import (
+    Engine,
+    EngineSession,
+    EvalResult,
+    Plan,
+    answer,
+    answer_many,
+    count,
+    is_satisfiable,
+    plan_query,
+)
 
 __version__ = "1.0.0"
 
@@ -82,9 +92,11 @@ __all__ = [
     "reduce_along_dilution",
     "engine",
     "Engine",
+    "EngineSession",
     "EvalResult",
     "Plan",
     "answer",
+    "answer_many",
     "count",
     "is_satisfiable",
     "plan_query",

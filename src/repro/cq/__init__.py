@@ -26,6 +26,7 @@ from repro.cq.core import core_of, find_homomorphism_between_queries, queries_eq
 from repro.cq.semantic_width import semantic_ghw
 from repro.cq.bags import DecompositionMismatchError, build_bag_join_tree
 from repro.cq import generators
+from repro.cq import workloads
 
 # The unified engine (analysis -> plan -> execute) is the documented public
 # entry point; the per-strategy functions above remain as backends.  The

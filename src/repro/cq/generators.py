@@ -89,6 +89,41 @@ def jigsaw_query(rows: int, cols: int) -> ConjunctiveQuery:
     return query_from_hypergraph(jigsaw(rows, cols), relation_prefix="J")
 
 
+def zigzag_cycle_query(
+    length: int,
+    relation: str = "E",
+    free_variables: Iterable[Hashable] | None = (),
+) -> ConjunctiveQuery:
+    """An alternating-orientation cycle over a *single* relation: the
+    signature high-width-but-semantically-tractable query.
+
+    The hypergraph is the ``length``-cycle (cyclic, ghw 2), but the
+    alternation makes every second vertex fold onto ``x0``/``x1``, so the
+    core is the single atom ``E(x0, x1)`` — acyclic.  Planning with
+    ``use_core=True`` therefore turns a GHD-guided plan into direct
+    Yannakakis (the Section 4.3 semantic-width route).
+
+    ``length`` must be even and at least 4 (odd alternation would repeat a
+    variable in the closing atom).  Free variables may only mention ``x0`` /
+    ``x1`` — anything else (including ``None``, the full query) would pin a
+    foldable vertex and break the single-atom-core invariant.
+    """
+    if length < 4 or length % 2:
+        raise ValueError("zigzag_cycle_query requires an even length >= 4")
+    if free_variables is None or not set(free_variables) <= {"x0", "x1"}:
+        raise ValueError(
+            "free variables of a zigzag cycle must be within {x0, x1} "
+            "(a full zigzag query would be its own core)"
+        )
+    atoms = []
+    for i in range(length):
+        head, tail = f"x{i}", f"x{(i + 1) % length}"
+        atoms.append(
+            Atom(relation, [head, tail] if i % 2 == 0 else [tail, head])
+        )
+    return ConjunctiveQuery(atoms, free_variables=free_variables)
+
+
 def clique_query(size: int) -> ConjunctiveQuery:
     """The ``K_size`` clique query (bounded arity, treewidth ``size - 1``)."""
     if size < 2:
@@ -161,17 +196,26 @@ def unsatisfiable_database(
     """A database that cannot satisfy the query.
 
     One relation of the query is split off onto a private part of the domain,
-    so no joint assignment can satisfy all atoms simultaneously (as long as
-    the query has at least two atoms sharing a variable; otherwise the first
-    relation is simply left empty).
+    so no joint assignment can satisfy all atoms simultaneously.  The split
+    only works for a relation appearing in exactly *one* atom that shares a
+    variable with the rest of the query — shifting a self-joined relation
+    would shift every one of its atoms coherently and can leave the query
+    satisfiable.  When no atom qualifies (single-relation self-join queries,
+    variable-disjoint queries), the first relation is left empty instead,
+    which is unsatisfiable for any query that mentions it.
     """
     rng = _rng(seed)
     database = Database()
     domain = list(range(domain_size))
     shifted = [value + domain_size for value in domain]
     atoms = list(query.atoms)
+    relation_occurrences: dict = {}
+    for atom in atoms:
+        relation_occurrences[atom.relation] = relation_occurrences.get(atom.relation, 0) + 1
     shared_index = None
     for index, atom in enumerate(atoms):
+        if relation_occurrences[atom.relation] != 1:
+            continue
         others = set()
         for other_index, other in enumerate(atoms):
             if other_index != index:

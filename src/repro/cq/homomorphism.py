@@ -427,3 +427,33 @@ def count_answers(query: ConjunctiveQuery, database: Database) -> int:
     it counts distinct projections onto the free variables.
     """
     return len(enumerate_answers(query, database))
+
+
+# ----------------------------------------------------------------------
+# Naive reference API (linear-scan backtracking, no indexes)
+# ----------------------------------------------------------------------
+# The differential conformance harness runs every registered engine strategy
+# against these: the naive solver is the simplest credible implementation of
+# the semantics, so any disagreement is a bug in the optimised route.
+def naive_boolean_answer(query: ConjunctiveQuery, database: Database) -> bool:
+    """BCQ through the naive reference solver."""
+    if not query.atoms:
+        return True
+    for _ in _solve_naive(query, database):
+        return True
+    return False
+
+
+def naive_enumerate_answers(query: ConjunctiveQuery, database: Database) -> set[tuple]:
+    """The answer set ``q(D)`` through the naive reference solver."""
+    if not query.atoms:
+        return {()}
+    free = query.free_variables
+    return {
+        tuple(solution[v] for v in free) for solution in _solve_naive(query, database)
+    }
+
+
+def naive_count_answers(query: ConjunctiveQuery, database: Database) -> int:
+    """#CQ (distinct projections) through the naive reference solver."""
+    return len(naive_enumerate_answers(query, database))

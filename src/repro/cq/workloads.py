@@ -1,0 +1,265 @@
+"""Seeded scenario workloads spanning the paper's tractability regimes.
+
+The tests, benchmarks, and examples all need the same thing: labelled
+(query, database) suites that cover *every* dispatch route of the unified
+engine, reproducibly from a seed.  One generator lives here so they stay in
+sync.  Four regimes mirror the paper's complexity landscape:
+
+* :data:`REGIME_ACYCLIC` — GYO-acyclic queries (chains, stars, random
+  acyclic hypergraphs): the direct-Yannakakis route;
+* :data:`REGIME_BOUNDED_GHW` — cyclic queries with small certified ghw
+  (cycles, triangles, small jigsaws): the GHD-guided route (Prop. 2.2);
+* :data:`REGIME_CORE_REDUCIBLE` — syntactically wide queries whose *core*
+  is small (alternating-orientation cycles, redundant-atom folds): the
+  semantic-width route (Section 4.3) — tractable despite their syntax;
+* :data:`REGIME_HARD` — instances with no decomposition within the
+  planner's width limit (wide cliques) or near-threshold random databases:
+  the indexed-backtracking fallback, where no structure bound applies.
+
+Databases per scenario deliberately span the satisfiability spectrum —
+random, planted (guaranteed satisfiable), unsatisfiable-by-construction, and
+proper-colouring databases with predictable counts — so Boolean,
+enumeration, and counting semantics are all exercised on both empty and
+non-empty answer sets.
+
+Everything is deterministic in ``(seed, size, regime)``: the differential
+harness can be pointed at a fresh seed every CI run and still reproduce any
+failure locally.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.cq import generators as cqgen
+from repro.cq.database import Database, Relation
+from repro.cq.query import Atom, Constant, ConjunctiveQuery
+
+REGIME_ACYCLIC = "acyclic"
+REGIME_BOUNDED_GHW = "bounded-ghw"
+REGIME_CORE_REDUCIBLE = "core-reducible"
+REGIME_HARD = "hard"
+ALL_REGIMES = (
+    REGIME_ACYCLIC,
+    REGIME_BOUNDED_GHW,
+    REGIME_CORE_REDUCIBLE,
+    REGIME_HARD,
+)
+
+#: (domain size, tuples per relation) per workload size.  "small" keeps the
+#: naive reference solver fast enough to cross-check every scenario; the
+#: larger sizes are for benchmarks, where only the optimised routes run.
+SIZES = {
+    "small": (5, 16),
+    "medium": (8, 60),
+    "large": (12, 200),
+}
+
+
+@dataclass(frozen=True, eq=False)
+class Scenario:
+    """One labelled workload instance: a query, a database, and provenance."""
+
+    name: str
+    regime: str
+    query: ConjunctiveQuery
+    database: Database
+    seed: int
+    description: str
+
+    def __repr__(self) -> str:
+        return f"Scenario({self.name!r}, regime={self.regime!r})"
+
+
+def _sub_rng(seed: int, size: str, regime: str) -> random.Random:
+    # Each regime draws from its own stream, so selecting a subset of
+    # regimes never shifts another regime's scenarios for the same seed.
+    return random.Random(f"workload|{seed}|{size}|{regime}")
+
+
+def _databases(query, rng, domain, tuples, colours=3):
+    """The database spectrum for one query: satisfiable and not, plus the
+    predictable proper-colouring instance for counting anchors."""
+    return [
+        ("random", cqgen.random_database(query, domain, tuples, seed=rng.randrange(2**30))),
+        (
+            "planted",
+            cqgen.planted_database(
+                query, domain, tuples, seed=rng.randrange(2**30), planted_solutions=2
+            ),
+        ),
+        (
+            "unsat",
+            cqgen.unsatisfiable_database(query, domain, tuples, seed=rng.randrange(2**30)),
+        ),
+        ("colour", cqgen.grid_constraint_database(query, colours=colours)),
+    ]
+
+
+def _random_acyclic_hypergraph(rng):
+    from repro.hypergraphs.generators import random_acyclic_hypergraph
+
+    return random_acyclic_hypergraph(
+        num_edges=rng.randint(4, 6), max_rank=3, seed=rng.randrange(2**30)
+    )
+
+
+def _acyclic_queries(rng) -> list[tuple[str, ConjunctiveQuery]]:
+    chain = cqgen.chain_query(rng.randint(3, 5))
+    last = f"x{len(chain.atoms)}"
+    star = cqgen.star_query(rng.randint(3, 5))
+    return [
+        ("chain-full", chain),
+        ("chain-projected", chain.project(["x0", last])),
+        ("star-boolean", star.as_boolean()),
+        ("random-acyclic", cqgen.query_from_hypergraph(_random_acyclic_hypergraph(rng))),
+    ]
+
+
+def _bounded_ghw_queries(rng) -> list[tuple[str, ConjunctiveQuery]]:
+    length = rng.choice([4, 5, 6])
+    cycle = cqgen.cycle_query(length)
+    return [
+        ("cycle-full", cycle),
+        ("cycle-projected", cycle.project(["x0"])),
+        ("cycle-boolean", cqgen.cycle_query(rng.choice([4, 5])).as_boolean()),
+        ("triangle", cqgen.clique_query(3)),
+        ("jigsaw22", cqgen.jigsaw_query(2, 2)),
+    ]
+
+
+def _core_reducible_queries(rng) -> list[tuple[str, ConjunctiveQuery]]:
+    # Redundant-atom fold: R(x, y) AND R(x, z) with z existential — the core
+    # drops the second atom.
+    fold = ConjunctiveQuery(
+        [Atom("R", ["x", "y"]), Atom("R", ["x", "z"])], free_variables=["x", "y"]
+    )
+    return [
+        ("zigzag-boolean", cqgen.zigzag_cycle_query(rng.choice([4, 6, 8]))),
+        ("zigzag-free", cqgen.zigzag_cycle_query(6, free_variables=["x0", "x1"])),
+        ("redundant-fold", fold),
+    ]
+
+
+def _hard_queries(rng) -> list[tuple[str, ConjunctiveQuery]]:
+    # clique7's certified ghw upper bound (4) exceeds the default width
+    # limit (3): the planner must fall back to indexed backtracking.  The
+    # near-threshold cycle stays GHD-plannable but makes the *instance* do
+    # real search work.
+    return [
+        ("clique7", cqgen.clique_query(7)),
+        ("clique7-boolean", cqgen.clique_query(7).as_boolean()),
+        ("threshold-cycle", cqgen.cycle_query(6).project(["x0"])),
+    ]
+
+
+_REGIME_QUERIES = {
+    REGIME_ACYCLIC: _acyclic_queries,
+    REGIME_BOUNDED_GHW: _bounded_ghw_queries,
+    REGIME_CORE_REDUCIBLE: _core_reducible_queries,
+    REGIME_HARD: _hard_queries,
+}
+
+
+def generate_workload(
+    seed: int = 0,
+    regimes: Iterable[str] = ALL_REGIMES,
+    size: str = "small",
+) -> list[Scenario]:
+    """The labelled scenario suite for ``seed``: every regime × query shape ×
+    database flavour, deterministically."""
+    if size not in SIZES:
+        raise ValueError(f"unknown size {size!r}; choose from {sorted(SIZES)}")
+    domain, tuples = SIZES[size]
+    scenarios = []
+    for regime in regimes:
+        try:
+            build = _REGIME_QUERIES[regime]
+        except KeyError:
+            raise ValueError(
+                f"unknown regime {regime!r}; choose from {ALL_REGIMES}"
+            ) from None
+        rng = _sub_rng(seed, size, regime)
+        for query_name, query in build(rng):
+            # Wide cliques get a smaller database: their atom count multiplies
+            # the naive solver's per-node scan cost in the cross-checks.
+            shrink = 2 if regime == REGIME_HARD and "clique" in query_name else 1
+            for db_name, database in _databases(
+                query, rng, max(3, domain // shrink), max(6, tuples // shrink)
+            ):
+                scenarios.append(
+                    Scenario(
+                        name=f"{regime}/{query_name}/{db_name}/s{seed}",
+                        regime=regime,
+                        query=query,
+                        database=database,
+                        seed=seed,
+                        description=(
+                            f"{query_name} over a {db_name} database "
+                            f"(size={size}, seed={seed})"
+                        ),
+                    )
+                )
+    return scenarios
+
+
+# ----------------------------------------------------------------------
+# Batches: many queries over ONE database (the answer_many workload)
+# ----------------------------------------------------------------------
+def _rename_relations(query: ConjunctiveQuery, prefix: str) -> ConjunctiveQuery:
+    atoms = [Atom(f"{prefix}{atom.relation}", atom.terms) for atom in query.atoms]
+    return ConjunctiveQuery(atoms, free_variables=query.free_variables)
+
+
+def _rename_variables(query: ConjunctiveQuery, suffix: str) -> ConjunctiveQuery:
+    def rename(term):
+        return term if isinstance(term, Constant) else f"{term}{suffix}"
+
+    atoms = [
+        Atom(atom.relation, [rename(term) for term in atom.terms])
+        for atom in query.atoms
+    ]
+    free = [rename(variable) for variable in query.free_variables]
+    return ConjunctiveQuery(atoms, free_variables=free)
+
+
+def mixed_batch(
+    seed: int = 0,
+    copies: int = 4,
+    size: str = "small",
+    regimes: Iterable[str] = ALL_REGIMES,
+    distinct: int | None = None,
+) -> tuple[list[ConjunctiveQuery], Database]:
+    """A serving-engine batch: a shuffled list of queries over one database.
+
+    Every scenario of :func:`generate_workload` (optionally sampled down to
+    ``distinct`` scenarios) contributes its query ``copies`` times —
+    relations namespaced per scenario so all coexist in the one returned
+    database.  Every second copy has its variables renamed, so the batch
+    contains structurally-isomorphic-but-not-equal repeats: exactly what
+    :meth:`EngineSession.answer_many`'s dedup pass is for.
+    """
+    if copies < 1:
+        raise ValueError("mixed_batch needs copies >= 1")
+    rng = random.Random(f"batch|{seed}|{size}|{copies}")
+    scenarios = generate_workload(seed, regimes, size)
+    if distinct is not None and distinct < len(scenarios):
+        scenarios = rng.sample(scenarios, distinct)
+    database = Database()
+    queries: list[ConjunctiveQuery] = []
+    for index, scenario in enumerate(scenarios):
+        prefix = f"W{index}_"
+        query = _rename_relations(scenario.query, prefix)
+        for relation in scenario.database.relations.values():
+            database.add_relation(
+                Relation(f"{prefix}{relation.name}", relation.arity, relation.tuples)
+            )
+        for copy_index in range(copies):
+            if copy_index % 2:
+                queries.append(_rename_variables(query, f"_c{copy_index}"))
+            else:
+                queries.append(query)
+    rng.shuffle(queries)
+    return queries, database

@@ -20,14 +20,19 @@ The pipeline has three layers, each reusable on its own:
   rationale);
 * :mod:`repro.engine.executor` — :class:`Engine` / the module-level
   :func:`answer`, :func:`is_satisfiable`, :func:`count`, returning a uniform
-  :class:`EvalResult` (payload + plan + timings).
+  :class:`EvalResult` (payload + plan + timings);
+* :mod:`repro.engine.session` — :class:`EngineSession`, an engine plus a
+  session-scoped plan cache and the batch API
+  (:meth:`~EngineSession.answer_many`: isomorphism dedup → plan reuse →
+  parallel execution).  The module-level helpers delegate to one lazily
+  created default session (:func:`default_session`, :func:`isolated_session`).
 
 Strategy backends are pluggable: see
 :func:`repro.engine.backends.register_backend` and
 ``docs/ARCHITECTURE.md``.
 """
 
-from repro.engine.analysis import AnalysisCache, QueryAnalysis
+from repro.engine.analysis import AnalysisCache, LRUCache, QueryAnalysis
 from repro.engine.backends import (
     BacktrackingBackend,
     DecompositionBackend,
@@ -39,7 +44,6 @@ from repro.engine.backends import (
     unregister_backend,
 )
 from repro.engine.executor import (
-    DEFAULT_ENGINE,
     Engine,
     EvalResult,
     TASK_ANSWER,
@@ -52,6 +56,14 @@ from repro.engine.executor import (
     is_satisfiable,
     plan_query,
 )
+from repro.engine.session import (
+    EngineSession,
+    answer_many,
+    canonical_query_key,
+    default_session,
+    isolated_session,
+    set_default_session,
+)
 from repro.engine.planner import (
     DEFAULT_MAX_GHD_WIDTH,
     Plan,
@@ -62,9 +74,24 @@ from repro.engine.planner import (
     STRATEGY_YANNAKAKIS,
 )
 
+def __getattr__(name):
+    # Backwards-compatible alias from before caches were session-scoped:
+    # the "default engine" is now the process-default EngineSession.
+    if name == "DEFAULT_ENGINE":
+        return default_session()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
     "AnalysisCache",
+    "LRUCache",
     "QueryAnalysis",
+    "EngineSession",
+    "answer_many",
+    "canonical_query_key",
+    "default_session",
+    "isolated_session",
+    "set_default_session",
     "EvaluationBackend",
     "TrivialBackend",
     "DecompositionBackend",

@@ -88,44 +88,44 @@ class QueryAnalysis:
         )
 
 
-class AnalysisCache:
-    """An LRU cache of :class:`QueryAnalysis`, keyed on the hypergraph.
+class LRUCache:
+    """The engine's cache primitive: a bounded LRU with hit/miss counters.
 
-    :class:`~repro.hypergraphs.hypergraph.Hypergraph` is immutable and hashes
-    on its ``(vertices, edges)`` structure, so two structurally equal
-    hypergraphs — even distinct objects rebuilt per request — share one
-    analysis, while any copy-on-write derivative (``delete_vertex``,
-    ``add_edge``, ``merge_on_vertex``, ...) differs structurally, hashes
-    differently, and gets a fresh analysis: a derived query can never reuse a
-    stale decomposition.
+    Every memo the engine keeps — analyses, cores, plans — is an instance of
+    this class *owned by a session* (or an :class:`~repro.engine.Engine`), so
+    cache state is never process-global: tests isolate it by constructing a
+    fresh session, and two sessions can never poison each other's entries.
     """
 
     def __init__(self, maxsize: int = 256) -> None:
         if maxsize < 1:
-            raise ValueError("AnalysisCache needs maxsize >= 1")
+            raise ValueError(f"{type(self).__name__} needs maxsize >= 1")
         self.maxsize = maxsize
-        self._entries: OrderedDict[Hypergraph, QueryAnalysis] = OrderedDict()
+        self._entries: OrderedDict = OrderedDict()
         self.hits = 0
         self.misses = 0
 
-    def get_or_create(self, hypergraph: Hypergraph) -> QueryAnalysis:
-        analysis = self._entries.get(hypergraph)
-        if analysis is not None:
-            self.hits += 1
-            self._entries.move_to_end(hypergraph)
-            return analysis
-        self.misses += 1
-        analysis = QueryAnalysis(hypergraph)
-        self._entries[hypergraph] = analysis
+    def get(self, key, default=None):
+        try:
+            value = self._entries[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
         while len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
-        return analysis
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, hypergraph: Hypergraph) -> bool:
-        return hypergraph in self._entries
+    def __contains__(self, key) -> bool:
+        return key in self._entries
 
     def clear(self) -> None:
         self._entries.clear()
@@ -137,3 +137,23 @@ class AnalysisCache:
             "hits": self.hits,
             "misses": self.misses,
         }
+
+
+class AnalysisCache(LRUCache):
+    """An LRU cache of :class:`QueryAnalysis`, keyed on the hypergraph.
+
+    :class:`~repro.hypergraphs.hypergraph.Hypergraph` is immutable and hashes
+    on its ``(vertices, edges)`` structure, so two structurally equal
+    hypergraphs — even distinct objects rebuilt per request — share one
+    analysis, while any copy-on-write derivative (``delete_vertex``,
+    ``add_edge``, ``merge_on_vertex``, ...) differs structurally, hashes
+    differently, and gets a fresh analysis: a derived query can never reuse a
+    stale decomposition.
+    """
+
+    def get_or_create(self, hypergraph: Hypergraph) -> QueryAnalysis:
+        analysis = self.get(hypergraph)
+        if analysis is None:
+            analysis = QueryAnalysis(hypergraph)
+            self.put(hypergraph, analysis)
+        return analysis

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
-from repro.engine.analysis import AnalysisCache, QueryAnalysis
+from repro.engine.analysis import AnalysisCache, LRUCache, QueryAnalysis
 from repro.engine.backends import backend_for
 from repro.engine.planner import DEFAULT_MAX_GHD_WIDTH, Plan, QueryPlanner
 from repro.hypergraphs.hypergraph import Hypergraph
@@ -31,9 +31,10 @@ class EvalResult:
 
     Exactly one of ``rows`` / ``satisfiable`` / ``count`` is populated,
     matching ``task``; :attr:`value` returns it.  ``timings`` holds
-    ``planning_seconds`` (includes analysis on a cache miss; ``0.0`` when a
-    pre-built plan was passed in), ``execution_seconds``, and
-    ``total_seconds``.
+    ``planning_seconds`` (the planning work done by *this call*: the cold
+    analysis + planning cost on first sight of a query, near-zero on a
+    session plan-cache hit, ``0.0`` when a pre-built plan was passed in),
+    ``execution_seconds``, and ``total_seconds``.
     """
 
     task: str
@@ -65,19 +66,26 @@ class EvalResult:
 class Engine:
     """The unified query engine: analysis → plan → execute.
 
-    One engine owns one analysis cache; the module-level helpers
-    (:func:`answer` & friends) share :data:`DEFAULT_ENGINE`.  Engines are
-    cheap — construct a private one to isolate cache state or change the
-    width limit.
+    One engine owns its caches (the analysis cache and the planner's core
+    cache) — no cache state is process-global.  The module-level helpers
+    (:func:`answer` & friends) share the default
+    :class:`~repro.engine.session.EngineSession`.  Engines are cheap —
+    construct a private one to isolate cache state or change the width limit;
+    construct an :class:`~repro.engine.session.EngineSession` to also get
+    plan caching and the batch API.
     """
 
     def __init__(
         self,
         max_ghd_width: int = DEFAULT_MAX_GHD_WIDTH,
         cache_size: int = 256,
+        core_cache_size: int = 256,
     ) -> None:
         self.cache = AnalysisCache(cache_size)
-        self.planner = QueryPlanner(self.analyze, max_ghd_width=max_ghd_width)
+        self.core_cache = LRUCache(core_cache_size)
+        self.planner = QueryPlanner(
+            self.analyze, max_ghd_width=max_ghd_width, core_cache=self.core_cache
+        )
 
     # ------------------------------------------------------------------
     def analyze(self, target: ConjunctiveQuery | Hypergraph) -> QueryAnalysis:
@@ -127,8 +135,15 @@ class Engine:
                 "use_core applies at planning time; pass it to plan() "
                 "(or omit plan=) instead of combining it with a pre-built plan"
             )
+        planning = 0.0
         if plan is None:
+            # Clock the planning work *this call* did: the cold analysis +
+            # planning cost on first sight of a query, near-zero when a
+            # session serves the plan from its cache (the plan object's own
+            # planning_seconds keeps the one-off cold cost).
+            planning_started = time.perf_counter()
             plan = self.plan(query, use_core=use_core)
+            planning = time.perf_counter() - planning_started
         elif plan.source_query is not None and (
             plan.source_query != query
             # __eq__ compares free variables as a set; answer tuples follow
@@ -162,9 +177,6 @@ class Engine:
         else:
             raise ValueError(f"unknown task {task!r}")
         execution = time.perf_counter() - start
-        # A pre-built plan means no planning happened on this call: report
-        # zero rather than re-billing the plan's one-off cost every execution.
-        planning = 0.0 if reused_plan else plan.planning_seconds
         result.timings = {
             "planning_seconds": planning,
             "execution_seconds": execution,
@@ -173,38 +185,44 @@ class Engine:
         return result
 
 
-#: The engine behind the module-level convenience API.
-DEFAULT_ENGINE = Engine()
+def _default():
+    # The default engine is the process-default *session*
+    # (:mod:`repro.engine.session`); resolved lazily on every call so
+    # ``isolated_session()`` / ``set_default_session()`` take effect, and
+    # imported locally because session.py builds on this module.
+    from repro.engine.session import default_session
+
+    return default_session()
 
 
 def answer(query, database, plan=None, use_core=False, engine=None) -> EvalResult:
-    """``q(D)`` through the default engine (see :class:`Engine.answer`)."""
-    return (engine or DEFAULT_ENGINE).answer(query, database, plan=plan, use_core=use_core)
+    """``q(D)`` through the default session (see :class:`Engine.answer`)."""
+    return (engine or _default()).answer(query, database, plan=plan, use_core=use_core)
 
 
 def is_satisfiable(query, database, plan=None, use_core=False, engine=None) -> EvalResult:
-    """BCQ through the default engine."""
-    return (engine or DEFAULT_ENGINE).is_satisfiable(
+    """BCQ through the default session."""
+    return (engine or _default()).is_satisfiable(
         query, database, plan=plan, use_core=use_core
     )
 
 
 def count(query, database, plan=None, use_core=False, engine=None) -> EvalResult:
-    """#CQ through the default engine."""
-    return (engine or DEFAULT_ENGINE).count(query, database, plan=plan, use_core=use_core)
+    """#CQ through the default session."""
+    return (engine or _default()).count(query, database, plan=plan, use_core=use_core)
 
 
 def plan_query(query, use_core=False, force_strategy=None, engine=None) -> Plan:
     """Plan without executing (inspect strategy, witness, rationale)."""
-    return (engine or DEFAULT_ENGINE).plan(
+    return (engine or _default()).plan(
         query, use_core=use_core, force_strategy=force_strategy
     )
 
 
 def analyze(target, engine=None) -> QueryAnalysis:
     """The cached structural analysis of a query or hypergraph."""
-    return (engine or DEFAULT_ENGINE).analyze(target)
+    return (engine or _default()).analyze(target)
 
 
 def clear_analysis_cache(engine=None) -> None:
-    (engine or DEFAULT_ENGINE).clear_cache()
+    (engine or _default()).clear_cache()

@@ -19,11 +19,10 @@ cost rationale, so a caller can always ask *why* a strategy was chosen.
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.cq.query import ConjunctiveQuery
-from repro.engine.analysis import QueryAnalysis
+from repro.engine.analysis import LRUCache, QueryAnalysis
 from repro.widths.ghd import GeneralizedHypertreeDecomposition
 
 STRATEGY_TRIVIAL = "trivial"
@@ -83,16 +82,22 @@ class QueryPlanner:
     max_ghd_width:
         Largest certified ghw upper bound for which the GHD-guided strategy
         is preferred over indexed backtracking.
+    core_cache:
+        The :class:`~repro.engine.analysis.LRUCache` memoizing core
+        minimisation — the expensive part of semantic planning (retraction
+        searches).  Normally injected by the owning engine/session so cache
+        state stays session-scoped; a private one is created if omitted.
     """
 
-    def __init__(self, analyze, max_ghd_width: int = DEFAULT_MAX_GHD_WIDTH) -> None:
+    def __init__(
+        self,
+        analyze,
+        max_ghd_width: int = DEFAULT_MAX_GHD_WIDTH,
+        core_cache: LRUCache | None = None,
+    ) -> None:
         self._analyze = analyze
         self.max_ghd_width = max_ghd_width
-        # Core minimisation is the expensive part of semantic planning
-        # (retraction searches); memoize it per query, LRU-bounded like the
-        # analysis cache.
-        self._core_cache: OrderedDict[tuple, ConjunctiveQuery] = OrderedDict()
-        self._core_cache_maxsize = 256
+        self._core_cache = core_cache if core_cache is not None else LRUCache(256)
 
     def plan(
         self,
@@ -131,15 +136,11 @@ class QueryPlanner:
         # ordered head in the key so reordered projections never share a core.
         key = (query, query.free_variables)
         core = self._core_cache.get(key)
-        if core is not None:
-            self._core_cache.move_to_end(key)
-            return core
-        from repro.cq.core import core_of
+        if core is None:
+            from repro.cq.core import core_of
 
-        core = core_of(query)
-        self._core_cache[key] = core
-        while len(self._core_cache) > self._core_cache_maxsize:
-            self._core_cache.popitem(last=False)
+            core = core_of(query)
+            self._core_cache.put(key, core)
         return core
 
     def _dispatch(

@@ -1,0 +1,284 @@
+"""Engine sessions: batched evaluation over shared, session-scoped caches.
+
+An :class:`EngineSession` is an :class:`~repro.engine.executor.Engine` that
+additionally owns a **plan cache** and exposes a **batch API** —
+:meth:`EngineSession.answer_many` and friends.  A batch call
+
+* **deduplicates structurally-isomorphic queries** before planning: two
+  queries that coincide after a variable renaming (same relations, same term
+  order, same free-variable order — see :func:`canonical_query_key`) have
+  identical answer sets over any shared database, so only one representative
+  per class is planned and executed;
+* **reuses plans** across the batch and across batches through the
+  session-scoped plan cache (keyed on the query, its free-variable *order*,
+  and the planning options);
+* **executes independent queries concurrently** via a thread pool when
+  ``parallel > 1``.  Plans, relations, and the query/hypergraph objects are
+  read-only at execution time; the lazily memoized structures they carry
+  (tries, key indexes, incidence maps) are pure and assigned atomically
+  under the GIL, so a duplicated computation is the worst a race can cost.
+
+All caching is *session-scoped*: the analysis cache, the planner's core
+cache, and the plan cache live on the session object, never at module level.
+The module-level convenience API (``repro.engine.answer`` …) delegates to
+one lazily created default session, which tests can swap out wholesale with
+:func:`isolated_session` / :func:`set_default_session`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+from repro.cq.database import Database
+from repro.cq.query import Constant, ConjunctiveQuery
+from repro.engine.analysis import LRUCache
+from repro.engine.executor import (
+    Engine,
+    EvalResult,
+    TASK_ANSWER,
+    TASK_COUNT,
+    TASK_SATISFIABLE,
+)
+from repro.engine.planner import DEFAULT_MAX_GHD_WIDTH, Plan
+
+
+def canonical_query_key(query: ConjunctiveQuery):
+    """A hashable key under which two queries collide exactly when one is a
+    variable renaming of the other.
+
+    For **self-join-free** queries (every relation name appears in one atom)
+    the key is a true canonical form: atoms are sorted by their unique
+    relation name and variables renamed by first occurrence along that fixed
+    order.  Equal keys then give a variable bijection preserving relation
+    names, term positions, constants, and the free-variable order — so the
+    answer sets over any one database are identical and the batch layer may
+    evaluate a single representative.
+
+    Queries with self-joins fall back to an exact key (atom *set* plus the
+    ordered head): canonicalising them is graph canonisation, which the
+    batch path does not attempt.  Exact duplicates still deduplicate.
+    """
+    if query.has_self_joins():
+        return ("exact", frozenset(query.atoms), query.free_variables)
+    rename: dict = {}
+
+    def term_key(term):
+        if isinstance(term, Constant):
+            return ("c", term.value)
+        if term not in rename:
+            rename[term] = len(rename)
+        return ("v", rename[term])
+
+    body = tuple(
+        (atom.relation, tuple(term_key(term) for term in atom.terms))
+        for atom in sorted(query.atoms, key=lambda atom: atom.relation)
+    )
+    head = tuple(term_key(variable) for variable in query.free_variables)
+    return ("iso", body, head)
+
+
+class EngineSession(Engine):
+    """An engine plus session-scoped plan cache, dedup, and batch execution.
+
+    Sessions are cheap to construct and own *all* their cache state (analysis
+    cache, core cache, plan cache) — constructing a fresh session is complete
+    cache isolation.  A session is safe to share across threads as long as
+    evaluation goes through the session API (``plan`` / ``answer*`` /
+    ``*_many``): every cache mutation happens inside :meth:`plan`, which
+    serializes on the session lock, and execution only reads plans and
+    relations.  (Calling the inherited :meth:`Engine.analyze` directly from
+    multiple threads bypasses that lock.)
+    """
+
+    def __init__(
+        self,
+        max_ghd_width: int = DEFAULT_MAX_GHD_WIDTH,
+        cache_size: int = 256,
+        core_cache_size: int = 256,
+        plan_cache_size: int = 512,
+    ) -> None:
+        super().__init__(
+            max_ghd_width=max_ghd_width,
+            cache_size=cache_size,
+            core_cache_size=core_cache_size,
+        )
+        self.plan_cache = LRUCache(plan_cache_size)
+        self._lock = threading.RLock()
+        self.dedup_hits = 0
+        self.batches = 0
+
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        query: ConjunctiveQuery,
+        use_core: bool = False,
+        force_strategy: str | None = None,
+    ) -> Plan:
+        """Plan ``query``, serving repeats from the session's plan cache.
+
+        The key includes the free-variable *order* (answer-tuple column
+        order, which ``ConjunctiveQuery.__eq__`` ignores) and both planning
+        options, so a cached plan is only ever replayed for calls that would
+        have produced it.
+
+        The whole call runs under the session lock — including a miss's
+        ``super().plan(...)``, which mutates the (unsynchronized) analysis
+        and core caches.  Planning therefore serializes across threads; only
+        execution runs concurrently, which is where the time goes.
+        """
+        key = (query, query.free_variables, use_core, force_strategy)
+        with self._lock:
+            plan = self.plan_cache.get(key)
+            if plan is None:
+                plan = super().plan(
+                    query, use_core=use_core, force_strategy=force_strategy
+                )
+                self.plan_cache.put(key, plan)
+            return plan
+
+    # ------------------------------------------------------------------
+    def answer_many(
+        self,
+        queries,
+        database: Database,
+        parallel: int = 1,
+        use_core: bool = False,
+    ) -> list[EvalResult]:
+        """Answer a batch of queries over one database (see :meth:`_run_many`)."""
+        return self._run_many(TASK_ANSWER, queries, database, parallel, use_core)
+
+    def is_satisfiable_many(
+        self, queries, database, parallel: int = 1, use_core: bool = False
+    ) -> list[EvalResult]:
+        """BCQ over a batch of queries."""
+        return self._run_many(TASK_SATISFIABLE, queries, database, parallel, use_core)
+
+    def count_many(
+        self, queries, database, parallel: int = 1, use_core: bool = False
+    ) -> list[EvalResult]:
+        """#CQ over a batch of queries."""
+        return self._run_many(TASK_COUNT, queries, database, parallel, use_core)
+
+    def _run_many(
+        self,
+        task: str,
+        queries,
+        database: Database,
+        parallel: int,
+        use_core: bool,
+    ) -> list[EvalResult]:
+        """The batch pipeline: dedup → plan once per class → execute.
+
+        Returns one :class:`EvalResult` per input query, in input order.
+        Queries in the same isomorphism class share a single result object
+        (same rows/count and the representative's plan) — the whole point of
+        the dedup pass is to not evaluate them twice.
+        """
+        if parallel < 1:
+            raise ValueError("parallel must be >= 1")
+        queries = [self._checked_query(query) for query in queries]
+        keys = [canonical_query_key(query) for query in queries]
+        representatives: dict = {}
+        for key, query in zip(keys, queries):
+            representatives.setdefault(key, query)
+        with self._lock:
+            self.batches += 1
+            self.dedup_hits += len(queries) - len(representatives)
+        # Planning stays sequential: it is cache-bound and mutates the
+        # session caches, and one plan per *class* is already the cheap part.
+        plans = {
+            key: self.plan(query, use_core=use_core)
+            for key, query in representatives.items()
+        }
+
+        def execute(item) -> tuple:
+            key, query = item
+            return key, self._run(task, query, database, plans[key], False)
+
+        items = list(representatives.items())
+        if parallel > 1 and len(items) > 1:
+            with ThreadPoolExecutor(max_workers=min(parallel, len(items))) as pool:
+                results = dict(pool.map(execute, items))
+        else:
+            results = dict(execute(item) for item in items)
+        return [results[key] for key in keys]
+
+    @staticmethod
+    def _checked_query(query) -> ConjunctiveQuery:
+        if not isinstance(query, ConjunctiveQuery):
+            raise TypeError(
+                f"answer_many expects ConjunctiveQuery items, got {type(query).__name__}"
+            )
+        return query
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """One dict of every session counter (cache hit rates, dedup, batches)."""
+        return {
+            "analysis_cache": self.cache.info(),
+            "core_cache": self.core_cache.info(),
+            "plan_cache": self.plan_cache.info(),
+            "dedup_hits": self.dedup_hits,
+            "batches": self.batches,
+        }
+
+    def clear_cache(self) -> None:
+        """Drop every session cache (analysis, core, and plan)."""
+        super().clear_cache()
+        self.core_cache.clear()
+        self.plan_cache.clear()
+
+
+# ----------------------------------------------------------------------
+# The process-default session behind the module-level API
+# ----------------------------------------------------------------------
+_default_session: EngineSession | None = None
+_default_session_lock = threading.Lock()
+
+
+def default_session() -> EngineSession:
+    """The lazily created session behind ``repro.engine.answer`` & friends."""
+    global _default_session
+    with _default_session_lock:
+        if _default_session is None:
+            _default_session = EngineSession()
+        return _default_session
+
+
+def set_default_session(session: EngineSession | None) -> EngineSession | None:
+    """Replace the process-default session; returns the previous one.
+
+    Passing ``None`` resets to "create a fresh default on next use".
+    """
+    global _default_session
+    with _default_session_lock:
+        previous = _default_session
+        _default_session = session
+        return previous
+
+
+@contextmanager
+def isolated_session(**session_kwargs):
+    """Run a block against a fresh default session (cache-state isolation).
+
+    >>> with isolated_session() as session:          # doctest: +SKIP
+    ...     repro.engine.answer(query, database)     # uses `session`
+    """
+    session = EngineSession(**session_kwargs)
+    previous = set_default_session(session)
+    try:
+        yield session
+    finally:
+        set_default_session(previous)
+
+
+def answer_many(
+    queries, database, parallel: int = 1, use_core: bool = False, session=None
+) -> list[EvalResult]:
+    """Batch ``q(D)`` through the default session (see
+    :meth:`EngineSession.answer_many`)."""
+    return (session or default_session()).answer_many(
+        queries, database, parallel=parallel, use_core=use_core
+    )

@@ -62,3 +62,51 @@ class TestDatabaseGenerators:
         for relation in database.relations.values():
             for row in relation.tuples:
                 assert all(a != b for a, b in zip(row, row[1:]))
+
+
+class TestZigzagCycleQuery:
+    def test_hypergraph_is_the_cycle(self):
+        query = cqgen.zigzag_cycle_query(6)
+        hypergraph = query.hypergraph()
+        assert len(hypergraph.edge_list()) == 6
+        assert query.is_boolean()
+        # Cyclic syntax: the GYO reduction must fail.
+        from repro.widths.acyclicity import join_tree_decomposition
+
+        assert join_tree_decomposition(hypergraph) is None
+
+    def test_core_is_a_single_atom(self):
+        from repro.cq.core import core_of
+
+        for length in (4, 6, 8):
+            core = core_of(cqgen.zigzag_cycle_query(length))
+            assert len(core.atoms) == 1
+
+    def test_free_variables_survive_the_fold(self):
+        from repro.cq.core import core_of
+
+        query = cqgen.zigzag_cycle_query(6, free_variables=["x0", "x1"])
+        core = core_of(query)
+        assert len(core.atoms) == 1
+        assert set(core.free_variables) == {"x0", "x1"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="even length"):
+            cqgen.zigzag_cycle_query(5)
+        with pytest.raises(ValueError, match="even length"):
+            cqgen.zigzag_cycle_query(2)
+        with pytest.raises(ValueError, match="x0"):
+            cqgen.zigzag_cycle_query(6, free_variables=["x3"])
+        # None would mean "full query" — every variable free, nothing folds.
+        with pytest.raises(ValueError, match="x0"):
+            cqgen.zigzag_cycle_query(6, free_variables=None)
+
+
+class TestUnsatisfiableSelfJoins:
+    def test_self_join_queries_get_an_empty_relation(self):
+        # The domain-split trick cannot work when every atom shares one
+        # relation; the generator must fall back to an empty relation.
+        for seed in range(3):
+            query = cqgen.zigzag_cycle_query(6)
+            database = cqgen.unsatisfiable_database(query, 4, 8, seed=seed)
+            assert not boolean_answer(query, database)

@@ -10,7 +10,8 @@ decompositions must never be served for a structurally different hypergraph.
 
 import pytest
 
-from repro.engine import AnalysisCache, Engine
+from repro.cq import generators as cqgen
+from repro.engine import AnalysisCache, Engine, EngineSession
 from repro.hypergraphs import Hypergraph
 
 
@@ -140,3 +141,50 @@ class TestCacheBounds:
     def test_maxsize_validated(self):
         with pytest.raises(ValueError):
             AnalysisCache(maxsize=0)
+
+
+class TestSessionPlanCache:
+    """One layer above the analysis cache: a session's plan-cache hit must
+    skip re-planning entirely, while copy-on-write derived structures must
+    still miss both caches (no stale plan can ever be replayed)."""
+
+    def test_plan_cache_hit_skips_replanning(self):
+        session = EngineSession()
+        query = cqgen.cycle_query(5)
+        cold = session.plan(query)
+        assert session.plan_cache.misses == 1
+        # The cold plan paid for analysis + planning; the repeat must not.
+        warm = session.plan(cqgen.cycle_query(5))
+        assert warm is cold
+        assert session.plan_cache.hits == 1
+        # No second analysis happened either: one structural key, one miss.
+        assert session.cache_info()["misses"] == 1
+        # Re-planning would have re-clocked itself; the cached object still
+        # carries the one-off cold timing.
+        assert warm.planning_seconds == cold.planning_seconds
+
+    def test_derived_hypergraph_query_misses_plan_cache(self):
+        session = EngineSession()
+        base = cqgen.chain_query(3)
+        stale = session.plan(base)
+        assert stale.strategy == "direct-yannakakis"
+        # Close the chain into a cycle: a structurally different query.  Both
+        # the plan cache and the analysis cache must treat it as fresh.
+        from repro.cq import Atom, ConjunctiveQuery
+
+        closed = ConjunctiveQuery(base.atoms + (Atom("R3", ["x3", "x0"]),))
+        fresh = session.plan(closed)
+        assert fresh is not stale
+        assert fresh.strategy != stale.strategy
+        assert session.plan_cache.hits == 0
+        assert session.plan_cache.misses == 2
+        assert session.cache_info()["misses"] == 2
+        assert fresh.decomposition.is_valid_for(closed.hypergraph())
+
+    def test_sessions_do_not_share_cache_state(self):
+        first = EngineSession()
+        second = EngineSession()
+        first.plan(cqgen.cycle_query(4))
+        assert len(first.plan_cache) == 1
+        assert len(second.plan_cache) == 0
+        assert second.cache_info()["misses"] == 0

@@ -1,0 +1,111 @@
+"""Differential conformance harness: every registered engine strategy must
+agree with the naive reference solver on the generated scenario workloads.
+
+The workload (:mod:`repro.cq.workloads`) spans the four structural regimes
+of the paper — acyclic, bounded-ghw, core-reducible, hard — each over
+satisfiable, planted, unsatisfiable, and proper-colouring databases.  For
+every scenario this harness runs:
+
+* the planner's *default dispatch* (answer / count / is_satisfiable),
+* every strategy in the backend registry that is *forceable* on the
+  scenario's structure (forcing Yannakakis on a cyclic query correctly
+  raises — that is applicability, not disagreement),
+* the semantic ``use_core=True`` route,
+* and the session *batch* path,
+
+and asserts bit-for-bit agreement with the naive linear-scan solver.
+
+Seeds are parametrized: set ``WORKLOAD_SEEDS=3,4,5`` to point CI at fresh
+scenarios — any failure reproduces locally from the seed in the test id.
+``make workload-smoke`` runs the single-seed variant.
+"""
+
+import os
+
+import pytest
+
+from repro.cq import workloads
+from repro.cq.homomorphism import naive_count_answers, naive_enumerate_answers
+from repro.engine import (
+    EngineSession,
+    STRATEGY_TRIVIAL,
+    registered_strategies,
+)
+
+
+def _seeds() -> list[int]:
+    raw = os.environ.get("WORKLOAD_SEEDS", "0,1")
+    return [int(part) for part in raw.split(",") if part.strip() != ""]
+
+
+SEEDS = _seeds()
+SCENARIOS = [
+    (seed, scenario)
+    for seed in SEEDS
+    for scenario in workloads.generate_workload(seed=seed, size="small")
+]
+
+
+@pytest.fixture(scope="module")
+def session():
+    # One session for the whole harness: the differential pass doubles as a
+    # soak test of the shared analysis/plan caches across many queries.
+    return EngineSession()
+
+
+def _forceable_strategies(session, query):
+    """Every registered strategy the planner accepts for this query."""
+    strategies = []
+    for strategy in registered_strategies():
+        if strategy == STRATEGY_TRIVIAL and query.atoms:
+            continue
+        try:
+            session.plan(query, force_strategy=strategy)
+        except ValueError:
+            continue
+        strategies.append(strategy)
+    return strategies
+
+
+@pytest.mark.parametrize(
+    "seed,scenario", SCENARIOS, ids=[s.name for _, s in SCENARIOS]
+)
+def test_all_strategies_agree_with_naive(session, seed, scenario):
+    query, database = scenario.query, scenario.database
+    expected_rows = naive_enumerate_answers(query, database)
+    expected_count = naive_count_answers(query, database)
+    assert expected_count == len(expected_rows)
+
+    # Default dispatch.
+    assert session.answer(query, database).rows == expected_rows, scenario.name
+    assert session.count(query, database).count == expected_count
+    assert session.is_satisfiable(query, database).satisfiable == bool(expected_rows)
+
+    # Every forceable registered strategy.
+    forced = _forceable_strategies(session, query)
+    assert forced, f"no strategy applies to {scenario.name}"
+    for strategy in forced:
+        plan = session.plan(query, force_strategy=strategy)
+        rows = session.answer(query, database, plan=plan).rows
+        assert rows == expected_rows, f"{scenario.name}: {strategy} disagrees on rows"
+        count = session.count(query, database, plan=plan).count
+        assert count == expected_count, f"{scenario.name}: {strategy} disagrees on count"
+        sat = session.is_satisfiable(query, database, plan=plan).satisfiable
+        assert sat == bool(expected_rows), f"{scenario.name}: {strategy} disagrees on BCQ"
+
+    # The semantic route (plans for the core; must be answer-invariant).
+    assert session.answer(query, database, use_core=True).rows == expected_rows
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_regime_coverage(seed):
+    regimes = {s.regime for s in workloads.generate_workload(seed=seed)}
+    assert regimes == set(workloads.ALL_REGIMES)
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_batch_path_agrees_with_naive(seed):
+    queries, database = workloads.mixed_batch(seed=seed, copies=3, distinct=12)
+    results = EngineSession().answer_many(queries, database, parallel=4)
+    for query, result in zip(queries, results):
+        assert result.rows == naive_enumerate_answers(query, database)

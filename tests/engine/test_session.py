@@ -1,0 +1,285 @@
+"""EngineSession: session-scoped plan caching, isomorphism dedup, batch
+execution (sequential and parallel), and the default-session machinery
+behind the module-level API."""
+
+import threading
+
+import pytest
+
+import repro.engine as engine_module
+from repro.cq import Atom, ConjunctiveQuery
+from repro.cq.query import Constant
+from repro.cq import generators as cqgen
+from repro.cq import workloads
+from repro.cq.homomorphism import naive_enumerate_answers
+from repro.engine import (
+    EngineSession,
+    answer_many,
+    canonical_query_key,
+    default_session,
+    isolated_session,
+    set_default_session,
+)
+
+
+@pytest.fixture
+def session():
+    return EngineSession()
+
+
+@pytest.fixture
+def cycle_instance():
+    query = cqgen.cycle_query(4)
+    return query, cqgen.grid_constraint_database(query, colours=3)
+
+
+def renamed(query, suffix="_r"):
+    """A structurally isomorphic copy: every variable renamed."""
+    atoms = [
+        Atom(atom.relation, [f"{t}{suffix}" for t in atom.terms])
+        for atom in query.atoms
+    ]
+    return ConjunctiveQuery(
+        atoms, free_variables=[f"{v}{suffix}" for v in query.free_variables]
+    )
+
+
+class TestCanonicalQueryKey:
+    def test_identical_queries_collide(self):
+        assert canonical_query_key(cqgen.chain_query(3)) == canonical_query_key(
+            cqgen.chain_query(3)
+        )
+
+    def test_variable_renaming_collides(self):
+        query = cqgen.cycle_query(5)
+        assert canonical_query_key(query) == canonical_query_key(renamed(query))
+
+    def test_atom_order_is_irrelevant(self):
+        # Same head order (the default head of `forward` is atom-order
+        # dependent, so `backward` pins it explicitly): only the atom
+        # *listing* differs, and the key ignores it.
+        forward = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y", "z"])])
+        backward = ConjunctiveQuery(
+            [Atom("S", ["b", "c"]), Atom("R", ["a", "b"])],
+            free_variables=["a", "b", "c"],
+        )
+        assert canonical_query_key(forward) == canonical_query_key(backward)
+
+    def test_default_heads_of_reordered_atoms_separate(self):
+        # Full queries inherit their head order from the atom listing, so
+        # reordering atoms changes the answer-column order: no collision.
+        forward = ConjunctiveQuery([Atom("R", ["x", "y"]), Atom("S", ["y", "z"])])
+        backward = ConjunctiveQuery([Atom("S", ["b", "c"]), Atom("R", ["a", "b"])])
+        assert canonical_query_key(forward) != canonical_query_key(backward)
+
+    def test_free_variable_order_separates(self):
+        # Answer tuples follow the head order: these are different queries.
+        query = cqgen.chain_query(2)
+        swapped = query.project(["x1", "x0"])
+        assert canonical_query_key(query.project(["x0", "x1"])) != canonical_query_key(
+            swapped
+        )
+
+    def test_relation_names_separate(self):
+        first = ConjunctiveQuery([Atom("R", ["x", "y"])])
+        second = ConjunctiveQuery([Atom("S", ["x", "y"])])
+        assert canonical_query_key(first) != canonical_query_key(second)
+
+    def test_constants_separate(self):
+        first = ConjunctiveQuery([Atom("R", ["x", Constant(1)])])
+        second = ConjunctiveQuery([Atom("R", ["x", Constant(2)])])
+        third = ConjunctiveQuery([Atom("R", ["x", Constant(1)])])
+        assert canonical_query_key(first) != canonical_query_key(second)
+        assert canonical_query_key(first) == canonical_query_key(third)
+
+    def test_self_join_falls_back_to_exact(self):
+        # Renaming a self-join query is NOT recognised (graph canonisation),
+        # but exact repeats still collide.
+        query = cqgen.zigzag_cycle_query(4)
+        assert canonical_query_key(query) == canonical_query_key(
+            cqgen.zigzag_cycle_query(4)
+        )
+        assert canonical_query_key(query)[0] == "exact"
+        assert canonical_query_key(query) != canonical_query_key(renamed(query))
+
+
+class TestPlanCache:
+    def test_repeat_plan_is_served_from_cache(self, session):
+        query = cqgen.cycle_query(4)
+        first = session.plan(query)
+        second = session.plan(query)
+        assert second is first
+        assert session.plan_cache.hits == 1
+        assert session.plan_cache.misses == 1
+
+    def test_rebuilt_query_hits_too(self, session):
+        first = session.plan(cqgen.cycle_query(4))
+        second = session.plan(cqgen.cycle_query(4))
+        assert second is first
+
+    def test_options_are_part_of_the_key(self, session):
+        query = cqgen.zigzag_cycle_query(4)
+        plain = session.plan(query)
+        semantic = session.plan(query, use_core=True)
+        forced = session.plan(query, force_strategy="indexed-backtracking")
+        assert plain is not semantic
+        assert plain is not forced
+        assert semantic.strategy == "direct-yannakakis"
+        assert plain.strategy == "ghd-guided"
+
+    def test_projection_order_is_part_of_the_key(self, session):
+        query = cqgen.chain_query(2)
+        assert session.plan(query.project(["x0", "x1"])) is not session.plan(
+            query.project(["x1", "x0"])
+        )
+
+    def test_warm_call_does_not_rebill_cold_planning(self, session, cycle_instance):
+        query, database = cycle_instance
+        cold = session.answer(query, database)
+        warm = session.answer(query, database)
+        assert warm.plan is cold.plan
+        # The cold call paid (and reported) the real analysis+planning cost;
+        # the warm call only did a cache lookup and must not re-report the
+        # plan's one-off cost as its own.
+        assert cold.timings["planning_seconds"] > 0.0
+        assert warm.timings["planning_seconds"] < cold.plan.planning_seconds
+
+    def test_clear_cache_drops_all_session_caches(self, session):
+        session.plan(cqgen.zigzag_cycle_query(4), use_core=True)
+        assert len(session.plan_cache) > 0
+        session.clear_cache()
+        assert len(session.plan_cache) == 0
+        assert len(session.core_cache) == 0
+        assert session.cache_info()["size"] == 0
+
+
+class TestAnswerMany:
+    def test_results_align_with_input_order(self, session):
+        chain = cqgen.chain_query(2)
+        cycle = cqgen.cycle_query(4)
+        database = cqgen.grid_constraint_database(
+            ConjunctiveQuery(chain.atoms + cycle.atoms), colours=3
+        )
+        results = session.answer_many([cycle, chain, cycle], database)
+        assert len(results) == 3
+        assert results[0].rows == session.answer(cycle, database).rows
+        assert results[1].rows == session.answer(chain, database).rows
+        assert results[2] is results[0]
+
+    def test_isomorphic_queries_share_one_result(self, session, cycle_instance):
+        query, database = cycle_instance
+        results = session.answer_many([query, renamed(query)], database)
+        assert results[0] is results[1]
+        assert session.dedup_hits == 1
+        assert results[0].rows == naive_enumerate_answers(query, database)
+
+    def test_self_join_duplicates_still_evaluate_correctly(self, session):
+        query = cqgen.zigzag_cycle_query(4, free_variables=["x0", "x1"])
+        database = cqgen.random_database(query, 5, 14, seed=3)
+        results = session.answer_many([query, renamed(query)], database)
+        # Not recognised as isomorphic (self-joins) — but both must be right.
+        assert results[0] is not results[1]
+        assert results[0].rows == results[1].rows == naive_enumerate_answers(
+            query, database
+        )
+
+    def test_parallel_matches_sequential(self, session):
+        queries, database = workloads.mixed_batch(seed=11, copies=3, distinct=8)
+        sequential = session.answer_many(queries, database, parallel=1)
+        parallel = EngineSession().answer_many(queries, database, parallel=4)
+        assert [r.rows for r in sequential] == [r.rows for r in parallel]
+
+    def test_count_and_satisfiable_batches(self, session, cycle_instance):
+        query, database = cycle_instance
+        counts = session.count_many([query, renamed(query)], database)
+        sats = session.is_satisfiable_many([query], database)
+        rows = session.answer_many([query], database)[0].rows
+        assert counts[0].count == len(rows)
+        assert counts[0] is counts[1]
+        assert sats[0].satisfiable == bool(rows)
+
+    def test_use_core_batch_matches_plain(self, session):
+        query = cqgen.zigzag_cycle_query(6)
+        database = cqgen.random_database(query, 5, 14, seed=5)
+        plain = session.answer_many([query], database)[0]
+        semantic = session.answer_many([query], database, use_core=True)[0]
+        assert plain.rows == semantic.rows
+        assert semantic.strategy == "direct-yannakakis"
+        assert plain.strategy != semantic.strategy
+
+    def test_missing_relation_means_empty(self, session):
+        query = cqgen.chain_query(2)
+        database = cqgen.random_database(cqgen.chain_query(1), 4, 8, seed=0)
+        result = session.answer_many([query], database)[0]
+        assert result.rows == set()
+
+    def test_empty_batch(self, session, cycle_instance):
+        assert session.answer_many([], cycle_instance[1]) == []
+
+    def test_parallel_validated(self, session, cycle_instance):
+        query, database = cycle_instance
+        with pytest.raises(ValueError, match="parallel"):
+            session.answer_many([query], database, parallel=0)
+
+    def test_non_query_rejected(self, session, cycle_instance):
+        with pytest.raises(TypeError, match="ConjunctiveQuery"):
+            session.answer_many(["not a query"], cycle_instance[1])
+
+    def test_stats_shape(self, session, cycle_instance):
+        query, database = cycle_instance
+        session.answer_many([query, query], database)
+        stats = session.stats()
+        assert stats["batches"] == 1
+        assert stats["dedup_hits"] == 1
+        assert stats["plan_cache"]["misses"] == 1
+        for key in ("analysis_cache", "core_cache", "plan_cache"):
+            assert set(stats[key]) == {"size", "maxsize", "hits", "misses"}
+
+    def test_shared_session_is_thread_safe(self, session):
+        queries, database = workloads.mixed_batch(seed=2, copies=2, distinct=6)
+        expected = [r.rows for r in EngineSession().answer_many(queries, database)]
+        outcomes = {}
+
+        def worker(tag):
+            outcomes[tag] = session.answer_many(queries, database, parallel=2)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        for results in outcomes.values():
+            assert [r.rows for r in results] == expected
+
+
+class TestDefaultSession:
+    def test_module_api_delegates_to_default_session(self, cycle_instance):
+        query, database = cycle_instance
+        with isolated_session() as session:
+            engine_module.answer(query, database)
+            assert session.cache_info()["misses"] == 1
+            assert default_session() is session
+
+    def test_answer_many_module_level(self, cycle_instance):
+        query, database = cycle_instance
+        with isolated_session() as session:
+            results = answer_many([query, query], database)
+            assert results[0] is results[1]
+            assert session.batches == 1
+
+    def test_isolated_session_restores_previous(self):
+        before = default_session()
+        with isolated_session():
+            assert default_session() is not before
+        assert default_session() is before
+
+    def test_set_default_session_roundtrip(self):
+        replacement = EngineSession()
+        previous = set_default_session(replacement)
+        try:
+            assert default_session() is replacement
+        finally:
+            set_default_session(previous)
+
+    def test_default_engine_alias_is_the_default_session(self):
+        assert engine_module.DEFAULT_ENGINE is default_session()

@@ -1,0 +1,132 @@
+"""The scenario workload generator: determinism, regime labelling matching
+actual planner dispatch, database-flavour guarantees, and batch assembly."""
+
+import pytest
+
+from repro.cq import workloads
+from repro.cq.homomorphism import naive_boolean_answer
+from repro.engine import (
+    EngineSession,
+    STRATEGY_BACKTRACKING,
+    STRATEGY_GHD,
+    STRATEGY_YANNAKAKIS,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return workloads.generate_workload(seed=0, size="small")
+
+
+@pytest.fixture(scope="module")
+def session():
+    return EngineSession()
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_everything(self, suite):
+        again = workloads.generate_workload(seed=0, size="small")
+        assert [s.name for s in suite] == [s.name for s in again]
+        for first, second in zip(suite, again):
+            assert first.query == second.query
+            assert first.query.free_variables == second.query.free_variables
+            assert first.database == second.database
+
+    def test_different_seeds_differ(self, suite):
+        other = workloads.generate_workload(seed=1, size="small")
+        assert any(
+            first.database != second.database for first, second in zip(suite, other)
+        )
+
+    def test_regime_streams_are_independent(self):
+        # Asking for one regime reproduces exactly the scenarios that regime
+        # gets inside the full suite: selecting a subset never reshuffles.
+        full = workloads.generate_workload(seed=3)
+        only_hard = workloads.generate_workload(seed=3, regimes=[workloads.REGIME_HARD])
+        from_full = [s for s in full if s.regime == workloads.REGIME_HARD]
+        assert [s.name for s in only_hard] == [s.name for s in from_full]
+        for first, second in zip(only_hard, from_full):
+            assert first.database == second.database
+
+    def test_unknown_inputs_rejected(self):
+        with pytest.raises(ValueError, match="regime"):
+            workloads.generate_workload(regimes=["no-such-regime"])
+        with pytest.raises(ValueError, match="size"):
+            workloads.generate_workload(size="enormous")
+
+
+class TestRegimesMatchDispatch:
+    """The regime label is a *claim* about planner dispatch — verify it."""
+
+    def test_acyclic_scenarios_plan_yannakakis(self, suite, session):
+        for scenario in suite:
+            if scenario.regime == workloads.REGIME_ACYCLIC:
+                assert session.plan(scenario.query).strategy == STRATEGY_YANNAKAKIS
+
+    def test_bounded_ghw_scenarios_plan_ghd(self, suite, session):
+        for scenario in suite:
+            if scenario.regime == workloads.REGIME_BOUNDED_GHW:
+                plan = session.plan(scenario.query)
+                assert plan.strategy == STRATEGY_GHD
+                assert plan.width is not None and plan.width <= 3
+
+    def test_core_reducible_scenarios_improve_under_use_core(self, suite, session):
+        for scenario in suite:
+            if scenario.regime == workloads.REGIME_CORE_REDUCIBLE:
+                semantic = session.plan(scenario.query, use_core=True)
+                assert semantic.strategy == STRATEGY_YANNAKAKIS
+                assert len(semantic.query.atoms) < len(scenario.query.atoms)
+
+    def test_hard_regime_contains_backtracking_fallbacks(self, suite, session):
+        hard = [s for s in suite if s.regime == workloads.REGIME_HARD]
+        assert hard
+        strategies = {session.plan(s.query).strategy for s in hard}
+        assert STRATEGY_BACKTRACKING in strategies
+
+
+class TestDatabaseFlavours:
+    def test_planted_databases_are_satisfiable(self, suite):
+        planted = [s for s in suite if s.name.split("/")[2] == "planted"]
+        assert planted
+        for scenario in planted:
+            assert naive_boolean_answer(scenario.query, scenario.database), scenario.name
+
+    def test_unsat_databases_are_unsatisfiable(self, suite):
+        unsat = [s for s in suite if s.name.split("/")[2] == "unsat"]
+        assert unsat
+        for scenario in unsat:
+            assert not naive_boolean_answer(scenario.query, scenario.database), scenario.name
+
+    def test_scenario_schema_is_complete(self, suite):
+        for scenario in suite:
+            for atom in scenario.query.atoms:
+                assert scenario.database.has_relation(atom.relation), scenario.name
+
+
+class TestMixedBatch:
+    def test_batch_shape_and_namespacing(self):
+        queries, database = workloads.mixed_batch(seed=5, copies=3, distinct=10)
+        assert len(queries) == 30
+        # Namespaced relations: every query resolves in the one database.
+        for query in queries:
+            for atom in query.atoms:
+                assert database.has_relation(atom.relation)
+
+    def test_batch_contains_isomorphic_but_unequal_repeats(self):
+        # copies=3 yields both exact repeats (copies 0 and 2 are equal) and
+        # variable-renamed repeats (copy 1), so the set is strictly smaller
+        # than the list but bigger than one query per scenario.
+        queries, _ = workloads.mixed_batch(seed=5, copies=3, distinct=6)
+        distinct = set(queries)
+        assert len(distinct) < len(queries)
+        assert len(distinct) > 6
+
+    def test_batch_is_deterministic(self):
+        first_queries, first_db = workloads.mixed_batch(seed=9, copies=2, distinct=8)
+        second_queries, second_db = workloads.mixed_batch(seed=9, copies=2, distinct=8)
+        assert first_queries == second_queries
+        assert first_db == second_db
+
+    def test_copies_validated(self):
+        with pytest.raises(ValueError, match="copies"):
+            workloads.mixed_batch(copies=0)

@@ -1,17 +1,29 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline workload-smoke
+.PHONY: test bench bench-baseline workload-smoke shard-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
 
 # One-seed smoke of the scenario generator + differential conformance
 # harness: every registered strategy vs the naive solver on a small fresh
-# workload.  Override the seed with WORKLOAD_SEEDS=n.
+# workload.  Override the seed with WORKLOAD_SEEDS=n.  The two smoke targets
+# partition the harness on the "shard" keyword — run both for full coverage
+# without duplicating the slowest tests.
 workload-smoke:
 	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
-		tests/workloads tests/engine/test_differential.py tests/engine/test_session.py
+		tests/workloads tests/engine/test_differential.py \
+		tests/engine/test_session.py -k "not shard"
+
+# One-seed smoke of the sharded execution path: the sharding unit tests plus
+# the sharded differential checks (shards 1/2/4/8, co-partitioned and
+# broadcast rungs) vs the naive solver.  Override the seed with
+# WORKLOAD_SEEDS=n.
+shard-smoke:
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/engine/test_sharding.py tests/workloads \
+		tests/engine/test_differential.py tests/engine/test_session.py -k shard
 
 # Perf-regression gate: re-run the engine benchmarks and fail on >2x slowdown
 # against benchmarks/BENCH_engine.json.

@@ -23,6 +23,13 @@ and writes the results to ``benchmarks/BENCH_engine.json``:
   batch time (the gated number) and ``loop_seconds``, the same workload as
   a loop of cold per-query ``Engine().answer`` calls, so the JSON tracks the
   speedup that dedup + plan reuse + parallel execution deliver.
+* ``sharded_answer`` — the sharded execution path
+  (``EngineSession.answer(..., shards=4)``) on hub-cycle (wheel) workloads,
+  fully co-partitionable on the hub variable.  Each point records the
+  sharded time (the gated number), ``single_shard_seconds`` for the same
+  plan executed unsharded, and the resulting ``overhead`` ratio — in a
+  single GIL-bound process sharding is a scale-out/memory play, not a
+  speedup, and the baseline tracks that its cost stays bounded.
 
 Every workload is deterministic (fixed seeds, several seeds per scale point
 summed so one lucky early exit cannot skew the number).  Run it with::
@@ -83,6 +90,12 @@ BATCH_SCALES = [
     ("large", 50, 6, "small", 8),
 ]
 BATCH_SEED = 7
+
+# (scale label, domain size, tuples per relation) for the sharded path on
+# the hub-cycle wheel (every atom carries the hub, so all relations
+# co-partition and the shards are answer-disjoint).
+SHARDED_SCALES = [("small", 30, 1500), ("medium", 40, 3000), ("large", 60, 6000)]
+SHARDED_SHARDS = 4
 
 
 # Every measurement is the minimum over REPEATS runs: the min is the noise-
@@ -251,6 +264,32 @@ def bench_batch_answer(include_loop: bool = True) -> list[dict]:
     return points
 
 
+def bench_sharded_answer(include_single: bool = True) -> list[dict]:
+    points = []
+    for label, domain, tuples in SHARDED_SCALES:
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, domain, tuples, seed=97)
+        session = EngineSession()
+        plan = session.plan(query)
+        sharded = _timed(
+            lambda: session.answer(query, database, plan=plan, shards=SHARDED_SHARDS)
+        )
+        point = {
+            "scale": label,
+            "query": "hub_cycle4",
+            "domain": domain,
+            "tuples_per_relation": tuples,
+            "shards": SHARDED_SHARDS,
+            "indexed_seconds": sharded,
+        }
+        if include_single:
+            single = _timed(lambda: session.answer(query, database, plan=plan))
+            point["single_shard_seconds"] = single
+            point["overhead"] = sharded / single if single else float("inf")
+        points.append(point)
+    return points
+
+
 def run_benchmarks(include_naive: bool = True) -> dict:
     """Run all engine benchmarks and return the JSON-ready result document."""
     return {
@@ -265,6 +304,10 @@ def run_benchmarks(include_naive: bool = True) -> dict:
             # The comparison loop is historical context like the naive
             # solver: only the batch time itself is gated.
             "batch_answer_many": bench_batch_answer(include_loop=include_naive),
+            # The single-shard time is context too: only the sharded time
+            # is gated (sharding is a scale-out play; the gate tracks that
+            # its overhead stays bounded, not that it is faster).
+            "sharded_answer": bench_sharded_answer(include_single=include_naive),
         },
     }
 
@@ -285,6 +328,11 @@ def main() -> int:
                 extra = f"  (naive {point['naive_seconds']:.3f}s, {point['speedup']:.1f}x speedup)"
             elif "loop_seconds" in point:
                 extra = f"  (cold loop {point['loop_seconds']:.3f}s, {point['speedup']:.1f}x speedup)"
+            elif "single_shard_seconds" in point:
+                extra = (
+                    f"  (single shard {point['single_shard_seconds']:.3f}s, "
+                    f"{point['overhead']:.1f}x sharding overhead)"
+                )
             print(
                 f"  {name:<16} {point['scale']:<7} {point['indexed_seconds']:.4f}s{extra}"
             )

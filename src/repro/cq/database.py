@@ -10,9 +10,104 @@ relations.
 
 from __future__ import annotations
 
+import decimal
+import numbers
+import zlib
 from collections.abc import Hashable, Iterable, Mapping
 
 Value = Hashable
+
+
+def _shard_key(value: Hashable):
+    """A representative of ``value``'s equality class, safe to ``repr``.
+
+    Sharding is only correct when **equal values land in the same shard**
+    (the disjointness argument routes every fact of a satisfying assignment
+    by one shared value).  Python equality crosses types — ``True == 1 ==
+    1.0 == Decimal(1)`` — but their reprs differ, so numbers are normalised
+    to a canonical member of the class (int when integral, float otherwise)
+    before hashing, mirroring the guarantee the builtin ``hash`` gives.
+    Containers that compare by content are canonalised recursively, with
+    frozensets ordered (their iteration order is salt-dependent for string
+    elements).  Unequal values may still *collide* into one repr — that only
+    costs shard balance, never correctness.  Custom value types are required
+    to define ``__repr__`` consistently with ``__eq__`` (equal values, equal
+    reprs); values stuck with the identity-based default repr are rejected
+    loudly rather than silently misrouted.
+    """
+    if isinstance(value, str):
+        # Plain strings pass through; str subclasses (str-mixin Enums) that
+        # compare equal to the underlying string are flattened onto it.
+        # str.__str__ directly, because subclasses override __str__ (an
+        # enum's str() is its member name on Python >= 3.11).
+        return str.__str__(value)
+    if isinstance(value, numbers.Integral):  # includes bool and IntEnum
+        return int(value)
+    if isinstance(value, numbers.Rational) and value.denominator == 1:
+        # Exact, NOT through float: Fraction(10**30) == 10**30 but
+        # float() would round one and not the other.
+        return int(value.numerator)
+    if isinstance(value, numbers.Real):
+        try:
+            as_float = float(value)
+        except (OverflowError, ValueError):
+            # No float equals this value (an equal float would BE its own
+            # float()), so staying un-normalised cannot split an equality
+            # class across shards.
+            return value
+        return int(as_float) if as_float.is_integer() else as_float
+    if isinstance(value, numbers.Complex) and value.imag == 0:
+        return _shard_key(value.real)
+    if isinstance(value, decimal.Decimal):
+        # Decimal deliberately stays outside the numbers tower, but it DOES
+        # compare equal across it (Decimal(1) == 1, Decimal("0.5") == 0.5).
+        if value.is_finite() and value == value.to_integral_value():
+            return int(value)
+        try:
+            return float(value)
+        except (OverflowError, ValueError):
+            return value
+    if isinstance(value, tuple):
+        return tuple(_shard_key(item) for item in value)
+    if isinstance(value, frozenset):
+        return "fs{" + ",".join(sorted(repr(_shard_key(item)) for item in value)) + "}"
+    if isinstance(value, bytes):
+        return bytes(value)
+    if isinstance(value, range):
+        # range compares as a sequence: range(0) == range(5, 5), and the
+        # step is irrelevant below two elements.
+        return (
+            "range",
+            len(value),
+            value[0] if len(value) else None,
+            value.step if len(value) > 1 else None,
+        )
+    if type(value).__repr__ is object.__repr__:
+        # The default repr embeds the memory address: equal instances would
+        # route to different shards (silently losing answers) and routing
+        # would change between runs.  Refusing loudly beats wrong results.
+        raise TypeError(
+            f"cannot shard a value of type {type(value).__name__}: its "
+            "identity-based default repr is not stable across equal "
+            "instances or runs; define __repr__ consistently with __eq__"
+        )
+    return value
+
+
+def shard_of(value: Hashable, shards: int) -> int:
+    """The shard (``0 <= shard < shards``) a domain value hashes to.
+
+    Deliberately *not* Python's builtin ``hash``: that is salted per process
+    (``PYTHONHASHSEED``), and shard assignment must be reproducible across
+    runs so a benchmark or a failing differential seed replays identically.
+    CRC32 of the canonical repr (see :func:`_shard_key`) is stable, cheap,
+    and spreads the small integer domains the generators use.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    if shards == 1:
+        return 0
+    return zlib.crc32(repr(_shard_key(value)).encode("utf-8")) % shards
 
 
 class Relation:
@@ -107,6 +202,62 @@ class Database:
         for relation in self.relations.values():
             clone.add_relation(Relation(relation.name, relation.arity, relation.tuples))
         return clone
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        key_columns: Mapping[str, int],
+        shards: int,
+        broadcast: Iterable[str] = (),
+    ) -> list["Database"]:
+        """Hash-partition the database into ``shards`` disjoint-plus-broadcast
+        pieces.
+
+        ``key_columns`` maps relation names to the column to partition on:
+        each tuple of such a relation lands in exactly one shard, chosen by
+        :func:`shard_of` on the value in that column.  Relations named in
+        ``broadcast`` are replicated into every shard.  Relations in neither
+        collection are omitted — the caller decides what the shards need
+        (the engine passes exactly the relations of the query being sharded).
+
+        The partitioned relations reconstruct the original exactly: every
+        tuple appears in precisely one shard, so the shard databases are a
+        partition of the partitioned relations and a replication of the
+        broadcast ones.
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        broadcast = tuple(broadcast)
+        overlap = set(key_columns) & set(broadcast)
+        if overlap:
+            raise ValueError(
+                f"relations {sorted(overlap)} cannot be both partitioned and broadcast"
+            )
+        for name in list(key_columns) + list(broadcast):
+            if name not in self.relations:
+                raise KeyError(f"relation {name!r} not in database")
+        for name, column in key_columns.items():
+            arity = self.relations[name].arity
+            if not 0 <= column < arity:
+                raise ValueError(
+                    f"partition column {column} out of range for relation "
+                    f"{name!r} (arity {arity})"
+                )
+        pieces = [Database() for _ in range(shards)]
+        for name, column in key_columns.items():
+            relation = self.relations[name]
+            buckets = [Relation(name, relation.arity) for _ in range(shards)]
+            for row in relation.tuples:
+                buckets[shard_of(row[column], shards)].tuples.add(row)
+            for piece, bucket in zip(pieces, buckets):
+                piece.add_relation(bucket)
+        for name in broadcast:
+            relation = self.relations[name]
+            for piece in pieces:
+                piece.add_relation(
+                    Relation(name, relation.arity, relation.tuples)
+                )
+        return pieces
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Database):

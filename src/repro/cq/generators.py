@@ -124,6 +124,27 @@ def zigzag_cycle_query(
     return ConjunctiveQuery(atoms, free_variables=free_variables)
 
 
+def hub_cycle_query(length: int, hub: str = "h") -> ConjunctiveQuery:
+    """A wheel: a cycle whose every atom also contains the ``hub`` variable —
+    ``H0(h, x0, x1) AND H1(h, x1, x2) AND ... AND H_{n-1}(h, x_{n-1}, x0)``.
+
+    The signature *sharded-friendly* query: the hub occurs in every atom (at
+    a fixed position), so hash-partitioning every relation on the hub column
+    makes the shards answer-disjoint — the co-partitioned rung of the
+    sharding ladder with no broadcast at all.  The hypergraph is cyclic
+    (contracting the hub leaves the ``length``-cycle), so the query still
+    exercises the GHD-guided route, where per-shard bag materialisation is
+    genuinely cheaper than one big instance.
+    """
+    if length < 3:
+        raise ValueError("hub_cycle_query requires length >= 3")
+    atoms = [
+        Atom(f"H{i}", [hub, f"x{i}", f"x{(i + 1) % length}"])
+        for i in range(length)
+    ]
+    return ConjunctiveQuery(atoms)
+
+
 def clique_query(size: int) -> ConjunctiveQuery:
     """The ``K_size`` clique query (bounded arity, treewidth ``size - 1``)."""
     if size < 2:

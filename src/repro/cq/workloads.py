@@ -14,7 +14,13 @@ sync.  Four regimes mirror the paper's complexity landscape:
   semantic-width route (Section 4.3) — tractable despite their syntax;
 * :data:`REGIME_HARD` — instances with no decomposition within the
   planner's width limit (wide cliques) or near-threshold random databases:
-  the indexed-backtracking fallback, where no structure bound applies.
+  the indexed-backtracking fallback, where no structure bound applies;
+* :data:`REGIME_SHARDED` — queries built around a designated high-frequency
+  join variable (``Scenario.shard_variable``): hub cycles and stars whose
+  hub occurs in *every* atom (the co-partitioned rung of the sharding
+  ladder) plus a hub-chain where it occurs in only some atoms (the
+  broadcast rung).  The differential harness runs these — and every other
+  regime — through the sharded execution path at several shard counts.
 
 Databases per scenario deliberately span the satisfiability spectrum —
 random, planted (guaranteed satisfiable), unsatisfiable-by-construction, and
@@ -41,11 +47,13 @@ REGIME_ACYCLIC = "acyclic"
 REGIME_BOUNDED_GHW = "bounded-ghw"
 REGIME_CORE_REDUCIBLE = "core-reducible"
 REGIME_HARD = "hard"
+REGIME_SHARDED = "sharded"
 ALL_REGIMES = (
     REGIME_ACYCLIC,
     REGIME_BOUNDED_GHW,
     REGIME_CORE_REDUCIBLE,
     REGIME_HARD,
+    REGIME_SHARDED,
 )
 
 #: (domain size, tuples per relation) per workload size.  "small" keeps the
@@ -60,7 +68,13 @@ SIZES = {
 
 @dataclass(frozen=True, eq=False)
 class Scenario:
-    """One labelled workload instance: a query, a database, and provenance."""
+    """One labelled workload instance: a query, a database, and provenance.
+
+    ``shard_variable`` is the designated high-frequency join variable for
+    sharded execution — set for the :data:`REGIME_SHARDED` scenarios, where
+    the generator knows the hub by construction; ``None`` elsewhere (the
+    engine's :func:`~repro.engine.sharding.choose_shard_variable` picks one).
+    """
 
     name: str
     regime: str
@@ -68,6 +82,7 @@ class Scenario:
     database: Database
     seed: int
     description: str
+    shard_variable: str | None = None
 
     def __repr__(self) -> str:
         return f"Scenario({self.name!r}, regime={self.regime!r})"
@@ -155,11 +170,34 @@ def _hard_queries(rng) -> list[tuple[str, ConjunctiveQuery]]:
     ]
 
 
+def _sharded_queries(rng) -> list[tuple]:
+    """Hub-centric queries for the sharded regime.  Three-element entries
+    carry the designated shard variable (the hub every scenario is built
+    around); the hub chain deliberately keeps the hub out of its tail atoms
+    so the broadcast rung of the fallback ladder is exercised too."""
+    wheel = cqgen.hub_cycle_query(rng.choice([3, 4]))
+    hub_chain = ConjunctiveQuery(
+        [
+            Atom("C0", ["h", "x0"]),
+            Atom("C1", ["x0", "x1"]),
+            Atom("C2", ["x1", "x2"]),
+        ]
+    )
+    return [
+        ("hub-cycle-full", wheel, "h"),
+        ("hub-cycle-projected", cqgen.hub_cycle_query(4).project(["h", "x0"]), "h"),
+        ("hub-cycle-boolean", cqgen.hub_cycle_query(rng.choice([3, 4])).as_boolean(), "h"),
+        ("hub-star", cqgen.star_query(rng.randint(3, 5)), "c"),
+        ("hub-chain-broadcast", hub_chain, "h"),
+    ]
+
+
 _REGIME_QUERIES = {
     REGIME_ACYCLIC: _acyclic_queries,
     REGIME_BOUNDED_GHW: _bounded_ghw_queries,
     REGIME_CORE_REDUCIBLE: _core_reducible_queries,
     REGIME_HARD: _hard_queries,
+    REGIME_SHARDED: _sharded_queries,
 }
 
 
@@ -182,7 +220,11 @@ def generate_workload(
                 f"unknown regime {regime!r}; choose from {ALL_REGIMES}"
             ) from None
         rng = _sub_rng(seed, size, regime)
-        for query_name, query in build(rng):
+        for entry in build(rng):
+            # Regime builders emit (name, query) or — for the sharded
+            # regime — (name, query, shard variable).
+            query_name, query = entry[0], entry[1]
+            shard_variable = entry[2] if len(entry) > 2 else None
             # Wide cliques get a smaller database: their atom count multiplies
             # the naive solver's per-node scan cost in the cross-checks.
             shrink = 2 if regime == REGIME_HARD and "clique" in query_name else 1
@@ -200,6 +242,7 @@ def generate_workload(
                             f"{query_name} over a {db_name} database "
                             f"(size={size}, seed={seed})"
                         ),
+                        shard_variable=shard_variable,
                     )
                 )
     return scenarios

@@ -22,10 +22,16 @@ The pipeline has three layers, each reusable on its own:
   :func:`answer`, :func:`is_satisfiable`, :func:`count`, returning a uniform
   :class:`EvalResult` (payload + plan + timings);
 * :mod:`repro.engine.session` — :class:`EngineSession`, an engine plus a
-  session-scoped plan cache and the batch API
+  session-scoped plan cache, the batch API
   (:meth:`~EngineSession.answer_many`: isomorphism dedup → plan reuse →
-  parallel execution).  The module-level helpers delegate to one lazily
-  created default session (:func:`default_session`, :func:`isolated_session`).
+  parallel execution), and sharded single-query execution
+  (``answer(..., shards=N)``).  The module-level helpers delegate to one
+  lazily created default session (:func:`default_session`,
+  :func:`isolated_session`);
+* :mod:`repro.engine.sharding` — the hash-sharding layer:
+  :func:`sharding_spec` (the co-partitioned / broadcast / single-shard
+  fallback ladder) and :class:`ShardedDatabase` over
+  :meth:`repro.cq.database.Database.partition`.
 
 Strategy backends are pluggable: see
 :func:`repro.engine.backends.register_backend` and
@@ -64,6 +70,15 @@ from repro.engine.session import (
     isolated_session,
     set_default_session,
 )
+from repro.engine.sharding import (
+    SHARD_MODE_BROADCAST,
+    SHARD_MODE_COPARTITIONED,
+    SHARD_MODE_SINGLE,
+    ShardedDatabase,
+    ShardingSpec,
+    choose_shard_variable,
+    sharding_spec,
+)
 from repro.engine.planner import (
     DEFAULT_MAX_GHD_WIDTH,
     Plan,
@@ -92,6 +107,13 @@ __all__ = [
     "default_session",
     "isolated_session",
     "set_default_session",
+    "SHARD_MODE_BROADCAST",
+    "SHARD_MODE_COPARTITIONED",
+    "SHARD_MODE_SINGLE",
+    "ShardedDatabase",
+    "ShardingSpec",
+    "choose_shard_variable",
+    "sharding_spec",
     "EvaluationBackend",
     "TrivialBackend",
     "DecompositionBackend",

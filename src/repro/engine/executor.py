@@ -34,7 +34,14 @@ class EvalResult:
     ``planning_seconds`` (the planning work done by *this call*: the cold
     analysis + planning cost on first sight of a query, near-zero on a
     session plan-cache hit, ``0.0`` when a pre-built plan was passed in),
-    ``execution_seconds``, and ``total_seconds``.
+    ``execution_seconds``, and ``total_seconds``.  Two optional entries are
+    filled by the session's batch and sharded paths:
+
+    * ``dedup_of`` — the batch index of the representative this result was
+      deduplicated from (:meth:`EngineSession._run_many`); absent on results
+      that were actually executed;
+    * ``sharding`` — the sharded-execution record (mode, shard variable,
+      shard count, per-shard seconds; see :attr:`sharding`).
     """
 
     task: str
@@ -55,6 +62,18 @@ class EvalResult:
     @property
     def strategy(self) -> str:
         return self.plan.strategy
+
+    @property
+    def sharding(self) -> dict | None:
+        """The sharded-execution record, or ``None`` for unsharded calls.
+
+        Filled by :meth:`EngineSession.answer` & friends when called with
+        ``shards > 1``: ``mode`` (the fallback-ladder rung that ran),
+        ``shard_variable``, ``shards`` (executed), ``requested_shards``,
+        ``per_shard_seconds``, ``broadcast_relations``, and — for counting
+        with an existential shard variable — ``count_via="union"``.
+        """
+        return self.timings.get("sharding")
 
     def __repr__(self) -> str:
         return (
@@ -160,14 +179,16 @@ class Engine:
         target = plan.query
         result = EvalResult(task=task, plan=plan)
         start = time.perf_counter()
-        if target.atoms and any(
+        # Solver semantics: a relation absent from the database is empty, so
+        # a query mentioning it has no answers.  The ``target.atoms`` guard
+        # deliberately exempts the zero-atom query — the empty conjunction
+        # mentions no relation, is vacuously true, and must keep its single
+        # empty-tuple answer ({()} / count 1 / satisfiable) on ANY database;
+        # constants-only atoms take the normal path, where the backend checks
+        # the facts.  Pinned by tests/engine/test_executor.py::TestTrivialEdgeCases.
+        empty = bool(target.atoms) and any(
             not database.has_relation(atom.relation) for atom in target.atoms
-        ):
-            # Solver semantics: a relation absent from the database is empty,
-            # so a query mentioning it has no answers.
-            empty = True
-        else:
-            empty = False
+        )
         if task == TASK_ANSWER:
             result.rows = set() if empty else backend.answers(target, database, plan)
         elif task == TASK_SATISFIABLE:

@@ -19,7 +19,7 @@ cost rationale, so a caller can always ask *why* a strategy was chosen.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cq.query import ConjunctiveQuery
 from repro.engine.analysis import LRUCache, QueryAnalysis
@@ -56,6 +56,16 @@ class Plan:
     #: substituted the core).  The executor uses it to reject a plan passed
     #: alongside a different query.  ``None`` for hand-built plans.
     source_query: ConjunctiveQuery | None = None
+
+    def with_note(self, note: str) -> "Plan":
+        """A copy of this plan with ``note`` appended to the rationale.
+
+        Execution-time layers (the session's sharded path) use it to record
+        decisions made *after* planning — e.g. which rung of the sharding
+        fallback ladder ran — without mutating the cached plan object, which
+        other threads may be reading concurrently.
+        """
+        return replace(self, rationale=f"{self.rationale}; {note}")
 
     def explain(self) -> str:
         """A human-readable account of the plan (strategy, witness, why)."""

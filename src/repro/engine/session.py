@@ -28,6 +28,7 @@ one lazily created default session, which tests can swap out wholesale with
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 
@@ -42,6 +43,17 @@ from repro.engine.executor import (
     TASK_SATISFIABLE,
 )
 from repro.engine.planner import DEFAULT_MAX_GHD_WIDTH, Plan
+from repro.engine.sharding import (
+    SHARD_MODE_SINGLE,
+    ShardedDatabase,
+    ShardingSpec,
+    sharding_spec,
+)
+
+#: Upper bound on the threads one sharded call fans out to: shard counts are
+#: a data-layout choice, not a parallelism dial, so a 64-shard call must not
+#: spawn 64 threads.
+MAX_SHARD_WORKERS = 8
 
 
 def canonical_query_key(query: ConjunctiveQuery):
@@ -84,12 +96,17 @@ class EngineSession(Engine):
 
     Sessions are cheap to construct and own *all* their cache state (analysis
     cache, core cache, plan cache) — constructing a fresh session is complete
-    cache isolation.  A session is safe to share across threads as long as
-    evaluation goes through the session API (``plan`` / ``answer*`` /
-    ``*_many``): every cache mutation happens inside :meth:`plan`, which
-    serializes on the session lock, and execution only reads plans and
-    relations.  (Calling the inherited :meth:`Engine.analyze` directly from
-    multiple threads bypasses that lock.)
+    cache isolation.  A session is safe to share across threads: every cache
+    mutation happens inside :meth:`plan` or :meth:`analyze`, both of which
+    serialize on the session (re-entrant) lock, and execution only reads
+    plans and relations.
+
+    The single-query API additionally accepts ``shards=N``: the query is
+    evaluated per hash-shard of the database and the per-shard results are
+    combined exactly (see :mod:`repro.engine.sharding` for the
+    co-partitioned / broadcast / single-shard fallback ladder, which is
+    recorded in the returned plan's rationale and in
+    ``EvalResult.timings["sharding"]``).
     """
 
     def __init__(
@@ -138,6 +155,169 @@ class EngineSession(Engine):
                 self.plan_cache.put(key, plan)
             return plan
 
+    def analyze(self, target):
+        """The cached structural analysis, serialized on the session lock.
+
+        :meth:`Engine.analyze` mutates the analysis cache with no
+        synchronization — fine for a private engine, a data race on a shared
+        session.  The lock is re-entrant, so the planning path (which calls
+        ``analyze`` while already holding the lock inside :meth:`plan`) is
+        unaffected, and direct concurrent ``analyze`` calls now serialize
+        instead of corrupting the LRU structure.
+        """
+        with self._lock:
+            return super().analyze(target)
+
+    # ------------------------------------------------------------------
+    # Single-query API: the inherited signatures plus sharded execution
+    # ------------------------------------------------------------------
+    def answer(
+        self, query, database, plan=None, use_core=False,
+        shards=1, shard_variable=None, parallel=None,
+    ) -> EvalResult:
+        """``q(D)``; with ``shards=N`` the union of exact per-shard answers."""
+        self._check_parallel(parallel)
+        if shards == 1 and shard_variable is None:
+            return super().answer(query, database, plan=plan, use_core=use_core)
+        return self._run_sharded(
+            TASK_ANSWER, query, database, plan, use_core, shards, shard_variable, parallel
+        )
+
+    def is_satisfiable(
+        self, query, database, plan=None, use_core=False,
+        shards=1, shard_variable=None, parallel=None,
+    ) -> EvalResult:
+        """BCQ; with ``shards=N`` the disjunction of the per-shard questions."""
+        self._check_parallel(parallel)
+        if shards == 1 and shard_variable is None:
+            return super().is_satisfiable(query, database, plan=plan, use_core=use_core)
+        return self._run_sharded(
+            TASK_SATISFIABLE, query, database, plan, use_core, shards, shard_variable, parallel
+        )
+
+    def count(
+        self, query, database, plan=None, use_core=False,
+        shards=1, shard_variable=None, parallel=None,
+    ) -> EvalResult:
+        """#CQ; with ``shards=N`` the sum of per-shard counts (shard variable
+        free: answer-disjoint shards) or the size of the per-shard answer
+        union (shard variable existential: shards may share projections)."""
+        self._check_parallel(parallel)
+        if shards == 1 and shard_variable is None:
+            return super().count(query, database, plan=plan, use_core=use_core)
+        return self._run_sharded(
+            TASK_COUNT, query, database, plan, use_core, shards, shard_variable, parallel
+        )
+
+    def _run_sharded(
+        self, task, query, database, plan, use_core, shards, shard_variable, parallel
+    ) -> EvalResult:
+        """Sharded execution: partition → per-shard plan execution → combine.
+
+        The plan is made once (through the session plan cache); the sharding
+        spec is computed against the *executed* query (``plan.query`` — the
+        core under ``use_core``), since that is what runs per shard.  Each
+        shard then executes the one plan against its piece of the database on
+        a thread pool, and the results combine exactly:
+
+        * answers — set union (exact for every mode: the shards jointly
+          contain every fact, and each satisfying assignment survives in the
+          shard of its shard-variable value);
+        * satisfiability — disjunction;
+        * counts — sum when the shard variable is free (the per-shard answer
+          sets are disjoint: the shard-variable column of an answer tuple
+          determines its shard); when it is existential, shards may project
+          onto the same answer tuple, so the per-shard *answer sets* are
+          unioned and counted instead (recorded as ``count_via="union"``).
+        """
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        if plan is not None and use_core:
+            raise ValueError(
+                "use_core applies at planning time; pass it to plan() "
+                "(or omit plan=) instead of combining it with a pre-built plan"
+            )
+        planning_started = time.perf_counter()
+        planning = 0.0
+        if plan is None:
+            plan = self.plan(query, use_core=use_core)
+            planning = time.perf_counter() - planning_started
+        target = plan.query
+        if (
+            shard_variable is not None
+            and shard_variable not in target.variables
+            and shard_variable in query.variables
+        ):
+            # The core folded the requested shard variable away: the executed
+            # query cannot be partitioned on it.  Fall back rather than raise —
+            # the caller asked for a legal variable of *their* query.
+            spec = ShardingSpec(
+                shard_variable, shards, SHARD_MODE_SINGLE, {}, (),
+                f"shard variable {shard_variable!r} folded away by the core: "
+                "single-shard fallback",
+            )
+        else:
+            spec = sharding_spec(target, shards, shard_variable=shard_variable)
+        start = time.perf_counter()
+        if not spec.is_sharded:
+            result = self._run(task, query, database, plan, False)
+            per_shard_seconds = [result.timings["execution_seconds"]]
+            shard_count = 1
+        else:
+            pieces = ShardedDatabase.partition(database, target, shards, spec=spec)
+            shard_count = len(pieces)
+            # Counting with an existential shard variable must union answer
+            # *sets* across shards (projections may coincide), so the shards
+            # run the answer task and the combiner counts the union.
+            shard_free = spec.shard_variable in target.free_variables
+            shard_task = (
+                TASK_ANSWER if task == TASK_COUNT and not shard_free else task
+            )
+
+            def run_shard(piece: Database):
+                shard_started = time.perf_counter()
+                shard_result = self._run(shard_task, query, piece, plan, False)
+                return shard_result, time.perf_counter() - shard_started
+
+            workers = min(
+                shard_count, parallel if parallel is not None else MAX_SHARD_WORKERS
+            )
+            if workers > 1:
+                with ThreadPoolExecutor(max_workers=workers) as pool:
+                    outcomes = list(pool.map(run_shard, pieces))
+            else:
+                outcomes = [run_shard(piece) for piece in pieces]
+            shard_results = [shard_result for shard_result, _ in outcomes]
+            per_shard_seconds = [seconds for _, seconds in outcomes]
+            result = EvalResult(task=task, plan=plan)
+            if task == TASK_ANSWER:
+                result.rows = set().union(*(r.rows for r in shard_results))
+            elif task == TASK_SATISFIABLE:
+                result.satisfiable = any(r.satisfiable for r in shard_results)
+            elif shard_free:
+                result.count = sum(r.count for r in shard_results)
+            else:
+                result.count = len(set().union(*(r.rows for r in shard_results)))
+        execution = time.perf_counter() - start
+        sharding_record = {
+            "mode": spec.mode,
+            "shard_variable": spec.shard_variable,
+            "shards": shard_count,
+            "requested_shards": shards,
+            "per_shard_seconds": per_shard_seconds,
+            "broadcast_relations": list(spec.broadcast_relations),
+        }
+        if task == TASK_COUNT and spec.is_sharded:
+            sharding_record["count_via"] = "sum" if shard_free else "union"
+        result.plan = plan.with_note(f"sharding: {spec.rationale}")
+        result.timings = {
+            "planning_seconds": planning,
+            "execution_seconds": execution,
+            "total_seconds": planning + execution,
+            "sharding": sharding_record,
+        }
+        return result
+
     # ------------------------------------------------------------------
     def answer_many(
         self,
@@ -171,18 +351,26 @@ class EngineSession(Engine):
     ) -> list[EvalResult]:
         """The batch pipeline: dedup → plan once per class → execute.
 
-        Returns one :class:`EvalResult` per input query, in input order.
-        Queries in the same isomorphism class share a single result object
-        (same rows/count and the representative's plan) — the whole point of
-        the dedup pass is to not evaluate them twice.
+        Returns one :class:`EvalResult` per input query, in input order —
+        always a **distinct object per query**, even within an isomorphism
+        class.  Each class is still evaluated exactly once (the point of the
+        dedup pass); the duplicates receive copies that share the class's
+        plan but carry their own answer payload and their own ``timings``,
+        with a ``dedup_of`` marker naming the batch index of the
+        representative that actually executed.  (Results used to be aliased
+        across a class, so mutating one query's ``rows`` silently corrupted
+        its siblings, and every duplicate re-reported the representative's
+        ``execution_seconds`` as its own.)
         """
         if parallel < 1:
             raise ValueError("parallel must be >= 1")
         queries = [self._checked_query(query) for query in queries]
         keys = [canonical_query_key(query) for query in queries]
         representatives: dict = {}
-        for key, query in zip(keys, queries):
+        first_index: dict = {}
+        for index, (key, query) in enumerate(zip(keys, queries)):
             representatives.setdefault(key, query)
+            first_index.setdefault(key, index)
         with self._lock:
             self.batches += 1
             self.dedup_hits += len(queries) - len(representatives)
@@ -203,7 +391,40 @@ class EngineSession(Engine):
                 results = dict(pool.map(execute, items))
         else:
             results = dict(execute(item) for item in items)
-        return [results[key] for key in keys]
+        return [
+            results[key]
+            if index == first_index[key]
+            else self._dedup_copy(results[key], first_index[key])
+            for index, key in enumerate(keys)
+        ]
+
+    @staticmethod
+    def _dedup_copy(representative: EvalResult, representative_index: int) -> EvalResult:
+        """A duplicate's result: the representative's payload in a fresh
+        object.  The answer set is copied (a frozen scalar payload is shared)
+        so a caller mutating one result's ``rows`` cannot corrupt the class
+        siblings, and the timings say what this query actually cost — nothing
+        was executed for it — plus where its payload came from."""
+        return EvalResult(
+            task=representative.task,
+            plan=representative.plan,
+            rows=set(representative.rows) if representative.rows is not None else None,
+            satisfiable=representative.satisfiable,
+            count=representative.count,
+            timings={
+                "planning_seconds": 0.0,
+                "execution_seconds": 0.0,
+                "total_seconds": 0.0,
+                "dedup_of": representative_index,
+            },
+        )
+
+    @staticmethod
+    def _check_parallel(parallel) -> None:
+        # Validated on every call — including the unsharded fast path, so an
+        # invalid argument cannot be masked by an unrelated shards value.
+        if parallel is not None and parallel < 1:
+            raise ValueError("parallel must be >= 1")
 
     @staticmethod
     def _checked_query(query) -> ConjunctiveQuery:

@@ -11,7 +11,12 @@ every scenario this harness runs:
   scenario's structure (forcing Yannakakis on a cyclic query correctly
   raises — that is applicability, not disagreement),
 * the semantic ``use_core=True`` route,
-* and the session *batch* path,
+* the session *batch* path,
+* and the *sharded* path at shard counts {1, 2, 4, 8} — the scenario's
+  designated shard variable when the workload provides one (the ``sharded``
+  regime covers the co-partitioned and broadcast rungs by construction),
+  the engine's automatic choice otherwise, with a hypothesis property that
+  fresh-seed results are invariant in the shard count,
 
 and asserts bit-for-bit agreement with the naive linear-scan solver.
 
@@ -20,16 +25,21 @@ scenarios — any failure reproduces locally from the seed in the test id.
 ``make workload-smoke`` runs the single-seed variant.
 """
 
+import functools
 import os
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.cq import workloads
 from repro.cq.homomorphism import naive_count_answers, naive_enumerate_answers
 from repro.engine import (
     EngineSession,
+    SHARD_MODE_BROADCAST,
+    SHARD_MODE_COPARTITIONED,
     STRATEGY_TRIVIAL,
     registered_strategies,
+    sharding_spec,
 )
 
 
@@ -109,3 +119,88 @@ def test_batch_path_agrees_with_naive(seed):
     results = EngineSession().answer_many(queries, database, parallel=4)
     for query, result in zip(queries, results):
         assert result.rows == naive_enumerate_answers(query, database)
+
+
+# ----------------------------------------------------------------------
+# The sharded path: exact at every shard count, every regime, every rung
+# of the fallback ladder.
+# ----------------------------------------------------------------------
+SHARD_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.mark.parametrize(
+    "seed,scenario", SCENARIOS, ids=[f"shards/{s.name}" for _, s in SCENARIOS]
+)
+def test_sharded_execution_agrees_with_naive(session, seed, scenario):
+    query, database = scenario.query, scenario.database
+    expected_rows = naive_enumerate_answers(query, database)
+    expected_count = naive_count_answers(query, database)
+    for shards in SHARD_COUNTS:
+        answered = session.answer(
+            query, database, shards=shards, shard_variable=scenario.shard_variable
+        )
+        assert answered.rows == expected_rows, (
+            f"{scenario.name}: sharded answer disagrees at shards={shards} "
+            f"(mode {answered.sharding['mode'] if answered.sharding else None})"
+        )
+        counted = session.count(
+            query, database, shards=shards, shard_variable=scenario.shard_variable
+        )
+        assert counted.count == expected_count, (
+            f"{scenario.name}: sharded count disagrees at shards={shards}"
+        )
+        boolean = session.is_satisfiable(
+            query, database, shards=shards, shard_variable=scenario.shard_variable
+        )
+        assert boolean.satisfiable == bool(expected_rows), (
+            f"{scenario.name}: sharded BCQ disagrees at shards={shards}"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_sharded_regime_covers_both_ladder_rungs(seed):
+    # The workload must keep exercising both sharded modes: losing either
+    # would silently shrink what the differential pass above checks.
+    modes = set()
+    for scenario in workloads.generate_workload(
+        seed=seed, regimes=[workloads.REGIME_SHARDED]
+    ):
+        spec = sharding_spec(
+            scenario.query, 4, shard_variable=scenario.shard_variable
+        )
+        modes.add(spec.mode)
+    assert {SHARD_MODE_COPARTITIONED, SHARD_MODE_BROADCAST} <= modes
+
+
+@functools.lru_cache(maxsize=128)
+def _first_scenario(seed, regime):
+    # The property below needs one scenario per (seed, regime); caching
+    # avoids regenerating the regime's full query x database grid every
+    # time hypothesis revisits a seed (e.g. while shrinking).
+    return workloads.generate_workload(seed=seed, regimes=[regime])[0]
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    shards=st.integers(min_value=1, max_value=8),
+)
+def test_sharded_results_invariant_in_shard_count(seed, shards):
+    # Property: for ANY scenario and shard count, the sharded session
+    # returns exactly what the unsharded session returns.  One scenario per
+    # regime keeps each example fast while touching every dispatch route
+    # and every rung of the sharding ladder.
+    session = EngineSession()
+    for regime in workloads.ALL_REGIMES:
+        scenario = _first_scenario(seed, regime)
+        query, database = scenario.query, scenario.database
+        baseline_rows = session.answer(query, database).rows
+        baseline_count = session.count(query, database).count
+        sharded = session.answer(
+            query, database, shards=shards, shard_variable=scenario.shard_variable
+        )
+        assert sharded.rows == baseline_rows
+        counted = session.count(
+            query, database, shards=shards, shard_variable=scenario.shard_variable
+        )
+        assert counted.count == baseline_count

@@ -6,13 +6,19 @@ import pytest
 import repro
 from repro.cq import Atom, ConjunctiveQuery, Database
 from repro.cq import generators as cqgen
-from repro.cq.homomorphism import count_answers
+from repro.cq.homomorphism import (
+    count_answers,
+    naive_count_answers,
+    naive_enumerate_answers,
+)
+from repro.cq.query import Constant
 from repro.engine import (
     Engine,
     EvaluationBackend,
     Plan,
     backend_for,
     register_backend,
+    registered_strategies,
     unregister_backend,
 )
 
@@ -124,6 +130,95 @@ class TestEdgeCases:
         result = engine.count(query, database)
         assert result.count == count_answers(query, database)
         assert result.count == len(engine.answer(query, database).rows)
+
+
+class TestTrivialEdgeCases:
+    """Pin the missing-relation fast path's exemptions: the zero-atom query
+    and constants-only atoms.  The fast path (`Engine._run`) must never
+    short-circuit the empty conjunction — it mentions no relation, so it is
+    trivially satisfiable with the single empty-tuple answer on ANY database
+    — and constants-only atoms must take the normal path, where the backend
+    checks the facts.  All three task semantics have to agree with each
+    other, with the naive reference, and under every forceable strategy."""
+
+    def _assert_tasks_agree(self, engine, query, database, expected_rows):
+        assert engine.answer(query, database).rows == expected_rows
+        assert engine.count(query, database).count == len(expected_rows)
+        assert engine.is_satisfiable(query, database).satisfiable == bool(
+            expected_rows
+        )
+        assert naive_enumerate_answers(query, database) == expected_rows
+        assert naive_count_answers(query, database) == len(expected_rows)
+
+    def _forceable_strategies(self, engine, query):
+        plans = []
+        for strategy in registered_strategies():
+            try:
+                plans.append(engine.plan(query, force_strategy=strategy))
+            except ValueError:
+                continue
+        return plans
+
+    def test_empty_body_query_on_any_database(self, engine):
+        query = ConjunctiveQuery([])
+        for database in (Database(), cqgen.random_database(cqgen.chain_query(2), 4, 8)):
+            self._assert_tasks_agree(engine, query, database, {()})
+
+    def test_empty_body_query_only_forces_trivial(self, engine):
+        query = ConjunctiveQuery([])
+        plans = self._forceable_strategies(engine, query)
+        assert [plan.strategy for plan in plans] == ["trivial"]
+        database = Database()
+        for plan in plans:
+            assert engine.answer(query, database, plan=plan).rows == {()}
+            assert engine.count(query, database, plan=plan).count == 1
+            assert engine.is_satisfiable(query, database, plan=plan).satisfiable
+
+    def test_constants_only_query_fact_present(self, engine):
+        database = Database()
+        database.add_fact("R", (1, 2))
+        query = ConjunctiveQuery([Atom("R", [Constant(1), Constant(2)])])
+        self._assert_tasks_agree(engine, query, database, {()})
+        for plan in self._forceable_strategies(engine, query):
+            assert engine.answer(query, database, plan=plan).rows == {()}
+            assert engine.count(query, database, plan=plan).count == 1
+
+    def test_constants_only_query_fact_absent(self, engine):
+        database = Database()
+        database.add_fact("R", (1, 2))
+        query = ConjunctiveQuery([Atom("R", [Constant(2), Constant(1)])])
+        self._assert_tasks_agree(engine, query, database, set())
+        for plan in self._forceable_strategies(engine, query):
+            assert engine.answer(query, database, plan=plan).rows == set()
+            assert engine.count(query, database, plan=plan).count == 0
+            assert not engine.is_satisfiable(query, database, plan=plan).satisfiable
+
+    def test_constants_only_query_missing_relation(self, engine):
+        database = Database()
+        database.add_fact("R", (1, 2))
+        query = ConjunctiveQuery([Atom("S", [Constant(1)])])
+        self._assert_tasks_agree(engine, query, database, set())
+
+    def test_mixed_constants_and_variables_with_missing_relation(self, engine):
+        database = Database()
+        database.add_fact("R", (1, 2))
+        query = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("S", [Constant(1)])]
+        )
+        self._assert_tasks_agree(engine, query, database, set())
+
+    def test_zero_atom_query_through_the_batch_and_sharded_paths(self):
+        from repro.engine import EngineSession
+
+        session = EngineSession()
+        query = ConjunctiveQuery([])
+        database = Database()
+        batch = session.answer_many([query, query], database)
+        assert [result.rows for result in batch] == [{()}, {()}]
+        sharded = session.answer(query, database, shards=4)
+        assert sharded.rows == {()}
+        assert session.count(query, database, shards=4).count == 1
+        assert session.is_satisfiable(query, database, shards=4).satisfiable
 
 
 class TestPublicSurface:

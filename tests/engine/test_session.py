@@ -7,11 +7,11 @@ import threading
 import pytest
 
 import repro.engine as engine_module
-from repro.cq import Atom, ConjunctiveQuery
+from repro.cq import Atom, ConjunctiveQuery, Database
 from repro.cq.query import Constant
 from repro.cq import generators as cqgen
 from repro.cq import workloads
-from repro.cq.homomorphism import naive_enumerate_answers
+from repro.cq.homomorphism import naive_count_answers, naive_enumerate_answers
 from repro.engine import (
     EngineSession,
     answer_many,
@@ -164,14 +164,49 @@ class TestAnswerMany:
         assert len(results) == 3
         assert results[0].rows == session.answer(cycle, database).rows
         assert results[1].rows == session.answer(chain, database).rows
-        assert results[2] is results[0]
+        # The duplicate is deduplicated (same payload, same plan) but NOT
+        # aliased: it is its own result object, marked with the batch index
+        # of the representative that actually executed.
+        assert results[2] is not results[0]
+        assert results[2].rows == results[0].rows
+        assert results[2].plan is results[0].plan
+        assert results[2].timings["dedup_of"] == 0
 
-    def test_isomorphic_queries_share_one_result(self, session, cycle_instance):
+    def test_isomorphic_queries_deduplicate_without_aliasing(
+        self, session, cycle_instance
+    ):
         query, database = cycle_instance
         results = session.answer_many([query, renamed(query)], database)
-        assert results[0] is results[1]
+        assert results[0] is not results[1]
+        assert results[0].rows == results[1].rows
         assert session.dedup_hits == 1
         assert results[0].rows == naive_enumerate_answers(query, database)
+
+    def test_mutating_one_result_leaves_siblings_intact(self, session, cycle_instance):
+        # Regression: results of one dedup class used to be the SAME object,
+        # so a caller post-processing one query's rows corrupted the others.
+        query, database = cycle_instance
+        expected = naive_enumerate_answers(query, database)
+        results = session.answer_many(
+            [query, renamed(query), renamed(query, "_s")], database
+        )
+        results[0].rows.clear()
+        assert results[1].rows == expected
+        assert results[2].rows == expected
+        results[1].rows.add(("sentinel",) * len(query.free_variables))
+        assert results[2].rows == expected
+
+    def test_duplicates_do_not_rebill_execution_time(self, session, cycle_instance):
+        # Regression: every duplicate used to report the representative's
+        # execution_seconds as its own, double-counting any latency
+        # accounting summed over a batch.
+        query, database = cycle_instance
+        results = session.answer_many([query, renamed(query)], database)
+        representative, duplicate = results
+        assert "dedup_of" not in representative.timings
+        assert duplicate.timings["dedup_of"] == 0
+        assert duplicate.timings["execution_seconds"] == 0.0
+        assert duplicate.timings["total_seconds"] == 0.0
 
     def test_self_join_duplicates_still_evaluate_correctly(self, session):
         query = cqgen.zigzag_cycle_query(4, free_variables=["x0", "x1"])
@@ -195,7 +230,9 @@ class TestAnswerMany:
         sats = session.is_satisfiable_many([query], database)
         rows = session.answer_many([query], database)[0].rows
         assert counts[0].count == len(rows)
-        assert counts[0] is counts[1]
+        assert counts[0] is not counts[1]
+        assert counts[0].count == counts[1].count
+        assert counts[1].timings["dedup_of"] == 0
         assert sats[0].satisfiable == bool(rows)
 
     def test_use_core_batch_matches_plain(self, session):
@@ -252,6 +289,178 @@ class TestAnswerMany:
             assert [r.rows for r in results] == expected
 
 
+class TestAnalyzeThreadSafety:
+    def test_analyze_serializes_on_the_session_lock(self, session):
+        # Regression: the inherited Engine.analyze mutated the analysis
+        # cache outside the session lock.  The override must hold it.
+        query = cqgen.cycle_query(4)
+
+        class TrackingLock:
+            def __init__(self, inner):
+                self.inner = inner
+                self.entries = 0
+
+            def __enter__(self):
+                self.entries += 1
+                return self.inner.__enter__()
+
+            def __exit__(self, *exc):
+                return self.inner.__exit__(*exc)
+
+        tracking = TrackingLock(session._lock)
+        session._lock = tracking
+        try:
+            session.analyze(query)
+        finally:
+            session._lock = tracking.inner
+        assert tracking.entries, "analyze() never took the session lock"
+
+    def test_concurrent_analyze_and_answer_many_stress(self, session):
+        # Hammer one session from analysis threads and batch threads at
+        # once: the tiny cache forces constant LRU eviction, so an
+        # unsynchronized analyze would race the planner's cache mutations.
+        stress = EngineSession(cache_size=4)
+        queries, database = workloads.mixed_batch(seed=5, copies=2, distinct=8)
+        analysis_targets = [
+            cqgen.cycle_query(n) for n in (4, 5, 6)
+        ] + [cqgen.chain_query(n) for n in (2, 3, 4)] + [cqgen.star_query(3)]
+        expected = [r.rows for r in EngineSession().answer_many(queries, database)]
+        errors = []
+        batch_outcomes = {}
+
+        def analyzer(tag):
+            try:
+                for _ in range(10):
+                    for target in analysis_targets:
+                        analysis = stress.analyze(target)
+                        assert analysis is not None
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append((tag, exc))
+
+        def batcher(tag):
+            try:
+                batch_outcomes[tag] = stress.answer_many(
+                    queries, database, parallel=2
+                )
+            except Exception as exc:  # pragma: no cover - only on regression
+                errors.append((tag, exc))
+
+        threads = [
+            threading.Thread(target=analyzer, args=(f"a{i}",)) for i in range(3)
+        ] + [threading.Thread(target=batcher, args=(f"b{i}",)) for i in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for results in batch_outcomes.values():
+            assert [r.rows for r in results] == expected
+
+
+class TestShardedExecution:
+    def test_sharded_answer_count_satisfiable_agree(self, session):
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, 8, 60, seed=9)
+        expected = naive_enumerate_answers(query, database)
+        for shards in (1, 2, 4, 8):
+            result = session.answer(query, database, shards=shards)
+            assert result.rows == expected
+            assert session.count(query, database, shards=shards).count == len(expected)
+            assert session.is_satisfiable(
+                query, database, shards=shards
+            ).satisfiable == bool(expected)
+
+    def test_sharded_timings_and_rationale_record_the_mode(self, session):
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, 8, 60, seed=9)
+        result = session.answer(query, database, shards=4)
+        record = result.sharding
+        assert record["mode"] == "co-partitioned"
+        assert record["shard_variable"] == "h"
+        assert record["shards"] == 4
+        assert len(record["per_shard_seconds"]) == 4
+        assert record["broadcast_relations"] == []
+        assert "sharding:" in result.plan.rationale
+        # The session's cached plan must NOT accumulate sharding notes.
+        assert "sharding:" not in session.plan(query).rationale
+
+    def test_broadcast_fallback_records_replicated_relations(self, session):
+        query = cqgen.cycle_query(5)
+        database = cqgen.random_database(query, 8, 40, seed=4)
+        result = session.answer(query, database, shards=4, shard_variable="x0")
+        assert result.rows == naive_enumerate_answers(query, database)
+        record = result.sharding
+        assert record["mode"] == "broadcast"
+        assert set(record["broadcast_relations"]) == {"R1", "R2", "R3"}
+
+    def test_existential_shard_variable_counts_via_union(self, session):
+        query = cqgen.hub_cycle_query(4).as_boolean()
+        database = cqgen.random_database(query, 8, 60, seed=9)
+        result = session.count(query, database, shards=4)
+        assert result.count == naive_count_answers(query, database)
+        assert result.sharding["count_via"] == "union"
+        free = cqgen.hub_cycle_query(4)
+        full = session.count(free, database, shards=4)
+        assert full.sharding["count_via"] == "sum"
+        assert full.count == naive_count_answers(free, database)
+
+    def test_unshardable_queries_fall_back_to_single_shard(self, session):
+        no_atoms = ConjunctiveQuery([])
+        database = Database()
+        result = session.answer(no_atoms, database, shards=4)
+        assert result.rows == {()}
+        assert result.sharding["mode"] == "single-shard"
+        assert result.sharding["shards"] == 1
+
+    def test_unknown_shard_variable_rejected(self, session):
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, 5, 10, seed=0)
+        with pytest.raises(ValueError, match="does not occur"):
+            session.answer(query, database, shards=2, shard_variable="nope")
+        with pytest.raises(ValueError, match="shards"):
+            session.answer(query, database, shards=0)
+        # parallel is validated up front, on every path — including the
+        # single-shard fallback and the unsharded fast path.
+        with pytest.raises(ValueError, match="parallel"):
+            session.answer(query, database, shards=4, parallel=0)
+        with pytest.raises(ValueError, match="parallel"):
+            session.answer(ConjunctiveQuery([]), database, shards=4, parallel=0)
+        with pytest.raises(ValueError, match="parallel"):
+            session.answer(query, database, parallel=0)
+        with pytest.raises(ValueError, match="parallel"):
+            session.count(query, database, parallel=-1)
+
+    def test_sharded_missing_relation_is_empty(self, session):
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(cqgen.hub_cycle_query(3), 5, 10, seed=0)
+        result = session.answer(query, database, shards=4)
+        assert result.rows == set()
+        assert session.is_satisfiable(query, database, shards=4).satisfiable is False
+
+    def test_sharded_use_core_matches_plain(self, session):
+        query = cqgen.zigzag_cycle_query(6, free_variables=["x0", "x1"])
+        database = cqgen.random_database(query, 5, 14, seed=5)
+        expected = naive_enumerate_answers(query, database)
+        result = session.answer(query, database, shards=4, use_core=True)
+        assert result.rows == expected
+        # An explicitly requested variable the core folds away degrades to
+        # single-shard instead of raising.
+        folded = session.answer(
+            query, database, shards=4, use_core=True, shard_variable="x3"
+        )
+        assert folded.rows == expected
+        assert folded.sharding["mode"] == "single-shard"
+
+    def test_sharded_with_prebuilt_plan(self, session):
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, 8, 40, seed=2)
+        plan = session.plan(query)
+        result = session.answer(query, database, plan=plan, shards=4)
+        assert result.rows == naive_enumerate_answers(query, database)
+        with pytest.raises(ValueError, match="use_core"):
+            session.answer(query, database, plan=plan, use_core=True, shards=4)
+
+
 class TestDefaultSession:
     def test_module_api_delegates_to_default_session(self, cycle_instance):
         query, database = cycle_instance
@@ -264,7 +473,8 @@ class TestDefaultSession:
         query, database = cycle_instance
         with isolated_session() as session:
             results = answer_many([query, query], database)
-            assert results[0] is results[1]
+            assert results[0].rows == results[1].rows
+            assert results[1].timings["dedup_of"] == 0
             assert session.batches == 1
 
     def test_isolated_session_restores_previous(self):

@@ -1,0 +1,270 @@
+"""The sharding layer: stable hash partitioning, the spec fallback ladder,
+``Database.partition``, and ``ShardedDatabase``."""
+
+import enum
+
+import pytest
+
+from repro.cq import Atom, ConjunctiveQuery, Database
+from repro.cq import generators as cqgen
+from repro.cq.database import Relation, shard_of
+from repro.engine import (
+    SHARD_MODE_BROADCAST,
+    SHARD_MODE_COPARTITIONED,
+    SHARD_MODE_SINGLE,
+    ShardedDatabase,
+    choose_shard_variable,
+    sharding_spec,
+)
+
+
+class _StrColour(str, enum.Enum):
+    RED = "red"
+
+
+class _IntColour(enum.IntEnum):
+    BLUE = 3
+
+
+class TestShardOf:
+    def test_in_range_and_deterministic(self):
+        for shards in (1, 2, 4, 8):
+            for value in [0, 1, 17, "a", "xyz", (1, 2), None]:
+                shard = shard_of(value, shards)
+                assert 0 <= shard < shards
+                assert shard == shard_of(value, shards)
+
+    def test_single_shard_is_always_zero(self):
+        assert shard_of("anything", 1) == 0
+
+    def test_spreads_small_integer_domains(self):
+        # The generators draw values from range(domain); a hash that lumped
+        # them into one shard would make sharding a no-op silently.
+        buckets = {shard_of(value, 4) for value in range(32)}
+        assert len(buckets) == 4
+
+    def test_rejects_bad_shard_count(self):
+        with pytest.raises(ValueError, match="shards"):
+            shard_of(1, 0)
+
+    def test_equal_values_share_a_shard_across_types(self):
+        # Python equality crosses the numeric tower (True == 1 == 1.0) and
+        # sets/dicts unify such values, so sharding MUST route them
+        # identically — the disjointness argument is an equality argument.
+        from decimal import Decimal
+        from fractions import Fraction
+
+        for shards in (2, 3, 4, 8):
+            for group in (
+                [True, 1, 1.0, Decimal(1), Fraction(1)],
+                [False, 0, 0.0],
+                [0.5, Fraction(1, 2), Decimal("0.5")],
+                [(1, True), (1, 1), (1.0, 1)],
+                # Exact large integers must not round-trip through float.
+                [10**30, Fraction(10**30), Decimal(10**30)],
+                # Subclass values that compare equal to their base value.
+                [_StrColour.RED, "red"],
+                [_IntColour.BLUE, 3, 3.0],
+                [range(0), range(5, 5)],
+                [range(2, 8, 2), range(2, 7, 2)],
+            ):
+                routes = {shard_of(value, shards) for value in group}
+                assert len(routes) == 1, (group, shards)
+
+    def test_identity_repr_values_rejected_loudly(self):
+        # An object with __eq__ but the default (address-based) repr cannot
+        # be routed consistently: equal instances would land in different
+        # shards and silently lose answers.  Refusal beats wrong results.
+        class Opaque:
+            def __eq__(self, other):
+                return isinstance(other, Opaque)
+
+            def __hash__(self):
+                return 7
+
+        with pytest.raises(TypeError, match="identity-based"):
+            shard_of(Opaque(), 4)
+
+    def test_mixed_type_equal_hub_values_answer_exactly(self):
+        # End-to-end regression: a satisfying assignment whose facts spell
+        # the same hub value as True, 1, and 1.0 must survive sharding.
+        from repro.cq.homomorphism import naive_enumerate_answers
+        from repro.engine import EngineSession
+
+        query = cqgen.hub_cycle_query(3)
+        database = Database()
+        database.add_fact("H0", (True, "a", "b"))
+        database.add_fact("H1", (1, "b", "c"))
+        database.add_fact("H2", (1.0, "c", "a"))
+        expected = naive_enumerate_answers(query, database)
+        assert expected, "the planted assignment must satisfy the query"
+        session = EngineSession()
+        for shards in (2, 3, 4, 8):
+            assert session.answer(query, database, shards=shards).rows == expected
+            assert session.is_satisfiable(query, database, shards=shards).satisfiable
+
+
+class TestChooseShardVariable:
+    def test_prefers_the_highest_frequency_variable(self):
+        assert choose_shard_variable(cqgen.hub_cycle_query(5)) == "h"
+        assert choose_shard_variable(cqgen.star_query(4)) == "c"
+
+    def test_no_variables_means_none(self):
+        assert choose_shard_variable(ConjunctiveQuery([])) is None
+        from repro.cq.query import Constant
+
+        constants_only = ConjunctiveQuery([Atom("R", [Constant(1)])])
+        assert choose_shard_variable(constants_only) is None
+
+    def test_deterministic_tie_break(self):
+        query = ConjunctiveQuery([Atom("R", ["a", "b"])])
+        assert choose_shard_variable(query) == choose_shard_variable(query)
+
+
+class TestShardingSpec:
+    def test_copartitioned_when_every_atom_has_the_variable(self):
+        spec = sharding_spec(cqgen.hub_cycle_query(4), 4)
+        assert spec.mode == SHARD_MODE_COPARTITIONED
+        assert spec.shard_variable == "h"
+        assert set(spec.partition_columns) == {"H0", "H1", "H2", "H3"}
+        assert all(column == 0 for column in spec.partition_columns.values())
+        assert spec.broadcast_relations == ()
+        assert spec.is_sharded
+
+    def test_broadcast_when_some_atoms_lack_it(self):
+        spec = sharding_spec(cqgen.cycle_query(5), 4, shard_variable="x0")
+        assert spec.mode == SHARD_MODE_BROADCAST
+        # x0 occurs in R4(x4, x0) and R0(x0, x1) only.
+        assert set(spec.partition_columns) == {"R0", "R4"}
+        assert set(spec.broadcast_relations) == {"R1", "R2", "R3"}
+        assert "broadcast" in spec.rationale
+
+    def test_single_shard_when_one_shard_requested(self):
+        spec = sharding_spec(cqgen.hub_cycle_query(4), 1)
+        assert spec.mode == SHARD_MODE_SINGLE
+        assert not spec.is_sharded
+
+    def test_single_shard_when_no_variables(self):
+        spec = sharding_spec(ConjunctiveQuery([]), 4)
+        assert spec.mode == SHARD_MODE_SINGLE
+        assert spec.shard_variable is None
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(ValueError, match="does not occur"):
+            sharding_spec(cqgen.hub_cycle_query(4), 4, shard_variable="zz")
+        # The typo must raise on every query shape — the zero-atom and
+        # shards=1 fallbacks must not mask it.
+        with pytest.raises(ValueError, match="does not occur"):
+            sharding_spec(ConjunctiveQuery([]), 4, shard_variable="zz")
+        with pytest.raises(ValueError, match="does not occur"):
+            sharding_spec(cqgen.hub_cycle_query(4), 1, shard_variable="zz")
+
+    def test_inconsistent_self_join_positions_fall_back(self):
+        # E(x, y) AND E(y, x): x sits at column 0 in one atom and column 1
+        # in the other, so no single partition column serves both — the
+        # relation cannot be partitioned and the ladder bottoms out.
+        query = ConjunctiveQuery([Atom("E", ["x", "y"]), Atom("E", ["y", "x"])])
+        spec = sharding_spec(query, 4, shard_variable="x")
+        assert spec.mode == SHARD_MODE_SINGLE
+        assert "single-shard" in spec.rationale
+
+    def test_consistent_self_join_positions_copartition(self):
+        # E(h, x) AND E(h, y): both atoms carry h at column 0.
+        query = ConjunctiveQuery([Atom("E", ["h", "x"]), Atom("E", ["h", "y"])])
+        spec = sharding_spec(query, 4, shard_variable="h")
+        assert spec.mode == SHARD_MODE_COPARTITIONED
+        assert spec.partition_columns == {"E": 0}
+
+
+class TestDatabasePartition:
+    @pytest.fixture
+    def database(self):
+        query = cqgen.hub_cycle_query(3)
+        return cqgen.random_database(query, 10, 50, seed=13)
+
+    def test_partition_is_exact_and_disjoint(self, database):
+        pieces = database.partition(
+            {"H0": 0, "H1": 0, "H2": 0}, 4
+        )
+        assert len(pieces) == 4
+        for name in ("H0", "H1", "H2"):
+            rebuilt = set()
+            total = 0
+            for piece in pieces:
+                rows = piece.relation(name).tuples
+                assert not rebuilt & rows, "tuple present in two shards"
+                rebuilt |= rows
+                total += len(rows)
+            assert rebuilt == database.relation(name).tuples
+            assert total == len(database.relation(name))
+
+    def test_tuples_routed_by_key_column(self, database):
+        pieces = database.partition({"H0": 1}, 3)
+        for index, piece in enumerate(pieces):
+            for row in piece.relation("H0").tuples:
+                assert shard_of(row[1], 3) == index
+
+    def test_broadcast_relations_replicated(self, database):
+        pieces = database.partition({"H0": 0}, 3, broadcast=("H1", "H2"))
+        for piece in pieces:
+            assert piece.relation("H1").tuples == database.relation("H1").tuples
+            assert piece.relation("H2").tuples == database.relation("H2").tuples
+            assert not piece.has_relation("unrelated")
+
+    def test_unlisted_relations_omitted(self, database):
+        pieces = database.partition({"H0": 0}, 2)
+        assert all(not piece.has_relation("H1") for piece in pieces)
+
+    def test_validation(self, database):
+        with pytest.raises(ValueError, match="shards"):
+            database.partition({"H0": 0}, 0)
+        with pytest.raises(KeyError, match="missing"):
+            database.partition({"missing": 0}, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            database.partition({"H0": 9}, 2)
+        with pytest.raises(ValueError, match="both partitioned and broadcast"):
+            database.partition({"H0": 0}, 2, broadcast=("H0",))
+
+    def test_partition_is_deterministic(self, database):
+        first = database.partition({"H0": 0, "H1": 0, "H2": 0}, 4)
+        second = database.partition({"H0": 0, "H1": 0, "H2": 0}, 4)
+        for a, b in zip(first, second):
+            assert a == b
+
+
+class TestShardedDatabase:
+    def test_partition_for_query(self):
+        query = cqgen.hub_cycle_query(3)
+        database = cqgen.random_database(query, 10, 50, seed=13)
+        sharded = ShardedDatabase.partition(database, query, 4)
+        assert len(sharded) == 4
+        assert sharded.spec.mode == SHARD_MODE_COPARTITIONED
+        assert sharded.total_tuples() == database.total_tuples()
+
+    def test_single_shard_shares_the_database(self):
+        query = cqgen.hub_cycle_query(3)
+        database = cqgen.random_database(query, 10, 20, seed=13)
+        sharded = ShardedDatabase.partition(database, query, 1)
+        assert len(sharded) == 1
+        assert sharded.shards[0] is database
+
+    def test_missing_query_relation_stays_missing(self):
+        query = cqgen.hub_cycle_query(3)
+        database = Database()
+        database.add_fact("H0", ("a", "b", "c"))
+        sharded = ShardedDatabase.partition(database, query, 2)
+        for piece in sharded:
+            assert not piece.has_relation("H1")
+
+    def test_shard_for_routes_by_value(self):
+        query = cqgen.hub_cycle_query(3)
+        database = cqgen.random_database(query, 10, 50, seed=13)
+        sharded = ShardedDatabase.partition(database, query, 4)
+        for value in range(10):
+            piece = sharded.shard_for(value)
+            assert piece is sharded.shards[shard_of(value, 4)]
+            # Every H0 fact carrying `value` in the hub column lives there.
+            for other in sharded.shards:
+                if other is piece:
+                    continue
+                assert all(row[0] != value for row in other.relation("H0").tuples)

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline workload-smoke shard-smoke
+.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +24,16 @@ shard-smoke:
 	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
 		tests/engine/test_sharding.py tests/workloads \
 		tests/engine/test_differential.py tests/engine/test_session.py -k shard
+
+# One-seed smoke of the execution-runtime layer: the runtime unit tests and
+# serialization round-trips, then the differential runtime pass (every
+# registered runtime — inline/thread/process — across every regime and
+# database flavour at shards 1/2/4) vs the naive solver.  Override the seed
+# with WORKLOAD_SEEDS=n.
+proc-smoke:
+	$(PYTHON) -m pytest -q tests/engine/test_runtime.py tests/engine/test_pickling.py
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/engine/test_differential.py -k "runtime"
 
 # Perf-regression gate: re-run the engine benchmarks and fail on >2x slowdown
 # against benchmarks/BENCH_engine.json.

@@ -155,6 +155,8 @@ class Database:
 
     def __init__(self, relations: Mapping[str, Relation] | Iterable[Relation] = ()) -> None:
         self.relations: dict[str, Relation] = {}
+        #: Opt-in memo of atom views (see :meth:`enable_atom_cache`).
+        self._atom_cache: dict | None = None
         if isinstance(relations, Mapping):
             iterable = relations.values()
         else:
@@ -181,6 +183,43 @@ class Database:
         if name not in self.relations:
             self.relations[name] = Relation(name, len(row))
         self.relations[name].add(row)
+
+    # ------------------------------------------------------------------
+    @property
+    def atom_cache(self) -> dict | None:
+        """The atom-view memo consulted by :func:`repro.cq.relational.from_atom`
+        (``None`` unless :meth:`enable_atom_cache` was called)."""
+        return self._atom_cache
+
+    def enable_atom_cache(self) -> "Database":
+        """Turn on atom-view memoization for this database; returns ``self``.
+
+        Intended for **resident** databases — shards held by a runtime worker
+        or the session's partition cache — that are evaluated repeatedly:
+        ``from_atom`` then reuses one :class:`~repro.cq.relational.NamedRelation`
+        per (relation, term pattern), together with whatever key indexes
+        later joins memoized on it, instead of rescanning and re-indexing the
+        stored tuples on every call.  Correctness relies on the storage
+        layer's grow-only API: cache keys carry the relation's cardinality,
+        every ``add`` changes it, and no removal API exists — so a stale view
+        can only be served to code that mutates ``Relation.tuples`` directly,
+        which is off-API.
+        """
+        if self._atom_cache is None:
+            self._atom_cache = {}
+        return self
+
+    def __getstate__(self) -> dict:
+        # Shards ship as raw tuples: the atom-view cache (and the key indexes
+        # memoized on its NamedRelations) is derived data that the receiving
+        # worker rebuilds against its own access pattern.
+        state = self.__dict__.copy()
+        state["_atom_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._atom_cache = None
 
     # ------------------------------------------------------------------
     def active_domain(self) -> frozenset:

@@ -59,6 +59,20 @@ class NamedRelation:
         relation._indexes = {}
         return relation
 
+    def __getstate__(self):
+        # Serialization contract (process-runtime workers): ship columns and
+        # raw rows only.  The memoized key indexes are derived data — often
+        # larger than the rows themselves — and are rebuilt on the receiving
+        # side on first use, against whatever operations actually run there.
+        return (self.columns, self.rows)
+
+    def __setstate__(self, state) -> None:
+        columns, rows = state
+        self.columns = columns
+        self._positions = {c: i for i, c in enumerate(columns)}
+        self.rows = rows
+        self._indexes = {}
+
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self.rows)
@@ -216,30 +230,42 @@ class NamedRelation:
 
 
 def natural_join_all(relations: Sequence[NamedRelation]) -> NamedRelation:
-    """Multi-way natural join with a cardinality-ordered greedy plan.
+    """Multi-way natural join with a greedy, overlap-first pair selection.
 
-    At every step the two cheapest joinable relations in the pool (preferring
-    pairs that share columns, so cross products are a last resort) are joined
-    and the intermediate result re-enters the pool — i.e. the plan re-sorts by
-    *intermediate* cardinality after each join instead of fixing an order
-    upfront.
+    At every step the pool pair sharing the **most columns** is joined (ties
+    broken by the smaller combined cardinality) and the intermediate result
+    re-enters the pool; cross products are a last resort, taken only when no
+    two relations share a column.  Preferring overlap over raw size matters
+    twice: a pair agreeing on two columns is quadratically more selective
+    than a pair agreeing on one (hub-and-spoke bags: joining two spokes on
+    the hub alone materialises ~``n^2/d`` rows where the two-column pair
+    stays near-linear), and the *primary* criterion is pure column
+    structure — so wherever the maximum overlap is unique, hash-sharded
+    execution picks the same join shape in every shard as the unsharded
+    plan does, and per-shard intermediates partition the unsharded ones.
+    (Pure cardinality-based selection used to flip the one-column/two-column
+    choice on per-shard size jitter, blowing intermediates up by the domain
+    factor.  Ties in overlap still fall back to the smaller combined
+    cardinality, which can differ per shard — that only ever picks between
+    equally-selective shapes.)
     """
     pool = list(relations)
     if not pool:
         raise ValueError("natural_join_all requires at least one relation")
     while len(pool) > 1:
         pool.sort(key=len)
-        # Smallest *connected* pair first; only when no two relations in the
-        # pool share a column does a cross product become unavoidable.
         pair = None
+        best = None
         for i in range(len(pool)):
             columns_i = set(pool[i].columns)
             for j in range(i + 1, len(pool)):
-                if columns_i & set(pool[j].columns):
+                shared = len(columns_i & set(pool[j].columns))
+                if not shared:
+                    continue
+                score = (shared, -(len(pool[i]) + len(pool[j])))
+                if best is None or score > best:
+                    best = score
                     pair = (i, j)
-                    break
-            if pair is not None:
-                break
         if pair is None:
             pair = (0, 1)
         i, j = pair
@@ -261,10 +287,27 @@ def from_atom(atom, database) -> NamedRelation:
     Handles constants (selection) and repeated variables (equality selection)
     so the rest of the evaluators can assume clean named columns.  All
     selections and the projection run in a single pass over the stored rows.
+
+    Databases with the **atom-view cache** enabled
+    (:meth:`~repro.cq.database.Database.enable_atom_cache` — resident shards
+    held by runtime workers and the session's partition cache) memoize the
+    result per ``(relation, term pattern, cardinality)``: a repeated query
+    over a resident shard skips the scan entirely and reuses the cached
+    view *and* the key indexes later operations memoized on it.  The
+    cardinality in the key makes every ``Relation.add`` a miss, so a grown
+    relation can never serve a stale view (the storage layer has no removal
+    API; see ``Database.enable_atom_cache``).
     """
     from repro.cq.query import Constant
 
     relation = database.relation(atom.relation)
+    cache = database.atom_cache
+    cache_key = None
+    if cache is not None:
+        cache_key = (atom.relation, atom.terms, len(relation.tuples))
+        cached = cache.get(cache_key)
+        if cached is not None:
+            return cached
     columns: list = []
     keep_indexes: list[int] = []
     constant_checks: list[tuple[int, object]] = []
@@ -286,4 +329,12 @@ def from_atom(atom, database) -> NamedRelation:
         if any(row[i] != row[anchor] for i, anchor in equality_checks):
             continue
         rows.add(tuple(row[i] for i in keep_indexes))
-    return NamedRelation._trusted(tuple(columns), rows)
+    result = NamedRelation._trusted(tuple(columns), rows)
+    if cache is not None:
+        if len(cache) >= 256:
+            # A resident shard serves a bounded set of atom patterns; a cap
+            # this size only ever trips on pathological workloads, where
+            # restarting the memo beats unbounded growth.
+            cache.clear()
+        cache[cache_key] = result
+    return result

@@ -31,10 +31,16 @@ The pipeline has three layers, each reusable on its own:
 * :mod:`repro.engine.sharding` — the hash-sharding layer:
   :func:`sharding_spec` (the co-partitioned / broadcast / single-shard
   fallback ladder) and :class:`ShardedDatabase` over
-  :meth:`repro.cq.database.Database.partition`.
+  :meth:`repro.cq.database.Database.partition`;
+* :mod:`repro.engine.runtime` — the execution runtimes behind the fan-out
+  paths: :class:`InlineRuntime`, :class:`ThreadRuntime` (the default), and
+  :class:`ProcessRuntime` (persistent worker processes with resident,
+  pre-indexed shards), selected per call or per session via
+  ``runtime="inline" | "thread" | "process"`` (or an instance).
 
-Strategy backends are pluggable: see
-:func:`repro.engine.backends.register_backend` and
+Strategy backends and runtimes are both pluggable: see
+:func:`repro.engine.backends.register_backend`,
+:func:`repro.engine.runtime.register_runtime`, and
 ``docs/ARCHITECTURE.md``.
 """
 
@@ -61,6 +67,21 @@ from repro.engine.executor import (
     count,
     is_satisfiable,
     plan_query,
+)
+from repro.engine.runtime import (
+    ExecutionRuntime,
+    InlineRuntime,
+    ProcessRuntime,
+    RUNTIME_INLINE,
+    RUNTIME_PROCESS,
+    RUNTIME_THREAD,
+    RuntimeTask,
+    TaskOutcome,
+    ThreadRuntime,
+    register_runtime,
+    registered_runtimes,
+    runtime_for,
+    shutdown_runtimes,
 )
 from repro.engine.session import (
     EngineSession,
@@ -107,6 +128,19 @@ __all__ = [
     "default_session",
     "isolated_session",
     "set_default_session",
+    "ExecutionRuntime",
+    "InlineRuntime",
+    "ThreadRuntime",
+    "ProcessRuntime",
+    "RuntimeTask",
+    "TaskOutcome",
+    "RUNTIME_INLINE",
+    "RUNTIME_THREAD",
+    "RUNTIME_PROCESS",
+    "register_runtime",
+    "registered_runtimes",
+    "runtime_for",
+    "shutdown_runtimes",
     "SHARD_MODE_BROADCAST",
     "SHARD_MODE_COPARTITIONED",
     "SHARD_MODE_SINGLE",

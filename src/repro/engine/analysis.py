@@ -128,7 +128,15 @@ class LRUCache:
         return key in self._entries
 
     def clear(self) -> None:
+        """Drop every entry *and* zero the hit/miss counters.
+
+        A cleared cache restarts cold; counters surviving a clear used to
+        make post-clear hit rates unreadable (hits from evicted state
+        counted against the fresh cache's misses).
+        """
         self._entries.clear()
+        self.hits = 0
+        self.misses = 0
 
     def info(self) -> dict:
         return {

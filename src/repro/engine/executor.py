@@ -41,7 +41,9 @@ class EvalResult:
       deduplicated from (:meth:`EngineSession._run_many`); absent on results
       that were actually executed;
     * ``sharding`` — the sharded-execution record (mode, shard variable,
-      shard count, per-shard seconds; see :attr:`sharding`).
+      shard count, per-shard seconds; see :attr:`sharding`);
+    * ``runtime`` — where the fan-out work ran (runtime name, workers used,
+      per-task worker timings; see :attr:`runtime`).
     """
 
     task: str
@@ -74,6 +76,18 @@ class EvalResult:
         with an existential shard variable — ``count_via="union"``.
         """
         return self.timings.get("sharding")
+
+    @property
+    def runtime(self) -> dict | None:
+        """The execution-runtime record, or ``None`` for plain calls.
+
+        Filled by the session's sharded and batch paths: ``name`` (the
+        :mod:`~repro.engine.runtime` that executed the fan-out), plus —
+        for sharded calls — ``tasks``, ``workers`` (labels of the threads
+        or worker-process pids that ran them), and ``per_task_seconds``
+        (worker-side execution time per task).
+        """
+        return self.timings.get("runtime")
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,483 @@
+"""Pluggable execution runtimes: where the engine's fan-out work runs.
+
+The session's scaling paths — sharded single-query execution and the batch
+pipeline — both end in the same shape of work: a list of *independent tasks*
+(evaluate this query over this piece of data) whose results are combined
+exactly.  This module owns the question of **where those tasks run**:
+
+* :class:`InlineRuntime` — sequentially, on the calling thread.  Zero
+  overhead, zero parallelism; the baseline every other runtime is measured
+  against.
+* :class:`ThreadRuntime` — on a per-call thread pool.  This is the engine's
+  historical behaviour, extracted from :class:`~repro.engine.session
+  .EngineSession`: cheap, shares all in-process caches, but the GIL
+  serializes CPU-bound evaluation, so within one process it is a scale-out
+  seam rather than a speedup.
+* :class:`ProcessRuntime` — on a :class:`~concurrent.futures
+  .ProcessPoolExecutor` of **persistent workers**.  Workers sidestep the
+  GIL and keep warm state between calls: a per-worker
+  :class:`~repro.engine.session.EngineSession` (analysis/plan caches) and a
+  bounded cache of **resident databases** — shard pieces shipped once, then
+  referenced by token, with their atom views and key indexes memoized via
+  :meth:`~repro.cq.database.Database.enable_atom_cache`.  A repeated
+  sharded query therefore pays join work plus a small IPC envelope, not
+  re-partitioning, re-scanning, or re-indexing.
+
+Serialization contract (what crosses the process boundary):
+
+* **tasks** ship as ``(token, payload, task, query, use_core,
+  force_strategy)`` tuples.  ``query`` is the
+  :class:`~repro.cq.query.ConjunctiveQuery` itself (compact, pickles
+  cleanly); the *plan* is deliberately NOT shipped — the worker re-plans
+  from the same inputs through its warm session, which is cheaper than
+  pickling a plan's decomposition and reproduces the coordinator's plan
+  exactly because planning is deterministic.  Plans whose strategy the
+  planner cannot reproduce (hand-built plans for unregistered strategies)
+  are rejected by the worker rather than silently re-routed.
+* **data** ships lazily: the first message for a token carries no payload;
+  a worker that does not hold the token answers ``need-data`` and the
+  coordinator re-submits with the piece attached.  Steady state ships
+  tokens only.  ``Database.__getstate__`` / ``NamedRelation.__getstate__``
+  /  ``Hypergraph.__getstate__`` drop every memoized index and cache, so
+  pieces cross the boundary as raw tuples and re-index on the worker.
+* **results** return as ``(value, seconds, pid)`` — the answer payload
+  (rows / bool / count), the worker-side execution time, and the worker
+  identity for the ``timings["runtime"]`` record.
+
+Runtimes are pluggable the same way strategy backends are: third-party
+runtimes register through :func:`register_runtime` and become addressable
+by name in ``EngineSession.answer(..., runtime="...")``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.cq.database import Database
+from repro.cq.query import ConjunctiveQuery
+
+RUNTIME_INLINE = "inline"
+RUNTIME_THREAD = "thread"
+RUNTIME_PROCESS = "process"
+
+#: Upper bound on the threads one fan-out call uses by default: shard counts
+#: are a data-layout choice, not a parallelism dial, so a 64-shard call must
+#: not spawn 64 threads.
+DEFAULT_THREAD_WORKERS = 8
+
+
+@dataclass(frozen=True, eq=False)
+class RuntimeTask:
+    """One independent unit of fan-out work: a query task over one piece.
+
+    ``task`` is the executor task constant (answer / satisfiable / count) to
+    run **on this piece** — for sharded counting the session may hand the
+    pieces the *answer* task and count the union itself.  ``use_core`` and
+    ``force_strategy`` pin down planning so any runtime (in-process or
+    remote) reproduces exactly the plan the session would execute.
+    """
+
+    task: str
+    query: ConjunctiveQuery
+    database: Database
+    use_core: bool = False
+    force_strategy: str | None = None
+    label: str = ""
+
+
+@dataclass
+class TaskOutcome:
+    """What one task produced, where, and how long it took."""
+
+    value: object
+    seconds: float
+    worker: str
+
+
+class ExecutionRuntime:
+    """Interface every execution runtime implements.
+
+    ``run`` executes every task and returns one :class:`TaskOutcome` per
+    task, in task order.  ``run_local`` is the session's in-process
+    evaluator (``task -> payload value``) — the inline and thread runtimes
+    call it directly; distributed runtimes may ignore it and evaluate from
+    the task's self-contained description instead.  ``parallel`` is the
+    caller's per-call worker cap (``None`` = the runtime's default).
+    """
+
+    name = "abstract"
+
+    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Operator-facing counters (shape varies per runtime)."""
+        return {"name": self.name}
+
+    def close(self) -> None:
+        """Release any held resources (worker processes, resident data)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+    @staticmethod
+    def _timed(run_local, task: RuntimeTask, worker: str) -> TaskOutcome:
+        started = time.perf_counter()
+        value = run_local(task)
+        return TaskOutcome(value, time.perf_counter() - started, worker)
+
+
+class InlineRuntime(ExecutionRuntime):
+    """Sequential execution on the calling thread (no fan-out at all)."""
+
+    name = RUNTIME_INLINE
+
+    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
+        return [self._timed(run_local, task, "inline") for task in tasks]
+
+
+class ThreadRuntime(ExecutionRuntime):
+    """A per-call thread pool — the engine's historical fan-out behaviour.
+
+    Shares every in-process cache and has near-zero dispatch cost, but the
+    GIL serializes CPU-bound evaluation: use it for its cache locality and
+    as the safe default, not for wall-clock speedups on pure-Python work.
+    """
+
+    name = RUNTIME_THREAD
+
+    def __init__(self, max_workers: int = DEFAULT_THREAD_WORKERS) -> None:
+        if max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
+        tasks = list(tasks)
+        cap = self.max_workers if parallel is None else parallel
+        workers = min(len(tasks), cap)
+        if workers <= 1:
+            return [self._timed(run_local, task, "thread:main") for task in tasks]
+
+        def execute(task: RuntimeTask) -> TaskOutcome:
+            # Label by the worker's index within its pool ("thread:0", ...)
+            # rather than the pool-unique thread name: session stats
+            # accumulate worker labels, and per-call pools would otherwise
+            # grow that set without bound.
+            name = threading.current_thread().name
+            return self._timed(run_local, task, f"thread:{name.rsplit('_', 1)[-1]}")
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute, tasks))
+
+
+# ----------------------------------------------------------------------
+# The process runtime: persistent workers with resident, pre-indexed data
+# ----------------------------------------------------------------------
+# Worker-side globals (one copy per worker process).  The session is created
+# lazily INSIDE the worker so fork never leaks the coordinator's caches, and
+# the resident map is bounded so a long-lived worker cannot hoard every
+# dataset it ever saw.
+_WORKER_SESSION = None
+_WORKER_RESIDENT: OrderedDict = OrderedDict()
+#: Per-worker bound on resident pieces.  Sized well above the shard counts
+#: the engine is exercised at (each piece is ~1/shards of its dataset, so
+#: even at the cap this is a handful of full-database equivalents); a
+#: workload that overflows it degrades to re-shipping, never to errors.
+_WORKER_RESIDENT_CAP = 256
+
+_REPLY_OK = "ok"
+_REPLY_NEED_DATA = "need-data"
+
+
+def _worker_session():
+    global _WORKER_SESSION
+    if _WORKER_SESSION is None:
+        # Imported here (not at module top) to keep the import graph acyclic:
+        # session.py imports this module for its default runtime resolution.
+        from repro.engine.session import EngineSession
+
+        _WORKER_SESSION = EngineSession()
+    return _WORKER_SESSION
+
+
+def _worker_execute(message: tuple) -> tuple:
+    """Run one task message inside a pool worker (module-level: must pickle).
+
+    Returns ``(_REPLY_OK, value, seconds, pid)`` or — when the message named
+    a dataset this worker does not hold and carried no payload —
+    ``(_REPLY_NEED_DATA, token, pid)`` so the coordinator can re-submit with
+    the data attached.
+    """
+    token, payload, task, query, use_core, force_strategy = message
+    database = _WORKER_RESIDENT.get(token)
+    if database is None:
+        if payload is None:
+            return (_REPLY_NEED_DATA, token, os.getpid())
+        database = payload.enable_atom_cache()
+        _WORKER_RESIDENT[token] = database
+        while len(_WORKER_RESIDENT) > _WORKER_RESIDENT_CAP:
+            _WORKER_RESIDENT.popitem(last=False)
+    else:
+        _WORKER_RESIDENT.move_to_end(token)
+    session = _worker_session()
+    started = time.perf_counter()
+    plan = session.plan(query, use_core=use_core, force_strategy=force_strategy)
+    result = session._run(task, query, database, plan, False)
+    return (_REPLY_OK, result.value, time.perf_counter() - started, os.getpid())
+
+
+class ProcessRuntime(ExecutionRuntime):
+    """Persistent worker processes with warm caches and resident datasets.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``os.cpu_count()``.  On a single-core host
+        the pool degenerates to one worker — sharded calls still win by
+        executing against resident, pre-indexed shards, and scale out on
+        real cores without any code change.
+    start_method:
+        ``multiprocessing`` start method; default ``"fork"`` where
+        available (fast startup, inherits loaded modules), ``"spawn"``
+        elsewhere.
+    max_datasets:
+        Coordinator-side bound on tracked resident *pieces*.  Each entry
+        pins its database object (so Python cannot recycle its ``id`` while
+        workers hold the token) and is dropped least-recently-used.  Must
+        comfortably exceed ``concurrent datasets x shards`` — a sharded
+        call whose pieces overflow the bound re-mints tokens every call and
+        re-ships every piece, silently losing the steady state this runtime
+        exists for.  The default (256) covers every engine workload; raise
+        it for wider fan-outs.
+
+    Dataset identity: a piece is resident under a token minted for
+    ``(id(piece), relation cardinalities)``.  The cardinality fingerprint
+    makes any growth through the storage API (``add_fact`` /
+    ``Relation.add`` — the only mutators; there is no removal API) mint a
+    fresh token, so workers can never serve a stale shard for a database
+    that changed shape.  Callers mutating ``Relation.tuples`` directly are
+    off-API and on their own.
+    """
+
+    name = RUNTIME_PROCESS
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        start_method: str | None = None,
+        max_datasets: int = 256,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or max(1, os.cpu_count() or 1)
+        self._start_method = start_method
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._datasets: OrderedDict = OrderedDict()
+        self._max_datasets = max_datasets
+        self._next_token = 0
+        self.tasks_dispatched = 0
+        self.shipments = 0
+        self.pool_restarts = 0
+
+    # -- pool lifecycle -------------------------------------------------
+    def _context(self):
+        import multiprocessing
+
+        method = self._start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else "spawn"
+            )
+        return multiprocessing.get_context(method)
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=self._context()
+                )
+            return self._pool
+
+    def _reset_pool(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self.pool_restarts += 1
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def close(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+            self._datasets.clear()
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- dataset residency ----------------------------------------------
+    @staticmethod
+    def _fingerprint(database: Database) -> tuple:
+        return tuple(
+            sorted(
+                (name, len(relation.tuples))
+                for name, relation in database.relations.items()
+            )
+        )
+
+    def _token_for(self, database: Database) -> str:
+        key = (id(database), self._fingerprint(database))
+        with self._lock:
+            entry = self._datasets.get(key)
+            if entry is not None and entry[1] is database:
+                self._datasets.move_to_end(key)
+                return entry[0]
+            token = f"ds{self._next_token}"
+            self._next_token += 1
+            self._datasets[key] = (token, database)
+            while len(self._datasets) > self._max_datasets:
+                self._datasets.popitem(last=False)
+            return token
+
+    def _encode(self, task: RuntimeTask, include_payload: bool) -> tuple:
+        return (
+            self._token_for(task.database),
+            task.database if include_payload else None,
+            task.task,
+            task.query,
+            task.use_core,
+            task.force_strategy,
+        )
+
+    # -- execution -------------------------------------------------------
+    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        try:
+            return self._run_once(tasks)
+        except BrokenProcessPool:
+            # A worker died (OOM, kill): restart the pool and retry once.
+            # Workers lose their resident data, which the need-data protocol
+            # re-ships transparently.
+            self._reset_pool()
+            return self._run_once(tasks)
+
+    def _run_once(self, tasks: list[RuntimeTask]) -> list[TaskOutcome]:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(_worker_execute, self._encode(task, include_payload=False))
+            for task in tasks
+        ]
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        # Collect every first-round reply before resolving any retry, and
+        # submit ALL need-data re-shipments before blocking on the first:
+        # cold-start shipments then overlap across the pool instead of
+        # serializing one pickle+execute round-trip at a time.
+        retries: list[tuple[int, object]] = []
+        for index, future in enumerate(futures):
+            reply = future.result()
+            if reply[0] == _REPLY_NEED_DATA:
+                with self._lock:
+                    self.shipments += 1
+                retries.append(
+                    (
+                        index,
+                        pool.submit(
+                            _worker_execute,
+                            self._encode(tasks[index], include_payload=True),
+                        ),
+                    )
+                )
+                continue
+            _, value, seconds, pid = reply
+            outcomes[index] = TaskOutcome(value, seconds, f"pid:{pid}")
+        for index, retry in retries:
+            _, value, seconds, pid = retry.result()
+            outcomes[index] = TaskOutcome(value, seconds, f"pid:{pid}")
+        with self._lock:
+            self.tasks_dispatched += len(tasks)
+        return outcomes  # type: ignore[return-value]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "name": self.name,
+                "max_workers": self.max_workers,
+                "pool_live": self._pool is not None,
+                "resident_datasets": len(self._datasets),
+                "tasks_dispatched": self.tasks_dispatched,
+                "shipments": self.shipments,
+                "pool_restarts": self.pool_restarts,
+            }
+
+
+# ----------------------------------------------------------------------
+# Runtime registry: named, pluggable, with shared lazily-created defaults
+# ----------------------------------------------------------------------
+_FACTORIES: dict = {
+    RUNTIME_INLINE: InlineRuntime,
+    RUNTIME_THREAD: ThreadRuntime,
+    RUNTIME_PROCESS: ProcessRuntime,
+}
+_SHARED: dict[str, ExecutionRuntime] = {}
+_registry_lock = threading.Lock()
+
+
+def register_runtime(name: str, factory, replace: bool = False) -> None:
+    """Register a runtime factory under ``name`` (mirrors the backend
+    registry: :func:`repro.engine.backends.register_backend`)."""
+    with _registry_lock:
+        if name in _FACTORIES and not replace:
+            raise ValueError(
+                f"a runtime named {name!r} is already registered "
+                "(pass replace=True to substitute it)"
+            )
+        _FACTORIES[name] = factory
+        _SHARED.pop(name, None)
+
+
+def registered_runtimes() -> tuple:
+    """The names every session resolves ``runtime="..."`` against."""
+    with _registry_lock:
+        return tuple(sorted(_FACTORIES))
+
+
+def runtime_for(spec) -> ExecutionRuntime:
+    """Resolve a runtime argument: an instance passes through; a name maps
+    to one shared, lazily created instance per process (worker pools are
+    expensive — sessions share them); ``None`` means the default
+    :class:`ThreadRuntime`."""
+    if isinstance(spec, ExecutionRuntime):
+        return spec
+    if spec is None:
+        spec = RUNTIME_THREAD
+    with _registry_lock:
+        if spec not in _FACTORIES:
+            raise ValueError(
+                f"unknown runtime {spec!r}; registered: {sorted(_FACTORIES)}"
+            )
+        runtime = _SHARED.get(spec)
+        if runtime is None:
+            runtime = _FACTORIES[spec]()
+            _SHARED[spec] = runtime
+        return runtime
+
+
+def shutdown_runtimes() -> None:
+    """Close every shared runtime (atexit hook; also used by tests)."""
+    with _registry_lock:
+        shared = dict(_SHARED)
+        _SHARED.clear()
+    for runtime in shared.values():
+        runtime.close()
+
+
+atexit.register(shutdown_runtimes)

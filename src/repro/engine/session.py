@@ -12,24 +12,35 @@ additionally owns a **plan cache** and exposes a **batch API** —
 * **reuses plans** across the batch and across batches through the
   session-scoped plan cache (keyed on the query, its free-variable *order*,
   and the planning options);
-* **executes independent queries concurrently** via a thread pool when
-  ``parallel > 1``.  Plans, relations, and the query/hypergraph objects are
-  read-only at execution time; the lazily memoized structures they carry
-  (tries, key indexes, incidence maps) are pure and assigned atomically
-  under the GIL, so a duplicated computation is the worst a race can cost.
+* **executes independent queries concurrently** through a pluggable
+  :mod:`execution runtime <repro.engine.runtime>` — inline, thread pool
+  (the default), or a pool of persistent worker *processes*.  Plans,
+  relations, and the query/hypergraph objects are read-only at execution
+  time; the lazily memoized structures they carry (tries, key indexes,
+  incidence maps) are pure and assigned atomically under the GIL, so a
+  duplicated computation is the worst a race can cost.
+
+The same runtime seam drives the sharded single-query path: ``answer(...,
+shards=N, runtime=...)`` partitions once into **resident pieces** (a
+session-scoped partition cache with atom-view memoization), then fans the
+per-shard plan executions out to the chosen runtime.  With the process
+runtime the pieces live on the workers between calls, so a repeated sharded
+query pays join work plus a small IPC envelope — not re-partitioning,
+re-scanning, or re-indexing (see ``docs/ARCHITECTURE.md`` → Execution
+runtimes).
 
 All caching is *session-scoped*: the analysis cache, the planner's core
-cache, and the plan cache live on the session object, never at module level.
-The module-level convenience API (``repro.engine.answer`` …) delegates to
-one lazily created default session, which tests can swap out wholesale with
-:func:`isolated_session` / :func:`set_default_session`.
+cache, the plan cache, and the partition cache live on the session object,
+never at module level.  The module-level convenience API
+(``repro.engine.answer`` …) delegates to one lazily created default
+session, which tests can swap out wholesale with :func:`isolated_session` /
+:func:`set_default_session`.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 
 from repro.cq.database import Database
@@ -43,6 +54,11 @@ from repro.engine.executor import (
     TASK_SATISFIABLE,
 )
 from repro.engine.planner import DEFAULT_MAX_GHD_WIDTH, Plan
+from repro.engine.runtime import (
+    DEFAULT_THREAD_WORKERS,
+    RuntimeTask,
+    runtime_for,
+)
 from repro.engine.sharding import (
     SHARD_MODE_SINGLE,
     ShardedDatabase,
@@ -50,10 +66,10 @@ from repro.engine.sharding import (
     sharding_spec,
 )
 
-#: Upper bound on the threads one sharded call fans out to: shard counts are
-#: a data-layout choice, not a parallelism dial, so a 64-shard call must not
-#: spawn 64 threads.
-MAX_SHARD_WORKERS = 8
+#: Upper bound on the threads one sharded call fans out to (the default
+#: thread runtime's worker cap): shard counts are a data-layout choice, not
+#: a parallelism dial, so a 64-shard call must not spawn 64 threads.
+MAX_SHARD_WORKERS = DEFAULT_THREAD_WORKERS
 
 
 def canonical_query_key(query: ConjunctiveQuery):
@@ -106,7 +122,15 @@ class EngineSession(Engine):
     combined exactly (see :mod:`repro.engine.sharding` for the
     co-partitioned / broadcast / single-shard fallback ladder, which is
     recorded in the returned plan's rationale and in
-    ``EvalResult.timings["sharding"]``).
+    ``EvalResult.timings["sharding"]``).  ``runtime=`` — per call or as the
+    session default — selects *where* the fan-out work runs: an
+    :class:`~repro.engine.runtime.ExecutionRuntime` instance or a
+    registered name (``"inline"`` / ``"thread"`` / ``"process"``).  The
+    runtime decision and per-task worker timings land in the plan rationale
+    and ``EvalResult.timings["runtime"]``.  The runtime only governs
+    fan-out calls (``shards``/``shard_variable``/batch, or an explicit
+    ``runtime=`` on a single call); the plain single-query fast path never
+    pays for dispatch.
     """
 
     def __init__(
@@ -115,6 +139,8 @@ class EngineSession(Engine):
         cache_size: int = 256,
         core_cache_size: int = 256,
         plan_cache_size: int = 512,
+        partition_cache_size: int = 8,
+        runtime=None,
     ) -> None:
         super().__init__(
             max_ghd_width=max_ghd_width,
@@ -122,9 +148,68 @@ class EngineSession(Engine):
             core_cache_size=core_cache_size,
         )
         self.plan_cache = LRUCache(plan_cache_size)
+        #: Resident shard pieces per (database identity, sharding spec):
+        #: partitioning is a full hash pass over the data, so a serving
+        #: session pays it once and re-executes against the cached pieces —
+        #: which carry the atom-view memo, so repeated queries also skip the
+        #: per-call scan/re-index of the stored tuples.
+        self._partition_cache = LRUCache(partition_cache_size)
+        #: The session-default runtime spec for fan-out work (``None`` =
+        #: the shared thread runtime, today's behaviour).
+        self.runtime = runtime
         self._lock = threading.RLock()
         self.dedup_hits = 0
         self.batches = 0
+        # Operator counters (satellite of the runtime layer): where did the
+        # fan-out work go, and which rungs of the sharding ladder ran.
+        self.runtime_tasks = 0
+        self.runtime_calls: dict = {}
+        self.runtime_workers: set = set()
+        self.sharded_calls = 0
+        self.sharding_modes: dict = {}
+
+    def _resolve_runtime(self, runtime):
+        """The per-call runtime, falling back to the session default."""
+        return runtime_for(runtime if runtime is not None else self.runtime)
+
+    # ------------------------------------------------------------------
+    def _sharded_pieces(self, database: Database, target, spec) -> list:
+        """The resident pieces for ``(database, spec)``, partitioned once.
+
+        Cache validity: the key carries the database's identity plus the
+        cardinality of every relation the spec touches.  The storage API is
+        grow-only (``add_fact`` / ``Relation.add``; no removal), so any
+        mutation changes a cardinality and misses; the identity check on the
+        cached entry guards against ``id`` reuse after garbage collection.
+        The pieces are session-owned and get the atom-view memo enabled —
+        callers must treat a served database as immutable for the lifetime
+        of the session (the same contract the plan cache already implies).
+        """
+        relevant = tuple(sorted(set(spec.partition_columns) | set(spec.broadcast_relations)))
+        fingerprint = tuple(
+            (name, len(database.relations[name].tuples))
+            if database.has_relation(name)
+            else (name, None)
+            for name in relevant
+        )
+        key = (
+            id(database),
+            spec.shard_variable,
+            spec.shards,
+            tuple(sorted(spec.partition_columns.items())),
+            spec.broadcast_relations,
+            fingerprint,
+        )
+        with self._lock:
+            entry = self._partition_cache.get(key)
+            if entry is not None and entry[0] is database:
+                return entry[1]
+        pieces = ShardedDatabase.partition(database, target, spec.shards, spec=spec).shards
+        for piece in pieces:
+            piece.enable_atom_cache()
+        with self._lock:
+            self._partition_cache.put(key, (database, pieces))
+        return pieces
 
     # ------------------------------------------------------------------
     def plan(
@@ -173,52 +258,61 @@ class EngineSession(Engine):
     # ------------------------------------------------------------------
     def answer(
         self, query, database, plan=None, use_core=False,
-        shards=1, shard_variable=None, parallel=None,
+        shards=1, shard_variable=None, parallel=None, runtime=None,
     ) -> EvalResult:
         """``q(D)``; with ``shards=N`` the union of exact per-shard answers."""
         self._check_parallel(parallel)
-        if shards == 1 and shard_variable is None:
+        if shards == 1 and shard_variable is None and runtime is None:
             return super().answer(query, database, plan=plan, use_core=use_core)
         return self._run_sharded(
-            TASK_ANSWER, query, database, plan, use_core, shards, shard_variable, parallel
+            TASK_ANSWER, query, database, plan, use_core,
+            shards, shard_variable, parallel, runtime,
         )
 
     def is_satisfiable(
         self, query, database, plan=None, use_core=False,
-        shards=1, shard_variable=None, parallel=None,
+        shards=1, shard_variable=None, parallel=None, runtime=None,
     ) -> EvalResult:
         """BCQ; with ``shards=N`` the disjunction of the per-shard questions."""
         self._check_parallel(parallel)
-        if shards == 1 and shard_variable is None:
+        if shards == 1 and shard_variable is None and runtime is None:
             return super().is_satisfiable(query, database, plan=plan, use_core=use_core)
         return self._run_sharded(
-            TASK_SATISFIABLE, query, database, plan, use_core, shards, shard_variable, parallel
+            TASK_SATISFIABLE, query, database, plan, use_core,
+            shards, shard_variable, parallel, runtime,
         )
 
     def count(
         self, query, database, plan=None, use_core=False,
-        shards=1, shard_variable=None, parallel=None,
+        shards=1, shard_variable=None, parallel=None, runtime=None,
     ) -> EvalResult:
         """#CQ; with ``shards=N`` the sum of per-shard counts (shard variable
         free: answer-disjoint shards) or the size of the per-shard answer
         union (shard variable existential: shards may share projections)."""
         self._check_parallel(parallel)
-        if shards == 1 and shard_variable is None:
+        if shards == 1 and shard_variable is None and runtime is None:
             return super().count(query, database, plan=plan, use_core=use_core)
         return self._run_sharded(
-            TASK_COUNT, query, database, plan, use_core, shards, shard_variable, parallel
+            TASK_COUNT, query, database, plan, use_core,
+            shards, shard_variable, parallel, runtime,
         )
 
     def _run_sharded(
-        self, task, query, database, plan, use_core, shards, shard_variable, parallel
+        self, task, query, database, plan, use_core, shards, shard_variable,
+        parallel, runtime,
     ) -> EvalResult:
         """Sharded execution: partition → per-shard plan execution → combine.
 
         The plan is made once (through the session plan cache); the sharding
         spec is computed against the *executed* query (``plan.query`` — the
-        core under ``use_core``), since that is what runs per shard.  Each
-        shard then executes the one plan against its piece of the database on
-        a thread pool, and the results combine exactly:
+        core under ``use_core``), since that is what runs per shard.  The
+        resident pieces come from the session partition cache, and the
+        per-shard plan executions fan out to the resolved
+        :mod:`execution runtime <repro.engine.runtime>` — the calling
+        thread, a thread pool, or persistent worker processes (which hold
+        the pieces resident and re-plan from the shipped ``(query,
+        use_core, strategy)`` triple through their own warm caches).  The
+        results combine exactly:
 
         * answers — set union (exact for every mode: the shards jointly
           contain every fact, and each satisfying assignment survives in the
@@ -237,6 +331,7 @@ class EngineSession(Engine):
                 "use_core applies at planning time; pass it to plan() "
                 "(or omit plan=) instead of combining it with a pre-built plan"
             )
+        resolved = self._resolve_runtime(runtime)
         planning_started = time.perf_counter()
         planning = 0.0
         if plan is None:
@@ -259,63 +354,96 @@ class EngineSession(Engine):
         else:
             spec = sharding_spec(target, shards, shard_variable=shard_variable)
         start = time.perf_counter()
+        shard_free = spec.shard_variable in target.free_variables
         if not spec.is_sharded:
-            result = self._run(task, query, database, plan, False)
-            per_shard_seconds = [result.timings["execution_seconds"]]
-            shard_count = 1
+            # One "shard": the database itself, the task as asked.
+            pieces = [database]
+            shard_task = task
         else:
-            pieces = ShardedDatabase.partition(database, target, shards, spec=spec)
-            shard_count = len(pieces)
+            pieces = self._sharded_pieces(database, target, spec)
             # Counting with an existential shard variable must union answer
             # *sets* across shards (projections may coincide), so the shards
             # run the answer task and the combiner counts the union.
-            shard_free = spec.shard_variable in target.free_variables
             shard_task = (
                 TASK_ANSWER if task == TASK_COUNT and not shard_free else task
             )
-
-            def run_shard(piece: Database):
-                shard_started = time.perf_counter()
-                shard_result = self._run(shard_task, query, piece, plan, False)
-                return shard_result, time.perf_counter() - shard_started
-
-            workers = min(
-                shard_count, parallel if parallel is not None else MAX_SHARD_WORKERS
+        # Ship the PLAN's provenance, not the call's arguments: a pre-built
+        # plan arrives with use_core=False even when it was planned for the
+        # core, and a worker re-planning the full query under the core's
+        # forced strategy would fail (e.g. direct Yannakakis forced on a
+        # cyclic query whose *core* is acyclic).  The plan itself records
+        # whether a core was substituted: its executed query differs from
+        # its source query exactly then.
+        ship_use_core = use_core or (
+            plan.source_query is not None and plan.query != plan.source_query
+        )
+        tasks = [
+            RuntimeTask(
+                shard_task, query, piece,
+                use_core=ship_use_core, force_strategy=plan.strategy,
+                label=f"shard:{index}",
             )
-            if workers > 1:
-                with ThreadPoolExecutor(max_workers=workers) as pool:
-                    outcomes = list(pool.map(run_shard, pieces))
-            else:
-                outcomes = [run_shard(piece) for piece in pieces]
-            shard_results = [shard_result for shard_result, _ in outcomes]
-            per_shard_seconds = [seconds for _, seconds in outcomes]
-            result = EvalResult(task=task, plan=plan)
+            for index, piece in enumerate(pieces)
+        ]
+
+        def run_local(item: RuntimeTask):
+            return self._run(item.task, item.query, item.database, plan, False).value
+
+        outcomes = resolved.run(tasks, run_local, parallel=parallel)
+        values = [outcome.value for outcome in outcomes]
+        result = EvalResult(task=task, plan=plan)
+        if not spec.is_sharded:
             if task == TASK_ANSWER:
-                result.rows = set().union(*(r.rows for r in shard_results))
+                result.rows = values[0]
             elif task == TASK_SATISFIABLE:
-                result.satisfiable = any(r.satisfiable for r in shard_results)
-            elif shard_free:
-                result.count = sum(r.count for r in shard_results)
+                result.satisfiable = values[0]
             else:
-                result.count = len(set().union(*(r.rows for r in shard_results)))
+                result.count = values[0]
+        elif task == TASK_ANSWER:
+            result.rows = set().union(*values)
+        elif task == TASK_SATISFIABLE:
+            result.satisfiable = any(values)
+        elif shard_free:
+            result.count = sum(values)
+        else:
+            result.count = len(set().union(*values))
         execution = time.perf_counter() - start
+        per_shard_seconds = [outcome.seconds for outcome in outcomes]
+        workers_used = sorted({outcome.worker for outcome in outcomes})
         sharding_record = {
             "mode": spec.mode,
             "shard_variable": spec.shard_variable,
-            "shards": shard_count,
+            "shards": len(pieces),
             "requested_shards": shards,
             "per_shard_seconds": per_shard_seconds,
             "broadcast_relations": list(spec.broadcast_relations),
         }
         if task == TASK_COUNT and spec.is_sharded:
             sharding_record["count_via"] = "sum" if shard_free else "union"
-        result.plan = plan.with_note(f"sharding: {spec.rationale}")
+        runtime_record = {
+            "name": resolved.name,
+            "tasks": len(tasks),
+            "workers": workers_used,
+            "per_task_seconds": per_shard_seconds,
+        }
+        result.plan = plan.with_note(
+            f"sharding: {spec.rationale}; runtime: {resolved.name}"
+        )
         result.timings = {
             "planning_seconds": planning,
             "execution_seconds": execution,
             "total_seconds": planning + execution,
             "sharding": sharding_record,
+            "runtime": runtime_record,
         }
+        with self._lock:
+            self.sharded_calls += 1
+            self.sharding_modes[spec.mode] = self.sharding_modes.get(spec.mode, 0) + 1
+            self.runtime_tasks += len(tasks)
+            self.runtime_calls[resolved.name] = (
+                self.runtime_calls.get(resolved.name, 0) + 1
+            )
+            self.runtime_workers.update(workers_used)
         return result
 
     # ------------------------------------------------------------------
@@ -325,21 +453,24 @@ class EngineSession(Engine):
         database: Database,
         parallel: int = 1,
         use_core: bool = False,
+        runtime=None,
     ) -> list[EvalResult]:
         """Answer a batch of queries over one database (see :meth:`_run_many`)."""
-        return self._run_many(TASK_ANSWER, queries, database, parallel, use_core)
+        return self._run_many(TASK_ANSWER, queries, database, parallel, use_core, runtime)
 
     def is_satisfiable_many(
-        self, queries, database, parallel: int = 1, use_core: bool = False
+        self, queries, database, parallel: int = 1, use_core: bool = False, runtime=None
     ) -> list[EvalResult]:
         """BCQ over a batch of queries."""
-        return self._run_many(TASK_SATISFIABLE, queries, database, parallel, use_core)
+        return self._run_many(
+            TASK_SATISFIABLE, queries, database, parallel, use_core, runtime
+        )
 
     def count_many(
-        self, queries, database, parallel: int = 1, use_core: bool = False
+        self, queries, database, parallel: int = 1, use_core: bool = False, runtime=None
     ) -> list[EvalResult]:
         """#CQ over a batch of queries."""
-        return self._run_many(TASK_COUNT, queries, database, parallel, use_core)
+        return self._run_many(TASK_COUNT, queries, database, parallel, use_core, runtime)
 
     def _run_many(
         self,
@@ -348,8 +479,15 @@ class EngineSession(Engine):
         database: Database,
         parallel: int,
         use_core: bool,
+        runtime=None,
     ) -> list[EvalResult]:
         """The batch pipeline: dedup → plan once per class → execute.
+
+        Class representatives execute as independent tasks on the resolved
+        :mod:`execution runtime <repro.engine.runtime>` (``parallel`` caps
+        the in-process worker count; process workers re-plan each class
+        from its shipped ``(query, use_core, strategy)`` triple and hold
+        the database resident between batches).
 
         Returns one :class:`EvalResult` per input query, in input order —
         always a **distinct object per query**, even within an isomorphism
@@ -364,6 +502,7 @@ class EngineSession(Engine):
         """
         if parallel < 1:
             raise ValueError("parallel must be >= 1")
+        resolved = self._resolve_runtime(runtime)
         queries = [self._checked_query(query) for query in queries]
         keys = [canonical_query_key(query) for query in queries]
         representatives: dict = {}
@@ -376,21 +515,51 @@ class EngineSession(Engine):
             self.dedup_hits += len(queries) - len(representatives)
         # Planning stays sequential: it is cache-bound and mutates the
         # session caches, and one plan per *class* is already the cheap part.
-        plans = {
-            key: self.plan(query, use_core=use_core)
-            for key, query in representatives.items()
-        }
-
-        def execute(item) -> tuple:
-            key, query = item
-            return key, self._run(task, query, database, plans[key], False)
-
+        plans: dict = {}
+        planning_seconds: dict = {}
+        for key, query in representatives.items():
+            planning_started = time.perf_counter()
+            plans[key] = self.plan(query, use_core=use_core)
+            planning_seconds[key] = time.perf_counter() - planning_started
         items = list(representatives.items())
-        if parallel > 1 and len(items) > 1:
-            with ThreadPoolExecutor(max_workers=min(parallel, len(items))) as pool:
-                results = dict(pool.map(execute, items))
-        else:
-            results = dict(execute(item) for item in items)
+        tasks = [
+            RuntimeTask(
+                task, query, database,
+                use_core=use_core, force_strategy=plans[key].strategy,
+                label=f"class:{first_index[key]}",
+            )
+            for key, query in items
+        ]
+        plan_of = {id(item): plans[key] for item, (key, _) in zip(tasks, items)}
+
+        def run_local(item: RuntimeTask):
+            return self._run(
+                item.task, item.query, item.database, plan_of[id(item)], False
+            ).value
+
+        outcomes = resolved.run(tasks, run_local, parallel=parallel)
+        results: dict = {}
+        for (key, query), outcome in zip(items, outcomes):
+            result = EvalResult(task=task, plan=plans[key])
+            if task == TASK_ANSWER:
+                result.rows = outcome.value
+            elif task == TASK_SATISFIABLE:
+                result.satisfiable = outcome.value
+            else:
+                result.count = outcome.value
+            result.timings = {
+                "planning_seconds": planning_seconds[key],
+                "execution_seconds": outcome.seconds,
+                "total_seconds": planning_seconds[key] + outcome.seconds,
+                "runtime": {"name": resolved.name, "worker": outcome.worker},
+            }
+            results[key] = result
+        with self._lock:
+            self.runtime_tasks += len(tasks)
+            self.runtime_calls[resolved.name] = (
+                self.runtime_calls.get(resolved.name, 0) + 1
+            )
+            self.runtime_workers.update(outcome.worker for outcome in outcomes)
         return [
             results[key]
             if index == first_index[key]
@@ -436,20 +605,41 @@ class EngineSession(Engine):
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:
-        """One dict of every session counter (cache hit rates, dedup, batches)."""
-        return {
-            "analysis_cache": self.cache.info(),
-            "core_cache": self.core_cache.info(),
-            "plan_cache": self.plan_cache.info(),
-            "dedup_hits": self.dedup_hits,
-            "batches": self.batches,
-        }
+        """One dict of every session counter (cache hit rates, dedup,
+        batches, plus where fan-out work ran: tasks dispatched per runtime,
+        workers observed, and the sharding-ladder rungs taken)."""
+        with self._lock:
+            return {
+                "analysis_cache": self.cache.info(),
+                "core_cache": self.core_cache.info(),
+                "plan_cache": self.plan_cache.info(),
+                "partition_cache": self._partition_cache.info(),
+                "dedup_hits": self.dedup_hits,
+                "batches": self.batches,
+                "runtime": {
+                    "tasks_dispatched": self.runtime_tasks,
+                    "calls_by_runtime": dict(self.runtime_calls),
+                    "workers_used": sorted(self.runtime_workers),
+                },
+                "sharding": {
+                    "calls": self.sharded_calls,
+                    "by_mode": dict(self.sharding_modes),
+                },
+            }
 
     def clear_cache(self) -> None:
-        """Drop every session cache (analysis, core, and plan)."""
+        """Drop every session cache (analysis, core, plan, and partitions).
+
+        Also zeroes the hit/miss counters of each cache
+        (:meth:`LRUCache.clear`): a cleared session restarts cold, and its
+        post-clear hit rates must describe the fresh caches, not the
+        discarded ones.
+        """
         super().clear_cache()
         self.core_cache.clear()
         self.plan_cache.clear()
+        with self._lock:
+            self._partition_cache.clear()
 
 
 # ----------------------------------------------------------------------
@@ -496,10 +686,11 @@ def isolated_session(**session_kwargs):
 
 
 def answer_many(
-    queries, database, parallel: int = 1, use_core: bool = False, session=None
+    queries, database, parallel: int = 1, use_core: bool = False, session=None,
+    runtime=None,
 ) -> list[EvalResult]:
     """Batch ``q(D)`` through the default session (see
     :meth:`EngineSession.answer_many`)."""
     return (session or default_session()).answer_many(
-        queries, database, parallel=parallel, use_core=use_core
+        queries, database, parallel=parallel, use_core=use_core, runtime=runtime
     )

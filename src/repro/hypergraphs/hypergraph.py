@@ -84,6 +84,22 @@ class Hypergraph:
         hypergraph._hash = None
         return hypergraph
 
+    def __getstate__(self):
+        # Ship only the structure: the memoized incidence/adjacency maps and
+        # the cached hash are derived data, rebuilt lazily on first use.
+        # Keeps pickles compact (process-runtime tasks serialize query
+        # hypergraphs) and guarantees a round-trip never resurrects a stale
+        # cache.
+        return (self._vertices, self._edges)
+
+    def __setstate__(self, state) -> None:
+        vertices, edges = state
+        self._vertices = vertices
+        self._edges = edges
+        self._incidence = None
+        self._adjacency = None
+        self._hash = None
+
     def _incidence_map(self) -> dict:
         """``vertex -> frozenset of incident edges`` (built on first use)."""
         if self._incidence is None:

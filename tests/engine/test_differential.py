@@ -12,11 +12,15 @@ every scenario this harness runs:
   raises — that is applicability, not disagreement),
 * the semantic ``use_core=True`` route,
 * the session *batch* path,
-* and the *sharded* path at shard counts {1, 2, 4, 8} — the scenario's
+* the *sharded* path at shard counts {1, 2, 4, 8} — the scenario's
   designated shard variable when the workload provides one (the ``sharded``
   regime covers the co-partitioned and broadcast rungs by construction),
   the engine's automatic choice otherwise, with a hypothesis property that
   fresh-seed results are invariant in the shard count,
+* and **every registered execution runtime** (inline / thread / process) at
+  shard counts {1, 2, 4} over a per-regime representative slice of the
+  scenarios — all three answer tasks, every regime, every database
+  flavour, with the process pass running on real worker processes,
 
 and asserts bit-for-bit agreement with the naive linear-scan solver.
 
@@ -35,10 +39,14 @@ from repro.cq import workloads
 from repro.cq.homomorphism import naive_count_answers, naive_enumerate_answers
 from repro.engine import (
     EngineSession,
+    ProcessRuntime,
+    RUNTIME_PROCESS,
     SHARD_MODE_BROADCAST,
     SHARD_MODE_COPARTITIONED,
     STRATEGY_TRIVIAL,
+    registered_runtimes,
     registered_strategies,
+    runtime_for,
     sharding_spec,
 )
 
@@ -170,6 +178,95 @@ def test_sharded_regime_covers_both_ladder_rungs(seed):
         )
         modes.add(spec.mode)
     assert {SHARD_MODE_COPARTITIONED, SHARD_MODE_BROADCAST} <= modes
+
+
+# ----------------------------------------------------------------------
+# The runtime pass: every registered execution runtime must agree with the
+# naive solver across every regime at shard counts 1/2/4.  One query shape
+# per (regime, database flavour) keeps the process pass's IPC volume sane
+# while still covering every dispatch route, every sharding-ladder rung,
+# and every database flavour per runtime.
+# ----------------------------------------------------------------------
+RUNTIME_SHARD_COUNTS = (1, 2, 4)
+
+
+def _runtime_slice(seed):
+    covered = set()
+    chosen = []
+    for scenario in workloads.generate_workload(seed=seed, size="small"):
+        query_name, database_flavour = scenario.name.split("/")[1:3]
+        if (scenario.regime, database_flavour) in covered:
+            continue
+        covered.add((scenario.regime, database_flavour))
+        chosen.append(scenario)
+    return chosen
+
+
+RUNTIME_CASES = [
+    (runtime_name, seed, scenario)
+    for runtime_name in registered_runtimes()
+    for seed in SEEDS
+    for scenario in _runtime_slice(seed)
+]
+
+
+@pytest.fixture(scope="module")
+def runtimes():
+    # The process runtime is shared across the whole pass (worker pools are
+    # expensive); a tiny pool keeps the single-core CI box honest while
+    # still exercising multi-worker routing and the need-data protocol.
+    process = ProcessRuntime(max_workers=2)
+    instances = {
+        name: (process if name == RUNTIME_PROCESS else runtime_for(name))
+        for name in registered_runtimes()
+    }
+    yield instances
+    process.close()
+
+
+@pytest.mark.parametrize(
+    "runtime_name,seed,scenario",
+    RUNTIME_CASES,
+    ids=[f"{r}/{s.name}" for r, _, s in RUNTIME_CASES],
+)
+def test_every_runtime_agrees_with_naive(session, runtimes, runtime_name, seed, scenario):
+    query, database = scenario.query, scenario.database
+    runtime = runtimes[runtime_name]
+    expected_rows = naive_enumerate_answers(query, database)
+    expected_count = naive_count_answers(query, database)
+    for shards in RUNTIME_SHARD_COUNTS:
+        answered = session.answer(
+            query, database, shards=shards,
+            shard_variable=scenario.shard_variable, runtime=runtime,
+        )
+        assert answered.rows == expected_rows, (
+            f"{scenario.name}: {runtime_name} answer disagrees at shards={shards}"
+        )
+        assert answered.runtime["name"] == runtime_name
+        counted = session.count(
+            query, database, shards=shards,
+            shard_variable=scenario.shard_variable, runtime=runtime,
+        )
+        assert counted.count == expected_count, (
+            f"{scenario.name}: {runtime_name} count disagrees at shards={shards}"
+        )
+        boolean = session.is_satisfiable(
+            query, database, shards=shards,
+            shard_variable=scenario.shard_variable, runtime=runtime,
+        )
+        assert boolean.satisfiable == bool(expected_rows), (
+            f"{scenario.name}: {runtime_name} BCQ disagrees at shards={shards}"
+        )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_runtime_slice_covers_every_regime_and_flavour(seed):
+    # The guard that keeps the runtime pass honest: if the slice ever loses
+    # a regime or a database flavour, the runtime coverage silently shrinks.
+    chosen = _runtime_slice(seed)
+    assert {s.regime for s in chosen} == set(workloads.ALL_REGIMES)
+    flavours = {s.name.split("/")[2] for s in chosen}
+    assert flavours == {"random", "planted", "unsat", "colour"}
 
 
 @functools.lru_cache(maxsize=128)

@@ -1,0 +1,159 @@
+"""Serialization contract: queries, plans, and databases round-trip pickle.
+
+A hard prerequisite of the process runtime: every task the coordinator
+ships (:class:`ConjunctiveQuery`, sometimes a :class:`Database` piece) and
+everything a worker could send back must survive ``pickle.dumps``/``loads``
+with unchanged semantics.  Memoized derived state — key indexes on
+relations, incidence/adjacency maps and hashes on hypergraphs, the
+atom-view memo on databases — must be *dropped* in transit: it is rebuilt
+on the receiving side, and shipping it would both bloat the payload and
+risk resurrecting stale caches.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cq import Atom, ConjunctiveQuery, Database
+from repro.cq import generators as cqgen
+from repro.cq.query import Constant
+from repro.cq.relational import NamedRelation, from_atom
+from repro.engine import Engine, EngineSession
+from repro.hypergraphs.hypergraph import Hypergraph
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+QUERIES = [
+    ("chain", cqgen.chain_query(3)),
+    ("chain-projected", cqgen.chain_query(3).project(["x0", "x3"])),
+    ("cycle-boolean", cqgen.cycle_query(4).as_boolean()),
+    ("hub-cycle", cqgen.hub_cycle_query(4)),
+    ("zigzag-self-join", cqgen.zigzag_cycle_query(4, free_variables=["x0", "x1"])),
+    (
+        "constants-and-repeats",
+        ConjunctiveQuery(
+            [Atom("R", ["x", Constant(1), "x"]), Atom("S", ["x", "y"])],
+            free_variables=["y", "x"],
+        ),
+    ),
+]
+
+
+class TestQueryRoundTrip:
+    @pytest.mark.parametrize("name,query", QUERIES, ids=[n for n, _ in QUERIES])
+    def test_query_equal_and_head_order_preserved(self, name, query):
+        copy = roundtrip(query)
+        assert copy == query
+        # __eq__ compares the head as a set; the answer-tuple column order
+        # must survive too.
+        assert copy.free_variables == query.free_variables
+        assert copy.atoms == query.atoms
+
+    @pytest.mark.parametrize("name,query", QUERIES, ids=[n for n, _ in QUERIES])
+    def test_answers_identical_pre_and_post_roundtrip(self, name, query):
+        database = cqgen.random_database(query, 5, 14, seed=7)
+        session = EngineSession()
+        expected = session.answer(query, database).rows
+        copy_query = roundtrip(query)
+        copy_database = roundtrip(database)
+        assert copy_database == database
+        assert EngineSession().answer(copy_query, copy_database).rows == expected
+
+
+class TestPlanRoundTrip:
+    @pytest.mark.parametrize("name,query", QUERIES, ids=[n for n, _ in QUERIES])
+    def test_plan_roundtrips_and_still_executes(self, name, query):
+        session = EngineSession()
+        plan = session.plan(query)
+        copy = roundtrip(plan)
+        assert copy.strategy == plan.strategy
+        assert copy.width == plan.width
+        assert copy.rationale == plan.rationale
+        assert copy.query == plan.query
+        assert copy.source_query == plan.source_query
+        # The shipped plan embeds its witness: a fresh engine executes it
+        # without re-planning and agrees with the original.
+        database = cqgen.random_database(query, 5, 14, seed=3)
+        assert (
+            Engine().answer(query, database, plan=copy).rows
+            == session.answer(query, database, plan=plan).rows
+        )
+
+    def test_hypergraph_roundtrip_drops_lazy_caches(self):
+        hypergraph = cqgen.cycle_query(5).hypergraph()
+        hypergraph.degree()  # force the incidence map
+        hash(hypergraph)
+        copy = roundtrip(hypergraph)
+        assert copy == hypergraph
+        assert hash(copy) == hash(hypergraph)
+        assert copy._incidence is None
+        assert copy._adjacency is None
+
+
+class TestDerivedStateDropped:
+    def test_named_relation_roundtrip_drops_key_indexes(self):
+        relation = NamedRelation(("a", "b"), {(1, 2), (3, 4)})
+        relation.key_index(("b",))
+        assert relation.cached_index_keys
+        copy = roundtrip(relation)
+        assert copy == relation
+        assert copy.cached_index_keys == ()
+        # ... and the rebuilt positions still serve every operation.
+        assert copy.column_index("b") == 1
+        assert copy.project(("b",)).rows == {(2,), (4,)}
+
+    def test_database_roundtrip_drops_atom_view_cache(self):
+        query = cqgen.chain_query(2)
+        database = cqgen.random_database(query, 5, 10, seed=1).enable_atom_cache()
+        view = from_atom(query.atoms[0], database)
+        assert from_atom(query.atoms[0], database) is view  # memo live
+        copy = roundtrip(database)
+        assert copy == database
+        assert copy.atom_cache is None
+
+
+class TestAtomViewCache:
+    def test_disabled_by_default(self):
+        query = cqgen.chain_query(2)
+        database = cqgen.random_database(query, 5, 10, seed=1)
+        assert database.atom_cache is None
+        assert from_atom(query.atoms[0], database) is not from_atom(
+            query.atoms[0], database
+        )
+
+    def test_memoizes_per_atom_pattern(self):
+        query = ConjunctiveQuery(
+            [Atom("R", ["x", "y"]), Atom("R", ["y", "x"])]
+        )
+        database = Database()
+        database.add_fact("R", (1, 2))
+        database.add_fact("R", (2, 1))
+        database.enable_atom_cache()
+        first = from_atom(query.atoms[0], database)
+        assert from_atom(query.atoms[0], database) is first
+        # A different term pattern over the same relation is its own view.
+        swapped = from_atom(query.atoms[1], database)
+        assert swapped is not first
+        assert swapped.columns == ("y", "x")
+
+    def test_growth_invalidates(self):
+        query = cqgen.chain_query(1)
+        database = Database()
+        database.add_fact("R0", (1, 2))
+        database.enable_atom_cache()
+        stale = from_atom(query.atoms[0], database)
+        database.add_fact("R0", (3, 4))
+        fresh = from_atom(query.atoms[0], database)
+        assert fresh is not stale
+        assert len(fresh) == 2
+
+    def test_copy_and_partition_do_not_inherit_the_cache(self):
+        query = cqgen.hub_cycle_query(3)
+        database = cqgen.random_database(query, 6, 20, seed=2).enable_atom_cache()
+        from_atom(query.atoms[0], database)
+        assert database.copy().atom_cache is None
+        pieces = database.partition({"H0": 0}, 2)
+        assert all(piece.atom_cache is None for piece in pieces)

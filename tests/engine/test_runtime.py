@@ -1,0 +1,375 @@
+"""The execution-runtime layer: the Inline/Thread/Process runtimes, the
+registry, session integration (``runtime=`` per call and per session), the
+resident-shard protocol of the process runtime, and the operator counters.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cq import generators as cqgen
+from repro.cq.homomorphism import naive_count_answers, naive_enumerate_answers
+from repro.engine import (
+    EngineSession,
+    ExecutionRuntime,
+    InlineRuntime,
+    ProcessRuntime,
+    RUNTIME_INLINE,
+    RUNTIME_PROCESS,
+    RUNTIME_THREAD,
+    RuntimeTask,
+    ThreadRuntime,
+    register_runtime,
+    registered_runtimes,
+    runtime_for,
+)
+import repro.engine.runtime as runtime_module
+
+
+@pytest.fixture(scope="module")
+def process_runtime():
+    runtime = ProcessRuntime(max_workers=2)
+    yield runtime
+    runtime.close()
+
+
+@pytest.fixture
+def wheel_instance():
+    query = cqgen.hub_cycle_query(4)
+    return query, cqgen.random_database(query, 8, 60, seed=9)
+
+
+def _echo_tasks(runtime, count=4, parallel=None):
+    query = cqgen.chain_query(2)
+    tasks = [
+        RuntimeTask("answer", query, None, label=f"t{i}") for i in range(count)
+    ]
+    outcomes = runtime.run(tasks, lambda task: task.label, parallel=parallel)
+    return tasks, outcomes
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert {RUNTIME_INLINE, RUNTIME_THREAD, RUNTIME_PROCESS} <= set(
+            registered_runtimes()
+        )
+
+    def test_runtime_for_resolves_names_and_instances(self):
+        inline = runtime_for(RUNTIME_INLINE)
+        assert isinstance(inline, InlineRuntime)
+        # Named resolution returns one shared instance per process.
+        assert runtime_for(RUNTIME_INLINE) is inline
+        mine = ThreadRuntime(max_workers=2)
+        assert runtime_for(mine) is mine
+        assert isinstance(runtime_for(None), ThreadRuntime)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown runtime"):
+            runtime_for("hamster-wheel")
+
+    def test_register_custom_runtime(self):
+        class Recorder(InlineRuntime):
+            name = "recorder"
+
+        try:
+            register_runtime("recorder", Recorder)
+            with pytest.raises(ValueError, match="already registered"):
+                register_runtime("recorder", Recorder)
+            register_runtime("recorder", Recorder, replace=True)
+            assert "recorder" in registered_runtimes()
+            assert isinstance(runtime_for("recorder"), Recorder)
+        finally:
+            with runtime_module._registry_lock:
+                runtime_module._FACTORIES.pop("recorder", None)
+                runtime_module._SHARED.pop("recorder", None)
+
+
+class TestInlineAndThread:
+    def test_outcomes_align_with_tasks(self):
+        for runtime in (InlineRuntime(), ThreadRuntime(max_workers=4)):
+            tasks, outcomes = _echo_tasks(runtime)
+            assert [o.value for o in outcomes] == [t.label for t in tasks]
+            assert all(o.seconds >= 0.0 for o in outcomes)
+
+    def test_inline_runs_on_the_calling_thread(self):
+        _, outcomes = _echo_tasks(InlineRuntime())
+        assert {o.worker for o in outcomes} == {"inline"}
+
+    def test_thread_parallel_one_is_sequential(self):
+        _, outcomes = _echo_tasks(ThreadRuntime(), parallel=1)
+        assert {o.worker for o in outcomes} == {"thread:main"}
+
+    def test_thread_fan_out_uses_bounded_workers(self):
+        _, outcomes = _echo_tasks(ThreadRuntime(max_workers=2), count=6)
+        workers = {o.worker for o in outcomes}
+        assert len(workers) <= 2
+        assert all(worker.startswith("thread:") for worker in workers)
+
+    def test_thread_worker_cap_validated(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            ThreadRuntime(max_workers=0)
+        with pytest.raises(ValueError, match="max_workers"):
+            ProcessRuntime(max_workers=0)
+
+
+class TestSessionIntegration:
+    @pytest.mark.parametrize("spec", ["inline", "thread"])
+    def test_sharded_results_match_naive_per_runtime(self, spec, wheel_instance):
+        query, database = wheel_instance
+        expected = naive_enumerate_answers(query, database)
+        session = EngineSession()
+        for shards in (1, 2, 4):
+            result = session.answer(query, database, shards=shards, runtime=spec)
+            assert result.rows == expected
+            assert result.runtime["name"] == spec
+            count = session.count(query, database, shards=shards, runtime=spec)
+            assert count.count == naive_count_answers(query, database)
+
+    def test_runtime_recorded_in_rationale_and_timings(self, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        result = session.answer(query, database, shards=4, runtime="inline")
+        assert "runtime: inline" in result.plan.rationale
+        record = result.runtime
+        assert record["tasks"] == 4
+        assert len(record["per_task_seconds"]) == 4
+        assert record["workers"] == ["inline"]
+        # The sharded record still carries the per-shard timings.
+        assert result.sharding["per_shard_seconds"] == record["per_task_seconds"]
+
+    def test_session_default_runtime_applies_to_fan_out(self, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession(runtime="inline")
+        result = session.answer(query, database, shards=2)
+        assert result.runtime["name"] == "inline"
+        # ... and an explicit per-call runtime overrides the default.
+        override = session.answer(query, database, shards=2, runtime="thread")
+        assert override.runtime["name"] == "thread"
+        # The plain single-query fast path bypasses dispatch entirely.
+        plain = session.answer(query, database)
+        assert plain.runtime is None
+
+    def test_batch_routes_through_runtime(self, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        results = session.answer_many([query, query], database, runtime="inline")
+        assert results[0].rows == naive_enumerate_answers(query, database)
+        assert results[0].runtime == {"name": "inline", "worker": "inline"}
+        assert results[1].timings["dedup_of"] == 0
+
+    def test_stats_count_tasks_runtimes_and_modes(self, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        session.answer(query, database, shards=4, runtime="inline")
+        session.answer(query, database, shards=1, runtime="inline")
+        session.answer_many([query], database)
+        stats = session.stats()
+        assert stats["runtime"]["tasks_dispatched"] == 4 + 1 + 1
+        assert stats["runtime"]["calls_by_runtime"] == {"inline": 2, "thread": 1}
+        assert "inline" in stats["runtime"]["workers_used"]
+        assert stats["sharding"]["calls"] == 2
+        assert stats["sharding"]["by_mode"] == {
+            "co-partitioned": 1,
+            "single-shard": 1,
+        }
+
+    def test_clear_cache_resets_entries_and_counters(self, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        session.answer(query, database, shards=2)
+        session.answer(query, database, shards=2)
+        assert session.plan_cache.hits > 0
+        assert session._partition_cache.hits > 0
+        session.clear_cache()
+        for cache in (
+            session.cache,
+            session.core_cache,
+            session.plan_cache,
+            session._partition_cache,
+        ):
+            assert len(cache) == 0
+            assert cache.info()["hits"] == 0
+            assert cache.info()["misses"] == 0
+
+    def test_partition_cache_serves_repeated_sharded_calls(self, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        session.answer(query, database, shards=4)
+        misses = session._partition_cache.misses
+        session.answer(query, database, shards=4)
+        session.count(query, database, shards=4)
+        assert session._partition_cache.misses == misses
+        assert session._partition_cache.hits >= 2
+
+    def test_partition_cache_invalidated_by_database_growth(self, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        before = session.answer(query, database, shards=4).rows
+        # Plant a fresh satisfying assignment: the wheel (hub h, cycle
+        # x0..x3) needs H_i(h, x_i, x_{i+1}) for every i.
+        for index in range(4):
+            database.add_fact(
+                f"H{index}", ("fresh-hub", f"v{index}", f"v{(index + 1) % 4}")
+            )
+        after = session.answer(query, database, shards=4)
+        planted = ("fresh-hub", "v0", "v1", "v2", "v3")
+        assert planted not in before
+        assert planted in after.rows
+        assert after.rows == naive_enumerate_answers(query, database)
+
+
+class TestProcessRuntime:
+    def test_sharded_results_match_naive(self, process_runtime, wheel_instance):
+        query, database = wheel_instance
+        expected = naive_enumerate_answers(query, database)
+        session = EngineSession()
+        for shards in (1, 2, 4):
+            result = session.answer(
+                query, database, shards=shards, runtime=process_runtime
+            )
+            assert result.rows == expected
+            assert result.runtime["name"] == "process"
+            assert all(w.startswith("pid:") for w in result.runtime["workers"])
+            count = session.count(
+                query, database, shards=shards, runtime=process_runtime
+            )
+            assert count.count == len(expected)
+            boolean = session.is_satisfiable(
+                query, database, shards=shards, runtime=process_runtime
+            )
+            assert boolean.satisfiable == bool(expected)
+
+    def test_workers_run_out_of_process(self, process_runtime, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        result = session.answer(query, database, shards=4, runtime=process_runtime)
+        pids = {int(w.split(":", 1)[1]) for w in result.runtime["workers"]}
+        assert pids, "no worker pids recorded"
+        assert os.getpid() not in pids
+
+    def test_shards_ship_once_then_stay_resident(self, wheel_instance):
+        query, database = wheel_instance
+        # One worker makes residency deterministic: after the first call it
+        # holds every piece, so later calls must ship tokens only.  (With a
+        # larger pool the same steady state is reached once every worker has
+        # seen every piece — the need-data protocol converges, it never
+        # re-ships to a worker that already holds the token.)
+        runtime = ProcessRuntime(max_workers=1)
+        try:
+            session = EngineSession()
+            session.answer(query, database, shards=4, runtime=runtime)
+            shipped = runtime.stats()["shipments"]
+            assert shipped == 4
+            for _ in range(3):
+                session.answer(query, database, shards=4, runtime=runtime)
+                session.count(query, database, shards=4, runtime=runtime)
+            assert runtime.stats()["shipments"] == shipped
+        finally:
+            runtime.close()
+
+    def test_database_growth_reships_and_stays_exact(self, process_runtime):
+        query = cqgen.hub_cycle_query(3)
+        database = cqgen.random_database(query, 6, 20, seed=3)
+        session = EngineSession()
+        before = session.answer(query, database, shards=2, runtime=process_runtime)
+        for index in range(3):
+            database.add_fact(
+                f"H{index}", ("grown-hub", f"v{index}", f"v{(index + 1) % 3}")
+            )
+        after = session.answer(query, database, shards=2, runtime=process_runtime)
+        planted = ("grown-hub", "v0", "v1", "v2")
+        assert planted not in before.rows
+        assert planted in after.rows
+        assert after.rows == naive_enumerate_answers(query, database)
+
+    def test_batch_path_matches_inline(self, process_runtime):
+        queries = [cqgen.chain_query(3), cqgen.cycle_query(4), cqgen.chain_query(3)]
+        from repro.cq import ConjunctiveQuery
+
+        database = cqgen.grid_constraint_database(
+            ConjunctiveQuery(queries[0].atoms + queries[1].atoms), colours=3
+        )
+        session = EngineSession()
+        inline = session.answer_many(queries, database, runtime="inline")
+        remote = session.answer_many(queries, database, runtime=process_runtime)
+        assert [r.rows for r in inline] == [r.rows for r in remote]
+        assert remote[0].runtime["name"] == "process"
+        assert remote[2].timings["dedup_of"] == 0
+
+    def test_use_core_and_forced_strategies_reproduce_on_workers(
+        self, process_runtime
+    ):
+        query = cqgen.zigzag_cycle_query(6, free_variables=["x0", "x1"])
+        database = cqgen.random_database(query, 5, 14, seed=5)
+        expected = naive_enumerate_answers(query, database)
+        session = EngineSession()
+        result = session.answer(
+            query, database, shards=4, use_core=True, runtime=process_runtime
+        )
+        assert result.rows == expected
+        forced = session.plan(query, force_strategy="indexed-backtracking")
+        via_plan = session.answer(
+            query, database, plan=forced, shards=2, runtime=process_runtime
+        )
+        assert via_plan.rows == expected
+
+    def test_prebuilt_core_plan_reproduces_on_workers(self, process_runtime):
+        # Regression: a pre-built use_core plan arrives with use_core=False
+        # at the sharded path; the shipped task must carry the PLAN's
+        # provenance, or the worker re-plans the full cyclic query under
+        # the core's forced strategy and fails.
+        query = cqgen.zigzag_cycle_query(6, free_variables=["x0", "x1"])
+        database = cqgen.random_database(query, 5, 14, seed=5)
+        session = EngineSession()
+        plan = session.plan(query, use_core=True)
+        assert plan.query != query, "scenario needs a core-substituted plan"
+        result = session.answer(
+            query, database, plan=plan, shards=2, runtime=process_runtime
+        )
+        assert result.rows == naive_enumerate_answers(query, database)
+
+    def test_single_call_offload(self, process_runtime, wheel_instance):
+        query, database = wheel_instance
+        session = EngineSession()
+        result = session.answer(query, database, runtime=process_runtime)
+        assert result.rows == naive_enumerate_answers(query, database)
+        assert result.sharding["mode"] == "single-shard"
+        assert result.runtime["name"] == "process"
+
+    def test_pool_recovers_from_a_killed_worker(self, wheel_instance):
+        query, database = wheel_instance
+        expected = naive_enumerate_answers(query, database)
+        runtime = ProcessRuntime(max_workers=1)
+        try:
+            session = EngineSession()
+            first = session.answer(query, database, shards=2, runtime=runtime)
+            assert first.rows == expected
+            pid = int(first.runtime["workers"][0].split(":", 1)[1])
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    break
+                time.sleep(0.05)
+            second = session.answer(query, database, shards=2, runtime=runtime)
+            assert second.rows == expected
+            assert runtime.stats()["pool_restarts"] >= 1
+        finally:
+            runtime.close()
+
+    def test_stats_shape(self, process_runtime):
+        stats = process_runtime.stats()
+        assert stats["name"] == "process"
+        assert set(stats) == {
+            "name",
+            "max_workers",
+            "pool_live",
+            "resident_datasets",
+            "tasks_dispatched",
+            "shipments",
+            "pool_restarts",
+        }

@@ -1,0 +1,139 @@
+"""Properties of :func:`repro.engine.canonical_query_key` — the isomorphism
+key the batch layer's dedup pass trusts.
+
+The contract the session relies on is one-directional soundness: **equal
+keys must imply equal answer sets over any shared database**.  Collisions
+between non-isomorphic queries would silently serve one query's answers for
+another; missed collisions (distinct keys for isomorphic queries) only cost
+a duplicate evaluation.  The properties below draw query shapes from the
+workload generators (the population the batch workloads are built from) and
+check:
+
+* a variable renaming always collides with its original (the dedup hit the
+  batch layer exists for);
+* two draws with equal keys agree bit-for-bit with the naive solver on a
+  shared random database (soundness, checked semantically — no appeal to
+  the key's own construction);
+* distinct generator shapes never collide (no-collision regression over
+  the concrete population);
+* queries with self-joins take the exact fallback: only literally equal
+  queries collide, and the key says so (``"exact"`` tag).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq import Atom, ConjunctiveQuery
+from repro.cq import generators as cqgen
+from repro.cq.query import Constant
+from repro.cq.homomorphism import naive_enumerate_answers
+from repro.engine import canonical_query_key
+
+
+def renamed(query: ConjunctiveQuery, suffix: str = "_r") -> ConjunctiveQuery:
+    """A structurally isomorphic copy: every variable renamed."""
+
+    def rename(term):
+        return term if isinstance(term, Constant) else f"{term}{suffix}"
+
+    atoms = [
+        Atom(atom.relation, [rename(term) for term in atom.terms])
+        for atom in query.atoms
+    ]
+    return ConjunctiveQuery(
+        atoms, free_variables=[rename(v) for v in query.free_variables]
+    )
+
+
+def _shape(kind: str, size: int, head: str) -> ConjunctiveQuery:
+    """One self-join-free query from the workload generator population."""
+    if kind == "chain":
+        query = cqgen.chain_query(size)
+    elif kind == "star":
+        query = cqgen.star_query(size)
+    elif kind == "cycle":
+        query = cqgen.cycle_query(size + 1)
+    elif kind == "hub-cycle":
+        query = cqgen.hub_cycle_query(size + 1)
+    else:
+        query = cqgen.clique_query(size + 1)
+    if head == "boolean":
+        return query.as_boolean()
+    if head == "projected":
+        return query.project(query.variables[:1])
+    return query
+
+
+SHAPE_KINDS = ("chain", "star", "cycle", "hub-cycle", "clique")
+SHAPE_SIZES = (2, 3, 4)
+SHAPE_HEADS = ("full", "boolean", "projected")
+
+shapes = st.tuples(
+    st.sampled_from(SHAPE_KINDS),
+    st.sampled_from(SHAPE_SIZES),
+    st.sampled_from(SHAPE_HEADS),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(shape=shapes, suffix=st.sampled_from(["_r", "__", "9"]))
+def test_variable_renaming_always_collides(shape, suffix):
+    query = _shape(*shape)
+    copy = renamed(query, suffix)
+    assert canonical_query_key(copy) == canonical_query_key(query)
+
+
+@settings(max_examples=80, deadline=None)
+@given(first=shapes, second=shapes, seed=st.integers(0, 2**16))
+def test_equal_keys_imply_equal_answers(first, second, seed):
+    query_a, query_b = _shape(*first), renamed(_shape(*second))
+    if canonical_query_key(query_a) != canonical_query_key(query_b):
+        return
+    # Colliding queries must be interchangeable: same answers over any
+    # database.  (Checked against the naive reference solver, so the
+    # property cannot inherit a bug from the key's own construction.)
+    database = cqgen.random_database(query_a, 4, 12, seed=seed)
+    assert naive_enumerate_answers(query_a, database) == naive_enumerate_answers(
+        query_b, database
+    )
+
+
+def test_distinct_generator_shapes_never_collide():
+    population = {}
+    for kind in SHAPE_KINDS:
+        for size in SHAPE_SIZES:
+            for head in SHAPE_HEADS:
+                key = canonical_query_key(_shape(kind, size, head))
+                label = (kind, size, head)
+                if key in population:
+                    raise AssertionError(
+                        f"key collision between {population[key]} and {label}"
+                    )
+                population[key] = label
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    length=st.sampled_from([4, 6, 8]),
+    head=st.sampled_from(["boolean", "pair"]),
+)
+def test_self_joins_take_the_exact_fallback(length, head):
+    query = cqgen.zigzag_cycle_query(
+        length, free_variables=() if head == "boolean" else ["x0", "x1"]
+    )
+    assert query.has_self_joins()
+    key = canonical_query_key(query)
+    assert key[0] == "exact"
+    # Exact duplicates still deduplicate; renamings of a self-join query do
+    # NOT (canonicalising them would be graph canonisation) — the batch
+    # layer must evaluate both rather than risk a wrong merge.
+    assert canonical_query_key(ConjunctiveQuery(query.atoms, query.free_variables)) == key
+    assert canonical_query_key(renamed(query)) != key
+
+
+def test_reordered_projection_does_not_collide():
+    # Answer tuples follow the head ORDER; a reordered head is a different
+    # result schema and must never deduplicate against the original.
+    chain = cqgen.chain_query(2)
+    assert canonical_query_key(chain.project(["x0", "x2"])) != canonical_query_key(
+        chain.project(["x2", "x0"])
+    )

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke
+.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +34,19 @@ proc-smoke:
 	$(PYTHON) -m pytest -q tests/engine/test_runtime.py tests/engine/test_pickling.py
 	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
 		tests/engine/test_differential.py -k "runtime"
+
+# One-seed smoke of the columnar kernel: the columnar unit/property suites,
+# then the differential columnar pass — every regime and database flavour
+# with the columnar backend forced per decomposition strategy, plus the
+# sharded (1/2/4) and process-runtime rungs, all against the naive solver
+# with coverage guards asserting the columnar kernel actually executed.
+# Override the seed with WORKLOAD_SEEDS=n.
+columnar-smoke:
+	$(PYTHON) -m pytest -q tests/cq/test_columnar.py \
+		tests/property/test_columnar_roundtrip.py \
+		tests/engine/test_columnar_backend.py
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/engine/test_differential.py -k "columnar"
 
 # Perf-regression gate: re-run the engine benchmarks and fail on >2x slowdown
 # against benchmarks/BENCH_engine.json.

@@ -16,6 +16,13 @@ and writes the results to ``benchmarks/BENCH_engine.json``:
   same cycle workloads, so the planner's end-to-end overhead over the raw
   evaluator is tracked.  Each point also records ``cold_plan_seconds``, the
   one-off analysis + planning cost before the cache is warm.
+* ``columnar_answer`` / ``columnar_count`` — the columnar relational kernel
+  (:mod:`repro.cq.columnar`, the default backend for the decomposition
+  strategies) on the ``engine_answer`` workloads: projected enumeration and
+  the factorized counting DP.  Each point records the columnar time (the
+  gated number) plus ``tupleset_seconds``, the same plan through the
+  tuple-set :class:`DecompositionBackend`, and the resulting ``speedup`` —
+  the acceptance number for the columnar kernel.
 * ``batch_answer_many`` — the session batch path
   (``EngineSession.answer_many``) on seeded mixed workloads
   (``repro.cq.workloads.mixed_batch``: all four regimes, repeated and
@@ -68,7 +75,12 @@ from repro.cq.decomposition_eval import decomposition_boolean_answer  # noqa: E4
 from repro.cq.homomorphism import _solve, _solve_naive  # noqa: E402
 from repro.cq.relational import NamedRelation  # noqa: E402
 from repro.cq.yannakakis import JoinTree, semijoin_reduce  # noqa: E402
-from repro.engine import Engine, EngineSession, ProcessRuntime  # noqa: E402
+from repro.engine import (  # noqa: E402
+    DecompositionBackend,
+    Engine,
+    EngineSession,
+    ProcessRuntime,
+)
 
 BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_engine.json"
 
@@ -239,6 +251,74 @@ def bench_engine_answer() -> list[dict]:
     return points
 
 
+def bench_columnar_answer(include_tupleset: bool = True) -> list[dict]:
+    """The columnar kernel on the engine_answer workloads.
+
+    ``indexed_seconds`` (the gated number) is the engine's default dispatch,
+    which now evaluates the decomposition strategies columnar-side:
+    interned-id hash joins plus the memoized columnar atom views — the
+    steady-state serving cost.  ``tupleset_seconds`` runs the same plan
+    through the tuple-set :class:`DecompositionBackend` for the recorded
+    speedup (historical context, like the naive solver elsewhere).
+    """
+    points = []
+    for label, length, domain, tuples in ENGINE_SCALES:
+        query = cqgen.cycle_query(length).project(["x0"])
+        database = cqgen.random_database(query, domain, tuples, seed=97)
+        engine = Engine()
+        plan = engine.plan(query)
+        columnar = _timed(lambda: engine.answer(query, database, plan=plan))
+        point = {
+            "scale": label,
+            "query": f"cycle{length}",
+            "domain": domain,
+            "tuples_per_relation": tuples,
+            "indexed_seconds": columnar,
+        }
+        if include_tupleset:
+            tupleset_backend = DecompositionBackend(plan.strategy)
+            tupleset = _timed(
+                lambda: tupleset_backend.answers(plan.query, database, plan)
+            )
+            point["tupleset_seconds"] = tupleset
+            point["speedup"] = tupleset / columnar if columnar else float("inf")
+        points.append(point)
+    return points
+
+
+def bench_columnar_count(include_tupleset: bool = True) -> list[dict]:
+    """The factorized columnar counting DP on the full cycle queries.
+
+    Full queries take the Proposition 4.14 DP in both kernels — the
+    comparison isolates the representation (packed-int key grouping over
+    weight vectors vs tuple-keyed dicts over row sets); neither side ever
+    materialises the combinatorial answer set.
+    """
+    points = []
+    for label, length, domain, tuples in ENGINE_SCALES:
+        query = cqgen.cycle_query(length)
+        database = cqgen.random_database(query, domain, tuples, seed=97)
+        engine = Engine()
+        plan = engine.plan(query)
+        columnar = _timed(lambda: engine.count(query, database, plan=plan))
+        point = {
+            "scale": label,
+            "query": f"cycle{length}",
+            "domain": domain,
+            "tuples_per_relation": tuples,
+            "indexed_seconds": columnar,
+        }
+        if include_tupleset:
+            tupleset_backend = DecompositionBackend(plan.strategy)
+            tupleset = _timed(
+                lambda: tupleset_backend.count(plan.query, database, plan)
+            )
+            point["tupleset_seconds"] = tupleset
+            point["speedup"] = tupleset / columnar if columnar else float("inf")
+        points.append(point)
+    return points
+
+
 def bench_batch_answer(include_loop: bool = True) -> list[dict]:
     points = []
     for label, distinct, copies, size, parallel in BATCH_SCALES:
@@ -349,6 +429,14 @@ def run_benchmarks(include_naive: bool = True) -> dict:
             "semijoin_reduce": bench_semijoin(),
             "ghd_eval": bench_ghd_eval(),
             "engine_answer": bench_engine_answer(),
+            # The columnar kernel on the engine workloads; the tuple-set
+            # comparison numbers are context, only the columnar time gates.
+            "columnar_answer": bench_columnar_answer(
+                include_tupleset=include_naive
+            ),
+            "columnar_count": bench_columnar_count(
+                include_tupleset=include_naive
+            ),
             # The comparison loop is historical context like the naive
             # solver: only the batch time itself is gated.
             "batch_answer_many": bench_batch_answer(include_loop=include_naive),
@@ -379,6 +467,11 @@ def main() -> int:
             extra = ""
             if "naive_seconds" in point:
                 extra = f"  (naive {point['naive_seconds']:.3f}s, {point['speedup']:.1f}x speedup)"
+            elif "tupleset_seconds" in point:
+                extra = (
+                    f"  (tuple-set {point['tupleset_seconds']:.3f}s, "
+                    f"{point['speedup']:.1f}x speedup)"
+                )
             elif "loop_seconds" in point:
                 extra = f"  (cold loop {point['loop_seconds']:.3f}s, {point['speedup']:.1f}x speedup)"
             elif "single_shard_seconds" in point and "speedup" in point:

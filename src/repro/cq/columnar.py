@@ -1,0 +1,631 @@
+"""Columnar relational kernel: interned value ids + array-backed relations.
+
+The tuple-set kernel (:mod:`repro.cq.relational`) pays Python's per-object
+price on every row it touches: a join builds a key *tuple* per probe, hashes
+arbitrary values, concatenates row tuples, and inserts each result into a
+set.  This module removes that price structurally:
+
+* **value interning** — every distinct database value is mapped once to a
+  small integer id through a per-database :class:`ValueInterner`.  After
+  that, every relational operation works on ints: hashing is trivial,
+  equality is pointer-free, and multi-column join keys *pack* into a single
+  int (``k = k * base + id``, a bijection for ``base = |dictionary|``), so
+  hash joins and semijoins probe ``dict``/``set`` objects keyed by plain
+  integers instead of tuples of values;
+* **columnar storage** — a :class:`ColumnarRelation` stores a relation as
+  parallel arrays of ids (one ``array('q')``/list per column).  Operations
+  produce *row index lists* and gather output columns with one list
+  comprehension per column — O(width) tight loops per operation instead of
+  O(rows) tuple constructions;
+* **memoized key vectors** — packed key vectors, hash buckets
+  (``key -> row indexes``), and key sets are cached per (column set, pack
+  base) on the relation, so the Yannakakis passes touch each side of an
+  edge once, exactly like the tuple-set kernel's memoized key indexes;
+* **factorized counting** — the counting DP runs over per-row weight
+  vectors and packed keys, so ``count()`` on full acyclic/GHD plans never
+  materializes a result row;
+* **decode once at the boundary** — ids are decoded back to values only
+  when an answer set leaves the kernel (:meth:`ColumnarRelation
+  .decode_rows`), one list comprehension per output column.
+
+The tree-walking logic is *not* duplicated: :func:`build_columnar_bag_tree`
+arranges :class:`ColumnarRelation` objects along the decomposition exactly
+like :func:`repro.cq.bags.build_bag_join_tree`, and the resulting
+:class:`~repro.cq.yannakakis.JoinTree` runs through the existing
+``yannakakis_boolean`` / ``yannakakis_full`` / ``semijoin_reduce`` passes
+unchanged — they are duck-typed over the relation interface (``columns``,
+``natural_join``, ``semijoin``, ``semijoin_inplace``, ``project``,
+``__len__``).  Only the counting DP needs a columnar twin
+(:func:`columnar_count_join_tree`), because the tuple-set DP iterates
+``relation.rows`` directly.
+
+The engine dispatches here by default for the decomposition strategies
+through :class:`repro.engine.backends.ColumnarBackend`; conversion and
+caching live at the :class:`~repro.cq.database.Database` layer
+(``Database.columnar_view``), with the same grow-only cardinality
+fingerprint invalidation as the atom-view cache.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Hashable, Sequence
+
+from repro.cq.bags import (
+    DecompositionMismatchError,
+    assign_atoms_to_nodes,
+    atoms_by_scope,
+    root_tree,
+)
+from repro.cq.query import ConjunctiveQuery, Constant
+from repro.cq.relational import NamedRelation, natural_join_all
+from repro.cq.yannakakis import JoinTree, yannakakis_boolean, yannakakis_full
+
+
+class ValueInterner:
+    """A grow-only bijection ``value <-> small int id`` for one database.
+
+    Equal values (Python equality — ``1 == True == 1.0``) share one id, so
+    id equality coincides with value equality exactly as tuple-set
+    membership does; decoding returns the first-interned representative of
+    the equality class, which compares equal to every member.
+    """
+
+    __slots__ = ("_ids", "values")
+
+    def __init__(self) -> None:
+        self._ids: dict = {}
+        #: id -> value, the decode table (index == id).
+        self.values: list = []
+
+    def intern(self, value: Hashable) -> int:
+        ident = self._ids.get(value)
+        if ident is None:
+            ident = len(self.values)
+            self._ids[value] = ident
+            self.values.append(value)
+        return ident
+
+    def id_of(self, value: Hashable) -> int | None:
+        """The id of an already-interned value, ``None`` if never seen."""
+        return self._ids.get(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:
+        return f"ValueInterner(size={len(self.values)})"
+
+
+class ColumnarRelation:
+    """A relation stored as parallel columns of interned value ids.
+
+    The row set is implicit: row ``i`` is ``(data[0][i], ..., data[w-1][i])``.
+    Rows are kept **distinct** by construction — sources are built from
+    tuple *sets*, joins of distinct inputs are distinct, and projection
+    deduplicates — so no operation needs an output set.  ``length`` is
+    explicit so zero-column relations (the relational units ``{}`` and
+    ``{()}``) keep their cardinality.
+    """
+
+    __slots__ = (
+        "columns", "interner", "_data", "_length", "_positions",
+        "_key_cache", "_bucket_cache", "_keyset_cache",
+    )
+
+    def __init__(
+        self,
+        columns: Sequence[Hashable],
+        interner: ValueInterner,
+        data: Sequence[Sequence[int]] = (),
+        length: int | None = None,
+    ) -> None:
+        columns = tuple(columns)
+        data = tuple(data)
+        if len(data) != len(columns):
+            raise ValueError(
+                f"{len(columns)} columns but {len(data)} data vectors"
+            )
+        if length is None:
+            length = len(data[0]) if data else 0
+        if any(len(vector) != length for vector in data):
+            raise ValueError("column vectors must share one length")
+        self._init(columns, interner, data, length)
+
+    def _init(self, columns, interner, data, length) -> None:
+        self.columns = columns
+        self.interner = interner
+        self._data = data
+        self._length = length
+        self._positions = {c: i for i, c in enumerate(columns)}
+        if len(self._positions) != len(columns):
+            raise ValueError(f"duplicate column names: {columns!r}")
+        self._key_cache: dict = {}
+        self._bucket_cache: dict = {}
+        self._keyset_cache: dict = {}
+
+    @classmethod
+    def _trusted(cls, columns, interner, data, length) -> "ColumnarRelation":
+        relation = object.__new__(cls)
+        relation._init(tuple(columns), interner, tuple(data), length)
+        return relation
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._length
+
+    def __bool__(self) -> bool:
+        return self._length > 0
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarRelation(columns={self.columns!r}, rows={self._length})"
+        )
+
+    def column_index(self, column: Hashable) -> int:
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise ValueError(
+                f"{column!r} is not a column of {self.columns!r}"
+            ) from None
+
+    def column(self, column: Hashable) -> Sequence[int]:
+        """The id vector of one column (shared, do not mutate)."""
+        return self._data[self.column_index(column)]
+
+    def id_rows(self):
+        """Iterate the rows as tuples of ids (tests and debugging)."""
+        return zip(*self._data) if self.columns else iter([()] * self._length)
+
+    # ------------------------------------------------------------------
+    # Conversion boundary
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_named(
+        cls, relation: NamedRelation, interner: ValueInterner
+    ) -> "ColumnarRelation":
+        """Intern a tuple-set relation into columns over ``interner``."""
+        rows = relation.rows
+        if not relation.columns:
+            return cls._trusted((), interner, (), 1 if rows else 0)
+        intern = interner.intern
+        if rows:
+            data = tuple(
+                array("q", [intern(value) for value in column])
+                for column in zip(*rows)
+            )
+        else:
+            data = tuple(array("q") for _ in relation.columns)
+        return cls._trusted(relation.columns, interner, data, len(rows))
+
+    def to_named(self) -> NamedRelation:
+        """Decode back to a tuple-set :class:`NamedRelation`."""
+        return NamedRelation._trusted(self.columns, self.decode_rows())
+
+    def decode_rows(self) -> set[tuple]:
+        """The row set as value tuples — the single decode point where id
+        space leaves the kernel (one list comprehension per column)."""
+        if not self.columns:
+            return {()} if self._length else set()
+        values = self.interner.values
+        decoded = [[values[ident] for ident in column] for column in self._data]
+        return set(zip(*decoded))
+
+    # ------------------------------------------------------------------
+    # Packed key vectors (memoized per column set x pack base)
+    # ------------------------------------------------------------------
+    def _keys(self, columns: Sequence[Hashable]) -> Sequence[int]:
+        """One int key per row over the given columns: the column itself for
+        a single key column, ids packed into one int otherwise (``base =
+        |dictionary|`` makes packing a bijection; the base is part of the
+        memo key because the dictionary can grow between operations)."""
+        positions = tuple(self._positions[c] for c in columns)
+        if len(positions) == 1:
+            return self._data[positions[0]]
+        if not positions:
+            return [0] * self._length
+        base = len(self.interner)
+        cache_key = (positions, base)
+        keys = self._key_cache.get(cache_key)
+        if keys is None:
+            vectors = [self._data[p] for p in positions]
+            keys = list(vectors[0])
+            for vector in vectors[1:]:
+                keys = [k * base + i for k, i in zip(keys, vector)]
+            self._key_cache[cache_key] = keys
+        return keys
+
+    def _cache_key(self, columns: Sequence[Hashable]) -> tuple:
+        positions = tuple(self._positions[c] for c in columns)
+        base = len(self.interner) if len(positions) > 1 else 0
+        return (positions, base)
+
+    def _buckets(self, columns: Sequence[Hashable]) -> dict:
+        """Hash index ``key -> list of row indexes`` (the join build side)."""
+        cache_key = self._cache_key(columns)
+        buckets = self._bucket_cache.get(cache_key)
+        if buckets is None:
+            buckets = {}
+            get = buckets.get
+            for index, key in enumerate(self._keys(columns)):
+                rows = get(key)
+                if rows is None:
+                    buckets[key] = [index]
+                else:
+                    rows.append(index)
+            self._bucket_cache[cache_key] = buckets
+        return buckets
+
+    def _keyset(self, columns: Sequence[Hashable]) -> set:
+        """The set of packed keys (the semijoin probe side)."""
+        cache_key = self._cache_key(columns)
+        keyset = self._keyset_cache.get(cache_key)
+        if keyset is None:
+            buckets = self._bucket_cache.get(cache_key)
+            keyset = (
+                set(buckets) if buckets is not None
+                else set(self._keys(columns))
+            )
+            self._keyset_cache[cache_key] = keyset
+        return keyset
+
+    def _invalidate(self) -> None:
+        self._key_cache.clear()
+        self._bucket_cache.clear()
+        self._keyset_cache.clear()
+
+    def _gather(self, indexes: Sequence[int]) -> "ColumnarRelation":
+        data = tuple(
+            [column[i] for i in indexes] for column in self._data
+        )
+        return ColumnarRelation._trusted(
+            self.columns, self.interner, data, len(indexes)
+        )
+
+    # ------------------------------------------------------------------
+    # Relational algebra
+    # ------------------------------------------------------------------
+    def project(self, columns: Sequence[Hashable]) -> "ColumnarRelation":
+        """Projection with dedup over the id arrays (single-column
+        projections ride ``dict.fromkeys``'s C path)."""
+        columns = tuple(columns)
+        if columns == self.columns:
+            return self
+        if len(set(columns)) != len(columns):
+            raise ValueError(f"duplicate column names: {columns!r}")
+        positions = [self.column_index(c) for c in columns]
+        if not positions:
+            return ColumnarRelation._trusted(
+                (), self.interner, (), 1 if self._length else 0
+            )
+        if len(positions) == 1:
+            unique = list(dict.fromkeys(self._data[positions[0]]))
+            return ColumnarRelation._trusted(
+                columns, self.interner, (unique,), len(unique)
+            )
+        keys = self._keys(columns)
+        seen: set = set()
+        add = seen.add
+        survivors = [i for i, k in enumerate(keys) if not (k in seen or add(k))]
+        data = tuple(
+            [self._data[p][i] for i in survivors] for p in positions
+        )
+        return ColumnarRelation._trusted(
+            columns, self.interner, data, len(survivors)
+        )
+
+    def natural_join(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """Vectorized hash join: build int-keyed buckets over the smaller
+        probe pattern, emit matched row-index lists, gather columns."""
+        if self.interner is not other.interner:
+            raise ValueError("cannot join relations over different interners")
+        shared = [c for c in self.columns if c in other._positions]
+        other_only = [c for c in other.columns if c not in self._positions]
+        result_columns = self.columns + tuple(other_only)
+        if not shared:
+            m = len(other)
+            left_indexes = [i for i in range(self._length) for _ in range(m)]
+            right_indexes = list(range(m)) * self._length
+        else:
+            buckets = other._buckets(shared)
+            get = buckets.get
+            left_indexes: list[int] = []
+            right_indexes: list[int] = []
+            extend_left = left_indexes.extend
+            extend_right = right_indexes.extend
+            for index, key in enumerate(self._keys(shared)):
+                rows = get(key)
+                if rows is not None:
+                    extend_left([index] * len(rows))
+                    extend_right(rows)
+        data = tuple(
+            [column[i] for i in left_indexes] for column in self._data
+        ) + tuple(
+            [other._data[other._positions[c]][j] for j in right_indexes]
+            for c in other_only
+        )
+        return ColumnarRelation._trusted(
+            result_columns, self.interner, data, len(left_indexes)
+        )
+
+    def semijoin(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """Grouped semijoin filtering: keep rows whose packed key occurs in
+        ``other``.  Returns ``self`` (no copy) when nothing is filtered."""
+        survivors = self._semijoin_survivors(other)
+        if survivors is None:
+            return self
+        return self._gather(survivors)
+
+    def semijoin_inplace(self, other: "ColumnarRelation") -> "ColumnarRelation":
+        """Like :meth:`semijoin` but rebinds this relation's columns,
+        invalidating its memoized keys only when rows were removed."""
+        survivors = self._semijoin_survivors(other)
+        if survivors is not None:
+            self._data = tuple(
+                [column[i] for i in survivors] for column in self._data
+            )
+            self._length = len(survivors)
+            self._invalidate()
+        return self
+
+    def _semijoin_survivors(self, other: "ColumnarRelation"):
+        """Surviving row indexes, or ``None`` when every row survives."""
+        if self.interner is not other.interner:
+            raise ValueError("cannot semijoin relations over different interners")
+        shared = [c for c in self.columns if c in other._positions]
+        if not shared:
+            return None if other._length else []
+        keyset = other._keyset(shared)
+        keys = self._keys(shared)
+        survivors = [i for i, k in enumerate(keys) if k in keyset]
+        if len(survivors) == self._length:
+            return None
+        return survivors
+
+
+# ----------------------------------------------------------------------
+# Per-database conversion + caching (consumed via Database.columnar_view)
+# ----------------------------------------------------------------------
+class ColumnarStore:
+    """One database's interner plus its memoized columnar atom views.
+
+    Mirrors the atom-view cache contract: views are keyed by ``(relation,
+    term pattern, cardinality)``, so any growth through the grow-only
+    storage API (``add_fact`` / ``Relation.add``) misses and rebuilds; the
+    store is derived data and is dropped by ``Database.__getstate__`` before
+    shipping to runtime workers.  The view cache is a bounded
+    :class:`~repro.engine.analysis.LRUCache`, so its hit/miss counters feed
+    ``EngineSession.stats()``.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        # Imported lazily: repro.engine depends on repro.cq, not vice versa;
+        # by the time a store exists the engine package is importable.
+        from repro.engine.analysis import LRUCache
+
+        self.interner = ValueInterner()
+        self.views = LRUCache(maxsize)
+
+    def view(self, atom, relation) -> ColumnarRelation:
+        key = (atom.relation, atom.terms, len(relation.tuples))
+        cached = self.views.get(key)
+        if cached is not None:
+            return cached
+        built = self._build(atom, relation)
+        self.views.put(key, built)
+        return built
+
+    def _build(self, atom, relation) -> ColumnarRelation:
+        """The columnar analogue of :func:`repro.cq.relational.from_atom`:
+        constants and repeated variables resolve to selections in one pass
+        over the stored tuples, then surviving rows intern column-wise."""
+        columns: list = []
+        keep: list[int] = []
+        constant_checks: list[tuple[int, object]] = []
+        equality_checks: list[tuple[int, int]] = []
+        first_position: dict = {}
+        for index, term in enumerate(atom.terms):
+            if isinstance(term, Constant):
+                constant_checks.append((index, term.value))
+            elif term in first_position:
+                equality_checks.append((index, first_position[term]))
+            else:
+                first_position[term] = index
+                keep.append(index)
+                columns.append(term)
+        intern = self.interner.intern
+        if constant_checks or equality_checks:
+            rows = [
+                row
+                for row in relation.tuples
+                if not any(row[i] != value for i, value in constant_checks)
+                and not any(row[i] != row[a] for i, a in equality_checks)
+            ]
+        else:
+            rows = relation.tuples
+        if not columns:
+            # All-constant atom: the relational unit {()} or the zero {}.
+            return ColumnarRelation._trusted(
+                (), self.interner, (), 1 if rows else 0
+            )
+        if rows:
+            transposed = list(zip(*rows))
+            data = tuple(
+                array("q", [intern(value) for value in transposed[i]])
+                for i in keep
+            )
+            length = len(transposed[0])
+        else:
+            data = tuple(array("q") for _ in keep)
+            length = 0
+        # The kept projection is injective on the surviving rows (removed
+        # positions are constants or repeats of kept anchors), so the
+        # columns inherit the tuple set's distinctness without a dedup.
+        return ColumnarRelation._trusted(
+            tuple(columns), self.interner, data, length
+        )
+
+    def info(self) -> dict:
+        """Counters for ``stats()``: view-cache hits/misses/size plus the
+        interned dictionary size."""
+        report = self.views.info()
+        report["dictionary_size"] = len(self.interner)
+        return report
+
+
+# ----------------------------------------------------------------------
+# Decomposition-guided evaluation over columnar trees
+# ----------------------------------------------------------------------
+def _push_bag_projections(pool: list, bag) -> list:
+    """Projection pushdown for one bag's join pool.
+
+    A column occurring in exactly one pool relation and outside the bag can
+    never influence the bag relation (it is neither a join key nor an output
+    column), so ``π_bag(R1 ⋈ … ⋈ Rn)`` equals the same expression with each
+    ``Ri`` pre-projected onto ``(columns(Ri) ∩ bag) ∪ (columns(Ri) ∩
+    columns(Rj), j ≠ i)``.  Pushing those projections below the join
+    collapses the worst bag shapes — a cover pairing two *disjoint* edges
+    used to materialise the full cross product (|R|² rows) before projecting
+    it away; now the dangling side shrinks to its distinct key values first.
+    """
+    if len(pool) <= 1:
+        return pool
+    reduced = []
+    for index, relation in enumerate(pool):
+        elsewhere: set = set()
+        for other_index, other in enumerate(pool):
+            if other_index != index:
+                elsewhere.update(other.columns)
+        keep = tuple(
+            c for c in relation.columns if c in bag or c in elsewhere
+        )
+        reduced.append(
+            relation if len(keep) == len(relation.columns) else relation.project(keep)
+        )
+    return reduced
+
+
+def build_columnar_bag_tree(
+    query: ConjunctiveQuery, database, ghd
+) -> JoinTree:
+    """Bag materialisation along the decomposition with columnar relations.
+
+    Mirrors :func:`repro.cq.bags.build_bag_join_tree` — same atom
+    assignment, same duplicate-scope handling, same overlap-first multi-way
+    join (the shared :func:`~repro.cq.relational.natural_join_all`, which is
+    duck-typed over the relation interface) — but every relation is the
+    database's memoized :meth:`~repro.cq.database.Database.columnar_view`,
+    and single-use out-of-bag columns are projected away *below* the joins
+    (:func:`_push_bag_projections`), which the final ``π_bag`` makes
+    semantically invisible.
+    """
+    scope_atoms = atoms_by_scope(query)
+    assignment = assign_atoms_to_nodes(query, ghd)
+    interner = database.columnar_store().interner
+    materialised: dict = {}
+
+    def relation_for(atom) -> ColumnarRelation:
+        if atom not in materialised:
+            materialised[atom] = database.columnar_view(atom)
+        return materialised[atom]
+
+    bag_relations: dict = {}
+    for node, bag in ghd.bags.items():
+        atoms: list = []
+        for cover_edge in sorted(ghd.covers[node], key=lambda e: sorted(map(repr, e))):
+            for atom in scope_atoms.get(frozenset(cover_edge), ()):
+                if atom not in atoms:
+                    atoms.append(atom)
+        for atom in assignment[node]:
+            if atom not in atoms:
+                atoms.append(atom)
+        if not atoms:
+            if bag:
+                bag_relations[node] = ColumnarRelation(
+                    tuple(sorted(bag, key=repr)), interner,
+                    tuple([] for _ in bag), 0,
+                )
+            else:
+                bag_relations[node] = ColumnarRelation((), interner, (), 1)
+            continue
+        pool = _push_bag_projections(
+            [relation_for(atom) for atom in atoms], bag
+        )
+        joined = natural_join_all(pool)
+        keep = [c for c in joined.columns if c in bag]
+        bag_relations[node] = joined.project(keep)
+    return JoinTree(bag_relations, root_tree(ghd))
+
+
+def columnar_count_join_tree(tree: JoinTree) -> int:
+    """The join-tree counting DP over columnar relations — fully
+    factorized: weights are per-row int vectors, child weights group by
+    packed key, and no result row is ever materialized.
+
+    Same recurrence as :func:`repro.cq.counting.count_answers_via_join_tree`
+    (Proposition 4.14): a row's weight is the product over children of the
+    summed weights of compatible child rows; the answer count is the summed
+    weight at the root.
+    """
+    weights: dict = {}
+    order = tree.topological_order()
+    for node in reversed(order):
+        relation = tree.relations[node]
+        node_weights = [1] * len(relation)
+        for child in tree.children[node]:
+            child_relation = tree.relations[child]
+            shared = [
+                c for c in relation.columns if c in child_relation._positions
+            ]
+            grouped: dict = {}
+            get = grouped.get
+            for key, weight in zip(
+                child_relation._keys(shared), weights[child]
+            ):
+                grouped[key] = get(key, 0) + weight
+            node_weights = [
+                w * grouped.get(k, 0)
+                for w, k in zip(node_weights, relation._keys(shared))
+            ]
+        weights[node] = node_weights
+    return sum(weights[tree.root])
+
+
+def _checked_tree(query: ConjunctiveQuery, database, ghd) -> JoinTree:
+    if ghd is None:
+        raise DecompositionMismatchError(
+            "columnar evaluation requires a decomposition"
+        )
+    return build_columnar_bag_tree(query, database, ghd)
+
+
+def columnar_boolean_answer(query: ConjunctiveQuery, database, ghd) -> bool:
+    """BCQ through a GHD, columnar-side (Proposition 2.2 upper bound)."""
+    if not query.atoms:
+        return True
+    return yannakakis_boolean(_checked_tree(query, database, ghd))
+
+
+def columnar_enumerate_answers(
+    query: ConjunctiveQuery, database, ghd
+) -> set[tuple]:
+    """``q(D)`` through a GHD: columnar Yannakakis, ids decoded exactly once
+    at the boundary."""
+    if not query.atoms:
+        return {()}
+    tree = _checked_tree(query, database, ghd)
+    if not query.free_variables:
+        return {()} if yannakakis_boolean(tree) else set()
+    result = yannakakis_full(tree, output_columns=query.free_variables)
+    return result.decode_rows()
+
+
+def columnar_count_answers(query: ConjunctiveQuery, database, ghd) -> int:
+    """#CQ for **full** CQs through a GHD via the factorized columnar DP —
+    no result row is materialized (Proposition 4.14)."""
+    if not query.is_full():
+        raise ValueError("decomposition-based counting requires a full CQ")
+    if not query.atoms:
+        return 1
+    return columnar_count_join_tree(_checked_tree(query, database, ghd))

@@ -157,6 +157,8 @@ class Database:
         self.relations: dict[str, Relation] = {}
         #: Opt-in memo of atom views (see :meth:`enable_atom_cache`).
         self._atom_cache: dict | None = None
+        #: Lazily created columnar store (see :meth:`columnar_view`).
+        self._columnar = None
         if isinstance(relations, Mapping):
             iterable = relations.values()
         else:
@@ -209,17 +211,51 @@ class Database:
             self._atom_cache = {}
         return self
 
+    # ------------------------------------------------------------------
+    @property
+    def columnar_cache(self):
+        """The lazily created :class:`~repro.cq.columnar.ColumnarStore`
+        (``None`` until :meth:`columnar_view` is first used)."""
+        return self._columnar
+
+    def columnar_store(self):
+        """This database's columnar store, created on first use: one value
+        interner plus the memoized columnar atom views."""
+        if self._columnar is None:
+            from repro.cq.columnar import ColumnarStore
+
+            self._columnar = ColumnarStore()
+        return self._columnar
+
+    def columnar_view(self, atom):
+        """The memoized :class:`~repro.cq.columnar.ColumnarRelation` view of
+        ``atom`` over this database's interner.
+
+        Sits beside the atom-view cache with the same invalidation contract:
+        keys carry the relation's cardinality, so growth through the
+        grow-only storage API misses and rebuilds; stale views are only
+        possible through off-API mutation of ``Relation.tuples``.
+        """
+        return self.columnar_store().view(atom, self.relation(atom.relation))
+
+    def drop_columnar(self) -> None:
+        """Drop the columnar store (views *and* interned dictionary)."""
+        self._columnar = None
+
     def __getstate__(self) -> dict:
         # Shards ship as raw tuples: the atom-view cache (and the key indexes
-        # memoized on its NamedRelations) is derived data that the receiving
-        # worker rebuilds against its own access pattern.
+        # memoized on its NamedRelations) and the columnar store are derived
+        # data that the receiving worker rebuilds against its own access
+        # pattern (each worker interns into its own dictionary).
         state = self.__dict__.copy()
         state["_atom_cache"] = None
+        state["_columnar"] = None
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._atom_cache = None
+        self._columnar = None
 
     # ------------------------------------------------------------------
     def active_domain(self) -> frozenset:

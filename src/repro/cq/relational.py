@@ -84,10 +84,16 @@ class NamedRelation:
         return bool(self.rows)
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, NamedRelation):
             return NotImplemented
         if self.columns == other.columns:
-            return self.rows == other.rows
+            # Identical column tuples: compare row sets directly, with an
+            # identity short-circuit first — zero-copy operations (an
+            # unfiltering semijoin, a no-op projection, a rename) share the
+            # rows object, so no set comparison is needed at all.
+            return self.rows is other.rows or self.rows == other.rows
         if set(self.columns) != set(other.columns):
             return False
         if len(self.rows) != len(other.rows):

@@ -47,6 +47,7 @@ Strategy backends and runtimes are both pluggable: see
 from repro.engine.analysis import AnalysisCache, LRUCache, QueryAnalysis
 from repro.engine.backends import (
     BacktrackingBackend,
+    ColumnarBackend,
     DecompositionBackend,
     EvaluationBackend,
     TrivialBackend,
@@ -151,6 +152,7 @@ __all__ = [
     "EvaluationBackend",
     "TrivialBackend",
     "DecompositionBackend",
+    "ColumnarBackend",
     "BacktrackingBackend",
     "backend_for",
     "register_backend",

@@ -146,6 +146,11 @@ class LRUCache:
             "misses": self.misses,
         }
 
+    def stats(self) -> dict:
+        """Alias of :meth:`info`, matching ``EngineSession.stats()`` so every
+        cache in the engine reports counters under one method name."""
+        return self.info()
+
 
 class AnalysisCache(LRUCache):
     """An LRU cache of :class:`QueryAnalysis`, keyed on the hypergraph.

@@ -95,6 +95,83 @@ class DecompositionBackend(EvaluationBackend):
         return len(self.answers(query, database, plan))
 
 
+class ColumnarBackend(EvaluationBackend):
+    """The decomposition strategies over the columnar kernel.
+
+    Same contract as :class:`DecompositionBackend` — bag materialisation
+    along the plan's decomposition, Yannakakis passes, factorized counting —
+    but every relation is a :class:`~repro.cq.columnar.ColumnarRelation` of
+    interned value ids: int-keyed hash joins and semijoins, column-wise
+    gathers, and a single id→value decode at the answer boundary (see
+    :mod:`repro.cq.columnar`).  The database interns itself on first use
+    through ``Database.columnar_view``, memoized beside the atom-view cache.
+
+    A tuple-set :class:`DecompositionBackend` is kept as ``fallback`` and
+    the ``use_columnar`` toggle routes to it — benchmarks and differential
+    tests flip it to compare kernels on identical plans.  ``columnar_runs``
+    / ``fallback_runs`` count evaluations per kernel so coverage guards can
+    assert the columnar path actually executed (counters are per-process:
+    runtime workers tally in their own registry instances).
+    """
+
+    def __init__(self, name: str, fallback: EvaluationBackend | None = None) -> None:
+        self.name = name
+        self.fallback = fallback if fallback is not None else DecompositionBackend(name)
+        self.use_columnar = True
+        self.columnar_runs = 0
+        self.fallback_runs = 0
+
+    def _ghd(self, plan: Plan):
+        if plan.decomposition is None:
+            raise ValueError(
+                f"plan for strategy {plan.strategy!r} carries no decomposition"
+            )
+        return plan.decomposition
+
+    def boolean(self, query, database, plan) -> bool:
+        if not self.use_columnar:
+            self.fallback_runs += 1
+            return self.fallback.boolean(query, database, plan)
+        from repro.cq.columnar import columnar_boolean_answer
+
+        self.columnar_runs += 1
+        return columnar_boolean_answer(query, database, self._ghd(plan))
+
+    def answers(self, query, database, plan) -> set[tuple]:
+        if not self.use_columnar:
+            self.fallback_runs += 1
+            return self.fallback.answers(query, database, plan)
+        from repro.cq.columnar import columnar_enumerate_answers
+
+        self.columnar_runs += 1
+        return columnar_enumerate_answers(query, database, self._ghd(plan))
+
+    def count(self, query, database, plan) -> int:
+        if not self.use_columnar:
+            self.fallback_runs += 1
+            return self.fallback.count(query, database, plan)
+        from repro.cq.columnar import (
+            build_columnar_bag_tree,
+            columnar_count_answers,
+        )
+        from repro.cq.yannakakis import yannakakis_boolean, yannakakis_full
+
+        self.columnar_runs += 1
+        if query.is_full():
+            # Proposition 4.14: the factorized DP counts |q(D)| over per-row
+            # weight vectors — no result row is ever materialised.
+            return columnar_count_answers(query, database, self._ghd(plan))
+        # Non-full queries count distinct projections.  Stay in id space:
+        # enumerate columnar-side and take the length — the decode step is
+        # skipped entirely because the values never leave the kernel.
+        if not query.atoms:
+            return 1
+        tree = build_columnar_bag_tree(query, database, self._ghd(plan))
+        if not query.free_variables:
+            return 1 if yannakakis_boolean(tree) else 0
+        return len(yannakakis_full(tree, output_columns=query.free_variables))
+
+
 class BacktrackingBackend(EvaluationBackend):
     """The structure-blind fallback: the hash-indexed backtracking solver."""
 
@@ -147,6 +224,10 @@ def registered_strategies() -> tuple:
 
 
 register_backend(STRATEGY_TRIVIAL, TrivialBackend())
-register_backend(STRATEGY_YANNAKAKIS, DecompositionBackend(STRATEGY_YANNAKAKIS))
-register_backend(STRATEGY_GHD, DecompositionBackend(STRATEGY_GHD))
+# The decomposition strategies default to the columnar kernel (the database
+# interns itself on first evaluation); each carries a tuple-set
+# DecompositionBackend as its fallback, and register_backend(replace=True)
+# still swaps either strategy wholesale.
+register_backend(STRATEGY_YANNAKAKIS, ColumnarBackend(STRATEGY_YANNAKAKIS))
+register_backend(STRATEGY_GHD, ColumnarBackend(STRATEGY_GHD))
 register_backend(STRATEGY_BACKTRACKING, BacktrackingBackend())

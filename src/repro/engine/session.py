@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from contextlib import contextmanager
 
 from repro.cq.database import Database
@@ -167,6 +168,40 @@ class EngineSession(Engine):
         self.runtime_workers: set = set()
         self.sharded_calls = 0
         self.sharding_modes: dict = {}
+        #: Weak refs to every database this session has executed against,
+        #: so stats()/clear_cache() can reach their columnar-view caches
+        #: (which live on the Database, not the session) without keeping
+        #: the databases alive.
+        self._served_databases: dict[int, weakref.ref] = {}
+
+    def _run(self, task, query, database, plan, use_core):
+        self._track_database(database)
+        return super()._run(task, query, database, plan, use_core)
+
+    def _track_database(self, database) -> None:
+        key = id(database)
+        with self._lock:
+            ref = self._served_databases.get(key)
+            if ref is None or ref() is not database:
+                try:
+                    self._served_databases[key] = weakref.ref(database)
+                except TypeError:
+                    pass  # a weakref-less Database subclass: skip tracking
+
+    def _live_served_databases(self) -> list:
+        """The still-alive served databases; prunes dead refs in passing."""
+        with self._lock:
+            live = []
+            dead = []
+            for key, ref in self._served_databases.items():
+                database = ref()
+                if database is None:
+                    dead.append(key)
+                else:
+                    live.append(database)
+            for key in dead:
+                del self._served_databases[key]
+            return live
 
     def _resolve_runtime(self, runtime):
         """The per-call runtime, falling back to the session default."""
@@ -614,6 +649,7 @@ class EngineSession(Engine):
                 "core_cache": self.core_cache.info(),
                 "plan_cache": self.plan_cache.info(),
                 "partition_cache": self._partition_cache.info(),
+                "columnar_view_cache": self._columnar_stats(),
                 "dedup_hits": self.dedup_hits,
                 "batches": self.batches,
                 "runtime": {
@@ -627,8 +663,31 @@ class EngineSession(Engine):
                 },
             }
 
+    def _columnar_stats(self) -> dict:
+        """Aggregate columnar-view cache counters across every live database
+        this session has served (the stores live on the databases — see
+        ``Database.columnar_view`` — not on the session; resident shards
+        inside process workers tally in the worker's own session)."""
+        report = {
+            "databases": 0, "interned": 0, "views": 0,
+            "hits": 0, "misses": 0, "dictionary_size": 0,
+        }
+        for database in self._live_served_databases():
+            report["databases"] += 1
+            store = database.columnar_cache
+            if store is None:
+                continue
+            info = store.info()
+            report["interned"] += 1
+            report["views"] += info["size"]
+            report["hits"] += info["hits"]
+            report["misses"] += info["misses"]
+            report["dictionary_size"] += info["dictionary_size"]
+        return report
+
     def clear_cache(self) -> None:
-        """Drop every session cache (analysis, core, plan, and partitions).
+        """Drop every session cache (analysis, core, plan, partitions, and
+        the columnar stores of every database this session has served).
 
         Also zeroes the hit/miss counters of each cache
         (:meth:`LRUCache.clear`): a cleared session restarts cold, and its
@@ -638,8 +697,11 @@ class EngineSession(Engine):
         super().clear_cache()
         self.core_cache.clear()
         self.plan_cache.clear()
+        for database in self._live_served_databases():
+            database.drop_columnar()
         with self._lock:
             self._partition_cache.clear()
+            self._served_databases.clear()
 
 
 # ----------------------------------------------------------------------

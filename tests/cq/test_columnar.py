@@ -1,0 +1,342 @@
+"""Unit tests for the columnar relational kernel: the interner, the
+array-backed operations against their tuple-set twins, the per-database
+view cache (cardinality-fingerprint invalidation, pickling contract), and
+the decomposition-guided columnar evaluators against the naive reference.
+
+Mirrors :mod:`tests.cq.test_relational` one representation down: every
+operation here must coincide with the tuple-set kernel after decoding.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cq import generators as cqgen
+from repro.cq.columnar import (
+    ColumnarRelation,
+    ColumnarStore,
+    ValueInterner,
+    build_columnar_bag_tree,
+    columnar_boolean_answer,
+    columnar_count_answers,
+    columnar_count_join_tree,
+    columnar_enumerate_answers,
+)
+from repro.cq.database import Database, Relation
+from repro.cq.homomorphism import naive_count_answers, naive_enumerate_answers
+from repro.cq.query import Atom, ConjunctiveQuery, Constant
+from repro.cq.relational import NamedRelation
+from repro.cq.yannakakis import yannakakis_full
+
+
+def named(columns, rows):
+    return NamedRelation(tuple(columns), set(map(tuple, rows)))
+
+
+def columnar(columns, rows, interner=None):
+    return ColumnarRelation.from_named(
+        named(columns, rows), interner or ValueInterner()
+    )
+
+
+class TestValueInterner:
+    def test_ids_are_dense_and_stable(self):
+        interner = ValueInterner()
+        first = interner.intern("a")
+        second = interner.intern("b")
+        assert (first, second) == (0, 1)
+        assert interner.intern("a") == first
+        assert len(interner) == 2
+        assert interner.values[first] == "a"
+
+    def test_id_of_unseen_value(self):
+        interner = ValueInterner()
+        assert interner.id_of("never") is None
+        interner.intern("seen")
+        assert interner.id_of("seen") == 0
+
+    def test_python_equality_classes_share_one_id(self):
+        # 1 == True == 1.0: tuple-set semantics conflate them, so must ids.
+        interner = ValueInterner()
+        assert interner.intern(1) == interner.intern(True) == interner.intern(1.0)
+
+
+class TestRoundTrip:
+    def test_to_named_inverts_from_named(self):
+        relation = named("xy", [(1, 2), (3, 4), (1, 4)])
+        assert ColumnarRelation.from_named(relation, ValueInterner()).to_named() == relation
+
+    def test_empty_and_zero_column_units(self):
+        interner = ValueInterner()
+        assert columnar("x", [], interner).to_named() == named("x", [])
+        unit = NamedRelation((), {()})
+        zero = NamedRelation((), set())
+        assert ColumnarRelation.from_named(unit, interner).to_named() == unit
+        assert ColumnarRelation.from_named(zero, interner).to_named() == zero
+        assert len(ColumnarRelation.from_named(unit, interner)) == 1
+        assert not ColumnarRelation.from_named(zero, interner)
+
+    def test_decode_rows_matches_source(self):
+        rows = {(1, "a"), (2, "b"), (1, "b")}
+        relation = columnar("xy", rows)
+        assert relation.decode_rows() == rows
+        assert len(relation) == 3
+
+
+class TestOperationsAgreeWithTupleSet:
+    def setup_method(self):
+        self.interner = ValueInterner()
+        self.left_named = named("xy", [(1, 2), (2, 3), (3, 3), (4, 1)])
+        self.right_named = named("yz", [(2, 9), (3, 8), (3, 7), (5, 1)])
+        self.left = ColumnarRelation.from_named(self.left_named, self.interner)
+        self.right = ColumnarRelation.from_named(self.right_named, self.interner)
+
+    def test_natural_join(self):
+        joined = self.left.natural_join(self.right)
+        assert joined.to_named() == self.left_named.natural_join(self.right_named)
+        assert joined.columns == ("x", "y", "z")
+
+    def test_join_without_shared_columns_is_cross_product(self):
+        other = columnar("w", [(10,), (11,)], self.interner)
+        joined = self.left.natural_join(other)
+        assert joined.to_named() == self.left_named.natural_join(
+            named("w", [(10,), (11,)])
+        )
+        assert len(joined) == len(self.left) * 2
+
+    def test_join_requires_shared_interner(self):
+        stranger = columnar("yz", [(2, 9)])
+        with pytest.raises(ValueError, match="interner"):
+            self.left.natural_join(stranger)
+        with pytest.raises(ValueError, match="interner"):
+            self.left.semijoin(stranger)
+
+    def test_semijoin(self):
+        filtered = self.left.semijoin(self.right)
+        assert filtered.to_named() == self.left_named.semijoin(self.right_named)
+
+    def test_semijoin_is_zero_copy_when_nothing_filtered(self):
+        superset = columnar("y", [(1,), (2,), (3,)], self.interner)
+        assert self.left.semijoin(superset) is self.left
+
+    def test_semijoin_inplace_rebinds_and_invalidates(self):
+        relation = columnar("xy", [(1, 2), (2, 3), (4, 1)], self.interner)
+        relation._buckets(("x", "y"))  # warm a memo that must not go stale
+        relation.semijoin_inplace(self.right)
+        expected = named("xy", [(1, 2), (2, 3), (4, 1)]).semijoin(self.right_named)
+        assert relation.to_named() == expected
+        assert relation._buckets(("x", "y")).keys() == {
+            key for key in relation._keys(("x", "y"))
+        }
+
+    def test_project_with_dedup(self):
+        assert self.left.project(("y",)).to_named() == self.left_named.project(("y",))
+        assert self.left.project(("y", "x")).to_named() == self.left_named.project(
+            ("y", "x")
+        )
+
+    def test_project_to_zero_columns_collapses(self):
+        assert self.left.project(()).to_named() == NamedRelation((), {()})
+        empty = columnar("x", [], self.interner)
+        assert empty.project(()).to_named() == NamedRelation((), set())
+
+    def test_project_identity_is_zero_copy(self):
+        assert self.left.project(("x", "y")) is self.left
+
+    def test_project_validates_columns(self):
+        with pytest.raises(ValueError):
+            self.left.project(("x", "x"))
+        with pytest.raises(ValueError):
+            self.left.project(("nope",))
+
+    def test_multi_column_join_keys(self):
+        # Two shared columns: the packed-int path, where base correctness shows.
+        left = columnar("xyz", [(1, 2, 3), (1, 2, 4), (2, 2, 5)], self.interner)
+        right = columnar("xyw", [(1, 2, 7), (2, 1, 8)], self.interner)
+        expected = named("xyz", [(1, 2, 3), (1, 2, 4), (2, 2, 5)]).natural_join(
+            named("xyw", [(1, 2, 7), (2, 1, 8)])
+        )
+        assert left.natural_join(right).to_named() == expected
+
+    def test_packed_keys_refresh_when_dictionary_grows(self):
+        left = columnar("xy", [(1, 2)], self.interner)
+        keys_before = left._keys(("x", "y"))
+        # Growing the dictionary changes the pack base: a fresh key vector
+        # must be computed, not the memo for the old base.
+        self.interner.intern("brand new value")
+        keys_after = left._keys(("x", "y"))
+        assert keys_before != keys_after or len(self.interner) == 0
+
+
+class TestColumnarStore:
+    def atom_db(self):
+        database = Database()
+        for row in [(1, 2), (2, 3), (3, 3), (2, 2)]:
+            database.add_fact("R", row)
+        return database
+
+    def test_view_matches_from_atom(self):
+        from repro.cq.relational import from_atom
+
+        database = self.atom_db()
+        atom = Atom("R", ["x", "y"])
+        view = database.columnar_view(atom)
+        assert view.to_named() == from_atom(atom, database)
+
+    def test_view_handles_constants_and_repeats(self):
+        from repro.cq.relational import from_atom
+
+        database = self.atom_db()
+        for atom in [
+            Atom("R", [Constant(2), "y"]),
+            Atom("R", ["x", Constant(3)]),
+            Atom("R", ["x", "x"]),
+            Atom("R", [Constant(1), Constant(2)]),
+            Atom("R", [Constant(7), Constant(7)]),
+        ]:
+            assert database.columnar_view(atom).to_named() == from_atom(
+                atom, database
+            ), atom
+
+    def test_views_are_memoized_until_growth(self):
+        database = self.atom_db()
+        atom = Atom("R", ["x", "y"])
+        first = database.columnar_view(atom)
+        assert database.columnar_view(atom) is first
+        info = database.columnar_cache.info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        # Growth through the grow-only API changes the cardinality: miss.
+        database.add_fact("R", (9, 9))
+        second = database.columnar_view(atom)
+        assert second is not first
+        assert (9, 9) in second.decode_rows()
+
+    def test_one_interner_per_database(self):
+        database = self.atom_db()
+        database.add_fact("S", (3, 4))
+        view_r = database.columnar_view(Atom("R", ["x", "y"]))
+        view_s = database.columnar_view(Atom("S", ["y", "z"]))
+        assert view_r.interner is view_s.interner
+        assert view_r.interner is database.columnar_cache.interner
+
+    def test_store_info_reports_dictionary_size(self):
+        database = self.atom_db()
+        database.columnar_view(Atom("R", ["x", "y"]))
+        info = database.columnar_cache.info()
+        assert info["dictionary_size"] == 3  # values {1, 2, 3}
+        assert info["size"] == 1
+
+    def test_pickling_drops_the_store(self):
+        database = self.atom_db()
+        database.columnar_view(Atom("R", ["x", "y"]))
+        assert database.columnar_cache is not None
+        clone = pickle.loads(pickle.dumps(database))
+        assert clone.columnar_cache is None
+        assert clone == database
+        # And the original is untouched.
+        assert database.columnar_cache is not None
+
+    def test_drop_columnar(self):
+        database = self.atom_db()
+        database.columnar_view(Atom("R", ["x", "y"]))
+        database.drop_columnar()
+        assert database.columnar_cache is None
+
+    def test_view_cache_is_bounded(self):
+        store = ColumnarStore(maxsize=2)
+        relation = Relation("R", 1, [(1,)])
+        for name in "abc":
+            store.view(Atom("R", [name]), relation)
+        assert store.views.info()["size"] == 2
+
+
+def _tree_for(query, database):
+    from repro.engine import Engine
+
+    plan = Engine().plan(query)
+    return build_columnar_bag_tree(query, database, plan.decomposition)
+
+
+class TestColumnarEvaluation:
+    @pytest.mark.parametrize("length", [3, 4, 6])
+    def test_cycle_queries_match_naive(self, length):
+        query = cqgen.cycle_query(length)
+        database = cqgen.random_database(query, 8, 60, seed=length)
+        tree = _tree_for(query, database)
+        from repro.engine import Engine
+
+        decomposition = Engine().plan(query).decomposition
+        assert columnar_boolean_answer(query, database, decomposition) == bool(
+            naive_enumerate_answers(query, database)
+        )
+        assert columnar_enumerate_answers(
+            query, database, decomposition
+        ) == naive_enumerate_answers(query, database)
+        assert columnar_count_answers(
+            query, database, decomposition
+        ) == naive_count_answers(query, database)
+        assert columnar_count_join_tree(tree) == naive_count_answers(query, database)
+
+    def test_projected_query_matches_naive(self):
+        query = cqgen.cycle_query(4).project(["x0", "x2"])
+        database = cqgen.random_database(query, 7, 50, seed=11)
+        from repro.engine import Engine
+
+        decomposition = Engine().plan(query).decomposition
+        assert columnar_enumerate_answers(
+            query, database, decomposition
+        ) == naive_enumerate_answers(query, database)
+        with pytest.raises(ValueError):
+            columnar_count_answers(query, database, decomposition)
+
+    def test_acyclic_chain_matches_naive(self):
+        query = cqgen.chain_query(5)
+        database = cqgen.random_database(query, 6, 40, seed=23)
+        from repro.engine import Engine
+
+        decomposition = Engine().plan(query).decomposition
+        assert columnar_enumerate_answers(
+            query, database, decomposition
+        ) == naive_enumerate_answers(query, database)
+
+    def test_constants_and_repeated_variables(self):
+        database = Database()
+        for row in [(1, 2), (2, 2), (2, 3), (3, 1)]:
+            database.add_fact("E", row)
+        query = ConjunctiveQuery(
+            (Atom("E", ["x", "y"]), Atom("E", ["y", "y"]))
+        )
+        from repro.engine import Engine
+
+        decomposition = Engine().plan(query).decomposition
+        assert columnar_enumerate_answers(
+            query, database, decomposition
+        ) == naive_enumerate_answers(query, database)
+
+    def test_unsatisfiable_query(self):
+        database = Database()
+        database.add_fact("E", (1, 2))
+        database.add_fact("F", (3, 4))
+        query = ConjunctiveQuery((Atom("E", ["x", "y"]), Atom("F", ["y", "z"])))
+        from repro.engine import Engine
+
+        decomposition = Engine().plan(query).decomposition
+        assert not columnar_boolean_answer(query, database, decomposition)
+        assert columnar_enumerate_answers(query, database, decomposition) == set()
+        assert columnar_count_answers(query, database, decomposition) == 0
+
+    def test_missing_decomposition_raises(self):
+        query = cqgen.chain_query(2)
+        database = cqgen.random_database(query, 4, 10, seed=1)
+        with pytest.raises(ValueError):
+            columnar_boolean_answer(query, database, None)
+
+    def test_full_tree_output_is_columnar_and_decodes_once(self):
+        query = cqgen.chain_query(3)
+        database = cqgen.random_database(query, 5, 30, seed=9)
+        tree = _tree_for(query, database)
+        result = yannakakis_full(tree, output_columns=query.free_variables)
+        # The reused tuple-set tree walk returns a *columnar* relation: ids
+        # only decode at the boundary.
+        assert isinstance(result, ColumnarRelation)
+        assert result.decode_rows() == naive_enumerate_answers(query, database)

@@ -11,7 +11,13 @@ decompositions must never be served for a structurally different hypergraph.
 import pytest
 
 from repro.cq import generators as cqgen
-from repro.engine import AnalysisCache, Engine, EngineSession
+from repro.engine import (
+    AnalysisCache,
+    Engine,
+    EngineSession,
+    backend_for,
+    register_backend,
+)
 from repro.hypergraphs import Hypergraph
 
 
@@ -188,3 +194,69 @@ class TestSessionPlanCache:
         assert len(first.plan_cache) == 1
         assert len(second.plan_cache) == 0
         assert second.cache_info()["misses"] == 0
+
+
+class TestBackendReplacement:
+    """register_backend(..., replace=True) against a live session: backends
+    resolve at *execution* time by strategy name, so a replacement takes
+    effect for every subsequent evaluation — including evaluations replaying
+    an already-cached plan — while the cached :class:`Plan` objects
+    themselves are immutable records that the swap never mutates."""
+
+    def test_replacement_takes_effect_without_mutating_cached_plans(self):
+        session = EngineSession()
+        query = cqgen.chain_query(3)
+        database = cqgen.random_database(query, 5, 30, seed=41)
+        cached = session.plan(query)
+        strategy = cached.strategy
+        before = session.answer(query, database, plan=cached).rows
+        original = backend_for(strategy)
+        snapshot = (
+            cached.strategy,
+            cached.query,
+            cached.decomposition,
+            cached.rationale,
+            cached.width,
+        )
+
+        class Recording:
+            name = strategy
+            calls = 0
+
+            def boolean(self, q, d, p):
+                return original.boolean(q, d, p)
+
+            def answers(self, q, d, p):
+                type(self).calls += 1
+                return original.answers(q, d, p)
+
+            def count(self, q, d, p):
+                return original.count(q, d, p)
+
+        register_backend(strategy, Recording(), replace=True)
+        try:
+            # The cached plan object is served unchanged...
+            replayed = session.plan(query)
+            assert replayed is cached
+            # ...but execution — even against the cached plan — dispatches
+            # to the replacement.
+            assert session.answer(query, database, plan=cached).rows == before
+            assert Recording.calls == 1
+            assert session.answer(query, database).rows == before
+            assert Recording.calls == 2
+        finally:
+            register_backend(strategy, original, replace=True)
+        # The swap (and the swap back) never touched the plan's fields.
+        assert (
+            cached.strategy,
+            cached.query,
+            cached.decomposition,
+            cached.rationale,
+            cached.width,
+        ) == snapshot
+
+    def test_replace_false_still_refuses(self):
+        strategy = "direct-yannakakis"
+        original = backend_for(strategy)
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(strategy, original)

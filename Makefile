@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke
+.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke affinity-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -47,6 +47,17 @@ columnar-smoke:
 		tests/engine/test_columnar_backend.py
 	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
 		tests/engine/test_differential.py -k "columnar"
+
+# One-seed smoke of worker-affinity routing: the assignment property tests,
+# then the differential affinity pass (owner-routed process runtime across
+# every regime and database flavour at shards 1/2/4) vs the naive solver,
+# with the coverage guard asserting every shard task executed on its owning
+# worker and no recovery traffic occurred.  Override the seed with
+# WORKLOAD_SEEDS=n.
+affinity-smoke:
+	$(PYTHON) -m pytest -q tests/property/test_affinity_assignment.py
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/engine/test_differential.py -k "affinity"
 
 # Perf-regression gate: re-run the engine benchmarks and fail on >2x slowdown
 # against benchmarks/BENCH_engine.json.

@@ -47,6 +47,17 @@ and writes the results to ``benchmarks/BENCH_engine.json``:
   number for the runtime layer (sharding must now *beat* the single-shard
   path, even on one core, by amortizing partition/scan/index work; real
   cores add GIL-free parallelism on top).
+* ``affinity_sharded_answer`` — the owner-routed residency path: the same
+  wheel workloads on a fixed two-worker ``ProcessRuntime``.  Each point
+  records the warm sharded time (the gated number) plus the cold first
+  call and the runtime's own shipping ledger (``shipments``,
+  ``shipment_bytes``, owner-routing counters) so the baseline pins down
+  how many bytes a cold start ships and that the warm path ships zero.
+* ``shipping_bytes`` — the wire-format acceptance numbers: for each
+  sharded-scale database, the pickled size of the compact columnar
+  :class:`DatabaseWire` next to the pickled size of the tuple-set
+  ``Database`` it replaces.  The gate fails if the wire form ever stops
+  being smaller or grows past 2x its recorded size.
 
 Every workload is deterministic (fixed seeds, several seeds per scale point
 summed so one lucky early exit cannot skew the number).  Run it with::
@@ -63,6 +74,7 @@ from __future__ import annotations
 
 import json
 import pathlib
+import pickle
 import platform
 import sys
 import time
@@ -118,6 +130,10 @@ BATCH_SEED = 7
 # co-partition and the shards are answer-disjoint).
 SHARDED_SCALES = [("small", 30, 1500), ("medium", 40, 3000), ("large", 60, 6000)]
 SHARDED_SHARDS = 4
+
+# Worker count for the affinity-routing points: fixed (not cpu-derived) so
+# the recorded routing/shipping ledger is machine-independent.
+AFFINITY_WORKERS = 2
 
 
 # Every measurement is the minimum over REPEATS runs: the min is the noise-
@@ -418,6 +434,84 @@ def bench_process_sharded(include_single: bool = True) -> list[dict]:
     return points
 
 
+def bench_affinity_sharded() -> list[dict]:
+    """Owner-routed residency: warm serving cost plus the shipping ledger.
+
+    The cold first call partitions, assigns owners, and push-ships every
+    shard as compact wire bytes; the timed runs are the warm steady state,
+    where each worker already holds its shards and the coordinator sends
+    token-only tasks.  The runtime's own counters are recorded so the
+    baseline documents the cold shipping cost (``shipment_bytes``) and
+    that warm calls ship nothing.
+    """
+    points = []
+    for label, domain, tuples in SHARDED_SCALES:
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, domain, tuples, seed=97)
+        session = EngineSession()
+        plan = session.plan(query)
+        runtime = ProcessRuntime(max_workers=AFFINITY_WORKERS)
+        try:
+            start = time.perf_counter()
+            session.answer(
+                query, database, plan=plan, shards=SHARDED_SHARDS, runtime=runtime
+            )
+            cold = time.perf_counter() - start
+            warm = _timed(
+                lambda: session.answer(
+                    query, database, plan=plan, shards=SHARDED_SHARDS, runtime=runtime
+                )
+            )
+            stats = runtime.stats()
+            points.append(
+                {
+                    "scale": label,
+                    "query": "hub_cycle4",
+                    "domain": domain,
+                    "tuples_per_relation": tuples,
+                    "shards": SHARDED_SHARDS,
+                    "workers": AFFINITY_WORKERS,
+                    "indexed_seconds": warm,
+                    "cold_call_seconds": cold,
+                    "shipments": stats["shipments"],
+                    "shipment_bytes": stats["shipment_bytes"],
+                    "tasks_dispatched": stats["tasks_dispatched"],
+                    "tasks_owner_routed": stats["tasks_owner_routed"],
+                }
+            )
+        finally:
+            runtime.close()
+    return points
+
+
+def bench_shipping_bytes() -> list[dict]:
+    """Wire-format sizes: what a shard shipment costs on the wire.
+
+    No timings — the point records the pickled size of the compact
+    columnar wire form next to the pickled tuple-set ``Database``, on the
+    same databases the sharded benchmarks evaluate.  Deterministic, so the
+    gate can hold the ratio rather than skip the family as noise.
+    """
+    points = []
+    for label, domain, tuples in SHARDED_SCALES:
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, domain, tuples, seed=97)
+        wire = len(pickle.dumps(database.to_wire(), pickle.HIGHEST_PROTOCOL))
+        plain = len(pickle.dumps(database, pickle.HIGHEST_PROTOCOL))
+        points.append(
+            {
+                "scale": label,
+                "query": "hub_cycle4",
+                "domain": domain,
+                "tuples_per_relation": tuples,
+                "wire_bytes": wire,
+                "pickled_bytes": plain,
+                "ratio": wire / plain if plain else float("inf"),
+            }
+        )
+    return points
+
+
 def run_benchmarks(include_naive: bool = True) -> dict:
     """Run all engine benchmarks and return the JSON-ready result document."""
     return {
@@ -449,6 +543,13 @@ def run_benchmarks(include_naive: bool = True) -> dict:
             "process_sharded_answer": bench_process_sharded(
                 include_single=include_naive
             ),
+            # Owner-routed residency: warm serving time gates; the cold
+            # call and the shipping ledger are recorded context.
+            "affinity_sharded_answer": bench_affinity_sharded(),
+            # Wire-format sizes (no timings): gated on the wire form
+            # staying smaller than the pickled database and within 2x of
+            # its recorded size.
+            "shipping_bytes": bench_shipping_bytes(),
         },
     }
 
@@ -464,6 +565,13 @@ def main() -> int:
     print(f"wrote {BASELINE_PATH}")
     for name, points in results["benchmarks"].items():
         for point in points:
+            if "indexed_seconds" not in point:
+                print(
+                    f"  {name:<16} {point['scale']:<7} "
+                    f"wire {point['wire_bytes']}B vs pickled "
+                    f"{point['pickled_bytes']}B ({point['ratio']:.2f}x)"
+                )
+                continue
             extra = ""
             if "naive_seconds" in point:
                 extra = f"  (naive {point['naive_seconds']:.3f}s, {point['speedup']:.1f}x speedup)"
@@ -483,6 +591,12 @@ def main() -> int:
                 extra = (
                     f"  (single shard {point['single_shard_seconds']:.3f}s, "
                     f"{point['overhead']:.1f}x sharding overhead)"
+                )
+            elif "shipment_bytes" in point:
+                extra = (
+                    f"  (cold {point['cold_call_seconds']:.3f}s, "
+                    f"{point['shipments']} shipments, "
+                    f"{point['shipment_bytes']}B shipped)"
                 )
             print(
                 f"  {name:<16} {point['scale']:<7} {point['indexed_seconds']:.4f}s{extra}"

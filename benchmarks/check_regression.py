@@ -45,6 +45,24 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
             if scale not in current_points:
                 failures.append(f"{name}/{scale}: missing from current run")
                 continue
+            if "indexed_seconds" not in point:
+                # Byte-size family (shipping_bytes): deterministic, so the
+                # gate holds the acceptance inequality (wire < pickled) and
+                # the recorded size directly instead of a timing.
+                now = current_points[scale]
+                if now["wire_bytes"] >= now["pickled_bytes"]:
+                    failures.append(
+                        f"{name}/{scale}: wire payload {now['wire_bytes']}B "
+                        f"not smaller than pickled database "
+                        f"{now['pickled_bytes']}B"
+                    )
+                if now["wire_bytes"] > point["wire_bytes"] * THRESHOLD:
+                    failures.append(
+                        f"{name}/{scale}: wire payload {now['wire_bytes']}B "
+                        f"vs baseline {point['wire_bytes']}B "
+                        f"(> {THRESHOLD}x threshold)"
+                    )
+                continue
             base_seconds = point["indexed_seconds"]
             now_seconds = current_points[scale]["indexed_seconds"]
             if max(base_seconds, now_seconds) < MIN_SECONDS:

@@ -77,7 +77,15 @@ def main() -> None:
               f"across {stats['runtime']['calls_by_runtime']}")
         print(f"partition cache:   {stats['partition_cache']['hits']} hits / "
               f"{stats['partition_cache']['misses']} misses")
-        print(f"process runtime:   {process_runtime.stats()}")
+        rt = process_runtime.stats()
+        print(f"process runtime:   {rt}")
+        print(
+            f"shipping ledger:   {rt['shipments']} shipments "
+            f"({rt['shipment_bytes']} wire bytes) for "
+            f"{rt['tasks_dispatched']} tasks — "
+            f"{rt['tasks_owner_routed']} owner-routed, "
+            f"residency {rt['resident_by_worker']}"
+        )
     finally:
         process_runtime.close()
 

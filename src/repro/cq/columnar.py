@@ -90,6 +90,19 @@ class ValueInterner:
         """The id of an already-interned value, ``None`` if never seen."""
         return self._ids.get(value)
 
+    @classmethod
+    def from_values(cls, values) -> "ValueInterner":
+        """Rebuild an interner from a decode table (wire payloads ship the
+        table; ids are the indices).  The table must be duplicate-free under
+        Python equality — which :func:`encode_database` guarantees, since it
+        produced the table by interning."""
+        interner = cls()
+        for value in values:
+            interner.intern(value)
+        if len(interner) != len(values):
+            raise ValueError("wire dictionary contains equal values")
+        return interner
+
     def __len__(self) -> int:
         return len(self.values)
 
@@ -399,13 +412,25 @@ class ColumnarStore:
     ``EngineSession.stats()``.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, interner: ValueInterner | None = None) -> None:
         # Imported lazily: repro.engine depends on repro.cq, not vice versa;
         # by the time a store exists the engine package is importable.
         from repro.engine.analysis import LRUCache
 
-        self.interner = ValueInterner()
+        self.interner = interner if interner is not None else ValueInterner()
         self.views = LRUCache(maxsize)
+        #: relation name -> (column id-vectors in term-position order, rows):
+        #: pre-interned base columns adopted from a wire payload.  Views over
+        #: a based relation build by id-level selection and column gathering
+        #: instead of re-scanning and re-interning the stored tuples.
+        self._bases: dict = {}
+
+    def adopt_base(self, name: str, data, length: int) -> None:
+        """Adopt pre-interned base columns for one relation (the wire decode
+        path).  ``data`` holds one id vector per term position over *this
+        store's* interner; validity is checked by cardinality at view-build
+        time, exactly like the view cache itself (grow-only storage API)."""
+        self._bases[name] = (tuple(data), length)
 
     def view(self, atom, relation) -> ColumnarRelation:
         key = (atom.relation, atom.terms, len(relation.tuples))
@@ -416,10 +441,10 @@ class ColumnarStore:
         self.views.put(key, built)
         return built
 
-    def _build(self, atom, relation) -> ColumnarRelation:
-        """The columnar analogue of :func:`repro.cq.relational.from_atom`:
-        constants and repeated variables resolve to selections in one pass
-        over the stored tuples, then surviving rows intern column-wise."""
+    @staticmethod
+    def _atom_shape(atom):
+        """The selection/projection structure of one atom's term pattern:
+        (output columns, kept positions, constant checks, equality checks)."""
         columns: list = []
         keep: list[int] = []
         constant_checks: list[tuple[int, object]] = []
@@ -434,6 +459,65 @@ class ColumnarStore:
                 first_position[term] = index
                 keep.append(index)
                 columns.append(term)
+        return columns, keep, constant_checks, equality_checks
+
+    def _build(self, atom, relation) -> ColumnarRelation:
+        base = self._bases.get(atom.relation)
+        if base is not None and base[1] == len(relation.tuples):
+            return self._build_from_base(atom, *base)
+        return self._build_from_tuples(atom, relation)
+
+    def _build_from_base(self, atom, data, length) -> ColumnarRelation:
+        """Build a view from adopted id columns: constants resolve through
+        ``interner.id_of`` and every selection compares ints — the stored
+        tuples are never touched, so a shipped piece serves its first query
+        without re-scanning or re-interning anything."""
+        columns, keep, constant_checks, equality_checks = self._atom_shape(atom)
+        id_checks: list[tuple[int, int]] = []
+        missing_constant = False
+        for index, value in constant_checks:
+            ident = self.interner.id_of(value)
+            if ident is None:
+                # The constant never occurs in this database: no row matches.
+                missing_constant = True
+                break
+            id_checks.append((index, ident))
+        if missing_constant:
+            survivors: list[int] = []
+        elif id_checks or equality_checks:
+            survivors = [
+                row
+                for row in range(length)
+                if not any(data[i][row] != ident for i, ident in id_checks)
+                and not any(data[i][row] != data[a][row] for i, a in equality_checks)
+            ]
+        else:
+            # Identity pattern: the base columns serve as-is, zero copy.
+            if not columns:
+                return ColumnarRelation._trusted(
+                    (), self.interner, (), 1 if length else 0
+                )
+            return ColumnarRelation._trusted(
+                tuple(columns), self.interner,
+                tuple(data[i] for i in keep), length,
+            )
+        if not columns:
+            return ColumnarRelation._trusted(
+                (), self.interner, (), 1 if survivors else 0
+            )
+        # As in the tuple path: the kept projection is injective on the
+        # surviving rows, so distinctness is inherited without a dedup.
+        return ColumnarRelation._trusted(
+            tuple(columns), self.interner,
+            tuple([data[i][row] for row in survivors] for i in keep),
+            len(survivors),
+        )
+
+    def _build_from_tuples(self, atom, relation) -> ColumnarRelation:
+        """The columnar analogue of :func:`repro.cq.relational.from_atom`:
+        constants and repeated variables resolve to selections in one pass
+        over the stored tuples, then surviving rows intern column-wise."""
+        columns, keep, constant_checks, equality_checks = self._atom_shape(atom)
         intern = self.interner.intern
         if constant_checks or equality_checks:
             rows = [
@@ -472,6 +556,111 @@ class ColumnarStore:
         report = self.views.info()
         report["dictionary_size"] = len(self.interner)
         return report
+
+
+# ----------------------------------------------------------------------
+# Compact wire format (what the process runtime ships to workers)
+# ----------------------------------------------------------------------
+class DatabaseWire:
+    """A database encoded for shipping: id columns + one shared dictionary.
+
+    Pickling a tuple-set :class:`~repro.cq.database.Database` pays the
+    per-object price on every cell — each value serialises at every
+    occurrence, wrapped in a tuple per row inside a set per relation.  The
+    wire form stores each **distinct** value once (``dictionary``, the
+    interner's decode table) and each relation as parallel id columns in the
+    narrowest unsigned ``array`` typecode that holds the dictionary (one,
+    two, four or eight bytes per cell), which pickle as flat byte buffers.
+    The receiving side
+    rebuilds the interner from the dictionary (ids are list indices, so the
+    bijection survives the trip) and adopts the columns directly into a warm
+    :class:`ColumnarStore` — the first query over a shipped piece never
+    re-scans or re-interns the stored tuples.
+    """
+
+    __slots__ = ("relations", "dictionary")
+
+    def __init__(self, relations: dict, dictionary: list) -> None:
+        #: relation name -> (arity, tuple of id-column arrays, rows).
+        self.relations = relations
+        #: id -> value decode table (duplicate-free; produced by interning).
+        self.dictionary = dictionary
+
+    def __repr__(self) -> str:
+        return (
+            f"DatabaseWire(relations={len(self.relations)}, "
+            f"dictionary={len(self.dictionary)})"
+        )
+
+    def decode(self):
+        """Rebuild a :class:`~repro.cq.database.Database` with a warm
+        columnar store: tuple sets decode through the dictionary (one list
+        comprehension per column), and the id columns are adopted as base
+        columns so columnar views build by id-level selection."""
+        from repro.cq.database import Database, Relation
+
+        interner = ValueInterner.from_values(self.dictionary)
+        values = interner.values
+        database = Database()
+        store = ColumnarStore(interner=interner)
+        for name in sorted(self.relations):
+            arity, data, length = self.relations[name]
+            relation = Relation(name, arity)
+            if arity == 0:
+                if length:
+                    relation.tuples.add(())
+            elif length:
+                decoded = [[values[ident] for ident in column] for column in data]
+                relation.tuples.update(zip(*decoded))
+            database.add_relation(relation)
+            store.adopt_base(name, data, length)
+        database.attach_columnar_store(store)
+        return database
+
+
+def _id_typecode(dictionary_size: int) -> str:
+    """The narrowest unsigned ``array`` typecode holding every id
+    ``0 <= id < dictionary_size`` — the wire spends 1/2/4/8 bytes per cell
+    instead of pickling each value occurrence."""
+    if dictionary_size <= 1 << 8:
+        return "B"
+    if dictionary_size <= 1 << 16:
+        return "H"
+    if dictionary_size <= 1 << 32:
+        return "I"
+    return "Q"
+
+
+def encode_database(database) -> DatabaseWire:
+    """Encode ``database`` into a :class:`DatabaseWire`.
+
+    Interns column-wise over one fresh dictionary shared by every relation
+    (relation names in sorted order, so equal databases encode identically),
+    then packs the id columns in the narrowest typecode the final dictionary
+    size allows.  The source database's own columnar store — if any — is
+    deliberately not reused: its dictionary may contain values interned for
+    *other* relations or constants, and the wire should carry exactly the
+    active domain.
+    """
+    interner = ValueInterner()
+    intern = interner.intern
+    staged: dict = {}
+    for name in sorted(database.relations):
+        relation = database.relations[name]
+        rows = sorted(relation.tuples, key=repr)
+        if relation.arity and rows:
+            columns = tuple(
+                [intern(value) for value in column] for column in zip(*rows)
+            )
+        else:
+            columns = tuple(() for _ in range(relation.arity))
+        staged[name] = (relation.arity, columns, len(rows))
+    typecode = _id_typecode(len(interner))
+    relations = {
+        name: (arity, tuple(array(typecode, column) for column in columns), rows)
+        for name, (arity, columns, rows) in staged.items()
+    }
+    return DatabaseWire(relations, interner.values)
 
 
 # ----------------------------------------------------------------------

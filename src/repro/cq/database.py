@@ -242,6 +242,29 @@ class Database:
         """Drop the columnar store (views *and* interned dictionary)."""
         self._columnar = None
 
+    def attach_columnar_store(self, store) -> "Database":
+        """Adopt a pre-built :class:`~repro.cq.columnar.ColumnarStore` as
+        this database's columnar cache (the wire-decode path); returns
+        ``self``.  The caller owns the invariant that the store's base
+        columns describe this database's relations."""
+        self._columnar = store
+        return self
+
+    # ------------------------------------------------------------------
+    def to_wire(self):
+        """Encode into the compact :class:`~repro.cq.columnar.DatabaseWire`
+        form (interned-id columns + one shared dictionary) — what the
+        process runtime ships instead of pickling the tuple sets."""
+        from repro.cq.columnar import encode_database
+
+        return encode_database(self)
+
+    @staticmethod
+    def from_wire(wire) -> "Database":
+        """Decode a :class:`~repro.cq.columnar.DatabaseWire` back into a
+        database with a warm columnar store."""
+        return wire.decode()
+
     def __getstate__(self) -> dict:
         # Shards ship as raw tuples: the atom-view cache (and the key indexes
         # memoized on its NamedRelations) and the columnar store are derived

@@ -34,8 +34,9 @@ The pipeline has three layers, each reusable on its own:
   :meth:`repro.cq.database.Database.partition`;
 * :mod:`repro.engine.runtime` — the execution runtimes behind the fan-out
   paths: :class:`InlineRuntime`, :class:`ThreadRuntime` (the default), and
-  :class:`ProcessRuntime` (persistent worker processes with resident,
-  pre-indexed shards), selected per call or per session via
+  :class:`ProcessRuntime` (owner-routed persistent workers: each shard is
+  resident on the one worker that owns it, shipped once in the compact
+  columnar wire form), selected per call or per session via
   ``runtime="inline" | "thread" | "process"`` (or an instance).
 
 Strategy backends and runtimes are both pluggable: see
@@ -98,7 +99,11 @@ from repro.engine.sharding import (
     SHARD_MODE_SINGLE,
     ShardedDatabase,
     ShardingSpec,
+    assign_pieces,
     choose_shard_variable,
+    reassign_pieces,
+    rendezvous_rank,
+    rendezvous_score,
     sharding_spec,
 )
 from repro.engine.planner import (
@@ -147,7 +152,11 @@ __all__ = [
     "SHARD_MODE_SINGLE",
     "ShardedDatabase",
     "ShardingSpec",
+    "assign_pieces",
     "choose_shard_variable",
+    "reassign_pieces",
+    "rendezvous_rank",
+    "rendezvous_score",
     "sharding_spec",
     "EvaluationBackend",
     "TrivialBackend",

@@ -13,15 +13,36 @@ exactly.  This module owns the question of **where those tasks run**:
   .EngineSession`: cheap, shares all in-process caches, but the GIL
   serializes CPU-bound evaluation, so within one process it is a scale-out
   seam rather than a speedup.
-* :class:`ProcessRuntime` — on a :class:`~concurrent.futures
-  .ProcessPoolExecutor` of **persistent workers**.  Workers sidestep the
-  GIL and keep warm state between calls: a per-worker
+* :class:`ProcessRuntime` — on **owner-routed persistent workers**: one
+  single-process executor per worker index, so the coordinator controls
+  exactly which worker runs which task.  Workers sidestep the GIL and keep
+  warm state between calls: a per-worker
   :class:`~repro.engine.session.EngineSession` (analysis/plan caches) and a
   bounded cache of **resident databases** — shard pieces shipped once, then
   referenced by token, with their atom views and key indexes memoized via
   :meth:`~repro.cq.database.Database.enable_atom_cache`.  A repeated
   sharded query therefore pays join work plus a small IPC envelope, not
   re-partitioning, re-scanning, or re-indexing.
+
+Owner routing (why pool memory is O(db), not O(workers x db)):
+
+* every dataset token is deterministically assigned an **owning worker**
+  (:func:`repro.engine.sharding.assign_pieces` — rendezvous hashing with
+  exact ±1 balance), and every task for that token is routed to its owner,
+  so a piece becomes resident on exactly one worker instead of drifting
+  onto all of them;
+* the first submission for a token **push-ships** the piece with the task
+  (the old need-data round-trip survives only as a recovery path: a worker
+  that lost its residency — restart, cache eviction — answers
+  ``need-data`` and the coordinator re-ships to it);
+* a *batch* workload (many tasks over ONE token) would serialize on the
+  owner, so multi-task tokens fan out round-robin over the token's top-k
+  rendezvous-ranked workers (k = number of tasks, capped by the pool) —
+  deliberate replication for parallelism, never accidental drift;
+* on worker death only that worker's state is lost: the dead worker's
+  tokens are reassigned across the survivors
+  (:func:`repro.engine.sharding.reassign_pieces` — minimal movement) and
+  only those pieces re-ship; every other worker's residency is untouched.
 
 Serialization contract (what crosses the process boundary):
 
@@ -34,12 +55,15 @@ Serialization contract (what crosses the process boundary):
   exactly because planning is deterministic.  Plans whose strategy the
   planner cannot reproduce (hand-built plans for unregistered strategies)
   are rejected by the worker rather than silently re-routed.
-* **data** ships lazily: the first message for a token carries no payload;
-  a worker that does not hold the token answers ``need-data`` and the
-  coordinator re-submits with the piece attached.  Steady state ships
-  tokens only.  ``Database.__getstate__`` / ``NamedRelation.__getstate__``
-  /  ``Hypergraph.__getstate__`` drop every memoized index and cache, so
-  pieces cross the boundary as raw tuples and re-index on the worker.
+* **data** ships as the compact columnar wire form: ``payload`` is a
+  pre-pickled :class:`~repro.cq.columnar.DatabaseWire` (interned-id
+  columns + one shared value dictionary — see
+  :func:`repro.cq.columnar.encode_database`), which the worker decodes
+  straight into a database with a **warm**
+  :class:`~repro.cq.columnar.ColumnarStore`: the first query over a
+  shipped piece never re-scans or re-interns the stored tuples.  The
+  coordinator pickles the wire itself, so ``shipment_bytes`` accounts the
+  exact payload cost and replicas reuse one encoding.
 * **results** return as ``(value, seconds, pid)`` — the answer payload
   (rows / bool / count), the worker-side execution time, and the worker
   identity for the ``timings["runtime"]`` record.
@@ -53,15 +77,23 @@ from __future__ import annotations
 
 import atexit
 import os
+import pickle
 import threading
 import time
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
+from repro.engine.sharding import assign_pieces, reassign_pieces, rendezvous_rank
 
 RUNTIME_INLINE = "inline"
 RUNTIME_THREAD = "thread"
@@ -210,17 +242,21 @@ def _worker_session():
 def _worker_execute(message: tuple) -> tuple:
     """Run one task message inside a pool worker (module-level: must pickle).
 
+    ``payload`` is either ``None`` (steady state: the token names a piece
+    this worker already holds) or the pickled
+    :class:`~repro.cq.columnar.DatabaseWire` bytes to decode and adopt.
     Returns ``(_REPLY_OK, value, seconds, pid)`` or — when the message named
     a dataset this worker does not hold and carried no payload —
-    ``(_REPLY_NEED_DATA, token, pid)`` so the coordinator can re-submit with
-    the data attached.
+    ``(_REPLY_NEED_DATA, token, pid)`` so the coordinator can re-ship to
+    this worker (the recovery path: residency was lost to a restart or the
+    worker-side cache bound).
     """
     token, payload, task, query, use_core, force_strategy = message
     database = _WORKER_RESIDENT.get(token)
     if database is None:
         if payload is None:
             return (_REPLY_NEED_DATA, token, os.getpid())
-        database = payload.enable_atom_cache()
+        database = pickle.loads(payload).decode().enable_atom_cache()
         _WORKER_RESIDENT[token] = database
         while len(_WORKER_RESIDENT) > _WORKER_RESIDENT_CAP:
             _WORKER_RESIDENT.popitem(last=False)
@@ -233,16 +269,37 @@ def _worker_execute(message: tuple) -> tuple:
     return (_REPLY_OK, result.value, time.perf_counter() - started, os.getpid())
 
 
+@dataclass
+class _WorkerSlot:
+    """One addressable worker: a single-process executor plus the
+    coordinator's book-keeping about it.
+
+    ``resident`` is the coordinator's view of which tokens the worker
+    holds (marked at submit time — submissions to one slot execute FIFO,
+    so a later token-only task can never overtake the shipment in front of
+    it).  ``generation`` makes recovery idempotent: every future remembers
+    the generation it was submitted against, and only the first failure
+    observer actually replaces the slot.
+    """
+
+    index: int
+    pool: ProcessPoolExecutor
+    resident: set = field(default_factory=set)
+    generation: int = 0
+    pid: int | None = None
+
+
 class ProcessRuntime(ExecutionRuntime):
-    """Persistent worker processes with warm caches and resident datasets.
+    """Owner-routed persistent workers with warm caches and resident shards.
 
     Parameters
     ----------
     max_workers:
-        Pool size; defaults to ``os.cpu_count()``.  On a single-core host
-        the pool degenerates to one worker — sharded calls still win by
-        executing against resident, pre-indexed shards, and scale out on
-        real cores without any code change.
+        Worker count; defaults to ``os.cpu_count()``.  Each worker is its
+        own single-process executor, so the coordinator — not the pool's
+        scheduler — decides placement.  On a single-core host this
+        degenerates to one worker; sharded calls still win by executing
+        against resident, pre-indexed shards.
     start_method:
         ``multiprocessing`` start method; default ``"fork"`` where
         available (fast startup, inherits loaded modules), ``"spawn"``
@@ -250,7 +307,8 @@ class ProcessRuntime(ExecutionRuntime):
     max_datasets:
         Coordinator-side bound on tracked resident *pieces*.  Each entry
         pins its database object (so Python cannot recycle its ``id`` while
-        workers hold the token) and is dropped least-recently-used.  Must
+        workers hold the token) and is dropped least-recently-used,
+        together with its ownership and residency records.  Must
         comfortably exceed ``concurrent datasets x shards`` — a sharded
         call whose pieces overflow the bound re-mints tokens every call and
         re-ships every piece, silently losing the steady state this runtime
@@ -264,9 +322,20 @@ class ProcessRuntime(ExecutionRuntime):
     fresh token, so workers can never serve a stale shard for a database
     that changed shape.  Callers mutating ``Relation.tuples`` directly are
     off-API and on their own.
+
+    Placement: tokens are assigned owning workers by
+    :func:`~repro.engine.sharding.assign_pieces` over the worker indexes
+    (deterministic, exactly ±1 balanced per call), and the piece ships —
+    as pickled :class:`~repro.cq.columnar.DatabaseWire` bytes — together
+    with the first task routed to the owner.  In steady state a piece is
+    resident on exactly one worker and a message carries a token, not data.
     """
 
     name = RUNTIME_PROCESS
+
+    #: Submit-time attempts before giving up on a task (each failed attempt
+    #: replaces the broken worker, so >1 only loses to repeated crashes).
+    _SUBMIT_ATTEMPTS = 3
 
     def __init__(
         self,
@@ -278,14 +347,20 @@ class ProcessRuntime(ExecutionRuntime):
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers or max(1, os.cpu_count() or 1)
         self._start_method = start_method
-        self._pool: ProcessPoolExecutor | None = None
+        self._slots: list[_WorkerSlot] | None = None
         self._lock = threading.Lock()
         self._datasets: OrderedDict = OrderedDict()
         self._max_datasets = max_datasets
         self._next_token = 0
+        #: token -> owning worker index (the routing table).
+        self._owner: dict[str, int] = {}
         self.tasks_dispatched = 0
+        self.tasks_owner_routed = 0
+        self.tasks_replica_routed = 0
         self.shipments = 0
-        self.pool_restarts = 0
+        self.shipment_bytes = 0
+        self.recovery_reships = 0
+        self.worker_restarts = 0
 
     # -- pool lifecycle -------------------------------------------------
     def _context(self):
@@ -300,27 +375,55 @@ class ProcessRuntime(ExecutionRuntime):
             )
         return multiprocessing.get_context(method)
 
-    def _ensure_pool(self) -> ProcessPoolExecutor:
-        with self._lock:
-            if self._pool is None:
-                self._pool = ProcessPoolExecutor(
-                    max_workers=self.max_workers, mp_context=self._context()
-                )
-            return self._pool
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=1, mp_context=self._context())
 
-    def _reset_pool(self) -> None:
+    def _ensure_slots_locked(self) -> list[_WorkerSlot]:
+        if self._slots is None:
+            self._slots = [
+                _WorkerSlot(index, self._new_pool())
+                for index in range(self.max_workers)
+            ]
+        return self._slots
+
+    def _recover_worker(self, slot_index: int, generation: int) -> None:
+        """Replace ONE dead worker; reassign and forget only its pieces.
+
+        Idempotent per generation: concurrent failure observers (several
+        futures of one broken worker) all call in, only the first acts.
+        The dead worker's tokens move to the survivors with minimal
+        movement (:func:`~repro.engine.sharding.reassign_pieces`); every
+        other worker keeps its residency, so recovery re-ships exactly the
+        dead worker's pieces.  With one worker there are no survivors: the
+        replacement keeps the ownership and the pieces simply re-ship to it.
+        """
         with self._lock:
-            pool, self._pool = self._pool, None
-            self.pool_restarts += 1
-        if pool is not None:
-            pool.shutdown(wait=False, cancel_futures=True)
+            slots = self._slots
+            if slots is None:
+                return
+            slot = slots[slot_index]
+            if slot.generation != generation:
+                return
+            old_pool = slot.pool
+            slots[slot_index] = _WorkerSlot(
+                slot_index, self._new_pool(), generation=generation + 1
+            )
+            self.worker_restarts += 1
+            if self.max_workers > 1 and any(
+                owner == slot_index for owner in self._owner.values()
+            ):
+                self._owner = reassign_pieces(
+                    self._owner, slot_index, range(self.max_workers)
+                )
+        old_pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         with self._lock:
-            pool, self._pool = self._pool, None
+            slots, self._slots = self._slots, None
             self._datasets.clear()
-        if pool is not None:
-            pool.shutdown(wait=True, cancel_futures=True)
+            self._owner.clear()
+        for slot in slots or ():
+            slot.pool.shutdown(wait=True, cancel_futures=True)
 
     # -- dataset residency ----------------------------------------------
     @staticmethod
@@ -343,79 +446,219 @@ class ProcessRuntime(ExecutionRuntime):
             self._next_token += 1
             self._datasets[key] = (token, database)
             while len(self._datasets) > self._max_datasets:
-                self._datasets.popitem(last=False)
+                _, (evicted, _) = self._datasets.popitem(last=False)
+                # Tokens are never reused (monotonic counter), so dropping
+                # the routing and residency records is enough: a worker
+                # still holding the piece ages it out of its own LRU.
+                self._owner.pop(evicted, None)
+                for slot in self._slots or ():
+                    slot.resident.discard(evicted)
             return token
 
-    def _encode(self, task: RuntimeTask, include_payload: bool) -> tuple:
-        return (
-            self._token_for(task.database),
-            task.database if include_payload else None,
-            task.task,
-            task.query,
-            task.use_core,
-            task.force_strategy,
-        )
+    # -- routing ---------------------------------------------------------
+    def _route(self, tokens: list[str], parallel: int | None) -> list[int]:
+        """The target worker index for each task, under the ownership rule.
+
+        Single-task tokens go to their owner.  A token with ``m > 1`` tasks
+        in this call (the batch pipeline: many queries over one database)
+        fans out round-robin over its top-``min(m, workers)``
+        rendezvous-ranked workers — owner first — trading replication for
+        parallelism *explicitly*; a sharded call (one task per piece) never
+        replicates.
+        """
+        with self._lock:
+            self._ensure_slots_locked()
+            fresh = sorted({t for t in tokens if t not in self._owner})
+            if fresh:
+                self._owner.update(
+                    assign_pieces(fresh, range(self.max_workers))
+                )
+            by_token: dict[str, list[int]] = {}
+            for index, token in enumerate(tokens):
+                by_token.setdefault(token, []).append(index)
+            targets = [0] * len(tokens)
+            for token, indexes in by_token.items():
+                owner = self._owner[token]
+                if len(indexes) == 1:
+                    targets[indexes[0]] = owner
+                    continue
+                cap = min(len(indexes), self.max_workers)
+                if parallel is not None:
+                    cap = max(1, min(cap, parallel))
+                replicas = [owner] + [
+                    worker
+                    for worker in rendezvous_rank(token, range(self.max_workers))
+                    if worker != owner
+                ]
+                replicas = replicas[:cap]
+                for position, index in enumerate(indexes):
+                    targets[index] = replicas[position % len(replicas)]
+        return targets
 
     # -- execution -------------------------------------------------------
     def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
         tasks = list(tasks)
         if not tasks:
             return []
-        try:
-            return self._run_once(tasks)
-        except BrokenProcessPool:
-            # A worker died (OOM, kill): restart the pool and retry once.
-            # Workers lose their resident data, which the need-data protocol
-            # re-ships transparently.
-            self._reset_pool()
-            return self._run_once(tasks)
+        tokens = [self._token_for(task.database) for task in tasks]
+        targets = self._route(tokens, parallel)
+        # One wire encoding per token per call, shared by every shipment of
+        # the piece in this call (replicas, recovery retries).
+        blobs: dict[str, bytes] = {}
 
-    def _run_once(self, tasks: list[RuntimeTask]) -> list[TaskOutcome]:
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(_worker_execute, self._encode(task, include_payload=False))
-            for task in tasks
-        ]
-        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
-        # Collect every first-round reply before resolving any retry, and
-        # submit ALL need-data re-shipments before blocking on the first:
-        # cold-start shipments then overlap across the pool instead of
-        # serializing one pickle+execute round-trip at a time.
-        retries: list[tuple[int, object]] = []
-        for index, future in enumerate(futures):
-            reply = future.result()
-            if reply[0] == _REPLY_NEED_DATA:
-                with self._lock:
-                    self.shipments += 1
-                retries.append(
-                    (
-                        index,
-                        pool.submit(
-                            _worker_execute,
-                            self._encode(tasks[index], include_payload=True),
-                        ),
-                    )
+        def blob_for(token: str, database: Database) -> bytes:
+            blob = blobs.get(token)
+            if blob is None:
+                blob = pickle.dumps(
+                    database.to_wire(), protocol=pickle.HIGHEST_PROTOCOL
                 )
-                continue
-            _, value, seconds, pid = reply
-            outcomes[index] = TaskOutcome(value, seconds, f"pid:{pid}")
-        for index, retry in retries:
-            _, value, seconds, pid = retry.result()
-            outcomes[index] = TaskOutcome(value, seconds, f"pid:{pid}")
+                blobs[token] = blob
+            return blob
+
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        #: future -> (task index, slot index, generation, token)
+        pending: dict = {}
+        for index, (task, token, target) in enumerate(zip(tasks, tokens, targets)):
+            future, meta = self._submit(index, task, token, target, False, blob_for)
+            pending[future] = meta
+        # Collect with a FIRST_COMPLETED loop — never in submission order —
+        # so a need-data re-shipment or a death retry launches the moment
+        # its reply arrives instead of queueing behind a slow unrelated
+        # task's result.
+        while pending:
+            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            for future in done:
+                index, slot_index, generation, token = pending.pop(future)
+                try:
+                    reply = future.result()
+                except (BrokenProcessPool, CancelledError):
+                    # This worker died mid-task.  Replace it (idempotently),
+                    # reroute to the token's current owner — recovery may
+                    # have just moved it — and re-ship there if needed.
+                    self._recover_worker(slot_index, generation)
+                    retry_target = self._owner_of(token, slot_index)
+                    future, meta = self._submit(
+                        index, tasks[index], token, retry_target, False, blob_for
+                    )
+                    pending[future] = meta
+                    continue
+                if reply[0] == _REPLY_NEED_DATA:
+                    # Recovery path: the worker lost the piece (restart or
+                    # its own cache bound).  Re-ship to the same worker.
+                    with self._lock:
+                        self.recovery_reships += 1
+                    future, meta = self._submit(
+                        index, tasks[index], token, slot_index, True, blob_for
+                    )
+                    pending[future] = meta
+                    continue
+                _, value, seconds, pid = reply
+                outcomes[index] = TaskOutcome(value, seconds, f"pid:{pid}")
+                with self._lock:
+                    if self._slots is not None:
+                        slot = self._slots[slot_index]
+                        if slot.generation == generation:
+                            slot.pid = pid
         with self._lock:
             self.tasks_dispatched += len(tasks)
+            for token, target in zip(tokens, targets):
+                if target == self._owner.get(token, target):
+                    self.tasks_owner_routed += 1
+                else:
+                    self.tasks_replica_routed += 1
         return outcomes  # type: ignore[return-value]
+
+    def _owner_of(self, token: str, fallback: int) -> int:
+        with self._lock:
+            return self._owner.get(token, fallback)
+
+    def _submit(
+        self,
+        index: int,
+        task: RuntimeTask,
+        token: str,
+        target: int,
+        force_ship: bool,
+        blob_for,
+    ) -> tuple:
+        """Submit one task to one worker, shipping the piece when the
+        coordinator does not believe it resident there (or when
+        ``force_ship`` says the worker just told us otherwise).  A broken
+        worker at submit time is replaced and the task rerouted, a bounded
+        number of times."""
+        for attempt in range(self._SUBMIT_ATTEMPTS):
+            with self._lock:
+                slots = self._ensure_slots_locked()
+                slot = slots[target]
+                generation = slot.generation
+                ship = force_ship or token not in slot.resident
+            payload = blob_for(token, task.database) if ship else None
+            message = (
+                token, payload, task.task, task.query,
+                task.use_core, task.force_strategy,
+            )
+            try:
+                with self._lock:
+                    slot = slots[target]
+                    if slot.generation != generation:
+                        # Lost a race with recovery: re-evaluate shipping
+                        # against the fresh (empty-residency) slot.
+                        generation = slot.generation
+                        if payload is None and token not in slot.resident:
+                            payload = blob_for(token, task.database)
+                            ship = True
+                            message = message[:1] + (payload,) + message[2:]
+                    future = slot.pool.submit(_worker_execute, message)
+                    if ship:
+                        slot.resident.add(token)
+                        self.shipments += 1
+                        self.shipment_bytes += len(payload)
+                return future, (index, target, generation, token)
+            except BrokenProcessPool:
+                self._recover_worker(target, generation)
+                target = self._owner_of(token, target)
+                force_ship = False
+        raise BrokenProcessPool(
+            f"worker for task {index} kept dying across "
+            f"{self._SUBMIT_ATTEMPTS} submission attempts"
+        )
+
+    # -- introspection ---------------------------------------------------
+    def routing(self) -> dict:
+        """Snapshot of the ownership table: ``token -> worker index``."""
+        with self._lock:
+            return dict(self._owner)
+
+    def residency(self) -> dict:
+        """Snapshot of coordinator-side residency: ``worker index ->
+        frozenset of resident tokens``."""
+        with self._lock:
+            return {
+                slot.index: frozenset(slot.resident)
+                for slot in self._slots or ()
+            }
 
     def stats(self) -> dict:
         with self._lock:
             return {
                 "name": self.name,
                 "max_workers": self.max_workers,
-                "pool_live": self._pool is not None,
+                "pool_live": self._slots is not None,
                 "resident_datasets": len(self._datasets),
                 "tasks_dispatched": self.tasks_dispatched,
+                "tasks_owner_routed": self.tasks_owner_routed,
+                "tasks_replica_routed": self.tasks_replica_routed,
                 "shipments": self.shipments,
-                "pool_restarts": self.pool_restarts,
+                "shipment_bytes": self.shipment_bytes,
+                "recovery_reships": self.recovery_reships,
+                "worker_restarts": self.worker_restarts,
+                "resident_by_worker": {
+                    slot.index: len(slot.resident)
+                    for slot in self._slots or ()
+                },
+                "worker_pids": {
+                    slot.index: slot.pid for slot in self._slots or ()
+                },
             }
 
 

@@ -166,6 +166,10 @@ class EngineSession(Engine):
         self.runtime_tasks = 0
         self.runtime_calls: dict = {}
         self.runtime_workers: set = set()
+        #: name -> the resolved runtime instance, for surfacing each
+        #: runtime's own counters (shipments, resident pieces, restarts)
+        #: through ``stats()["runtime"]["by_runtime"]``.
+        self._runtimes_used: dict = {}
         self.sharded_calls = 0
         self.sharding_modes: dict = {}
         #: Weak refs to every database this session has executed against,
@@ -205,7 +209,10 @@ class EngineSession(Engine):
 
     def _resolve_runtime(self, runtime):
         """The per-call runtime, falling back to the session default."""
-        return runtime_for(runtime if runtime is not None else self.runtime)
+        resolved = runtime_for(runtime if runtime is not None else self.runtime)
+        with self._lock:
+            self._runtimes_used[resolved.name] = resolved
+        return resolved
 
     # ------------------------------------------------------------------
     def _sharded_pieces(self, database: Database, target, spec) -> list:
@@ -656,6 +663,13 @@ class EngineSession(Engine):
                     "tasks_dispatched": self.runtime_tasks,
                     "calls_by_runtime": dict(self.runtime_calls),
                     "workers_used": sorted(self.runtime_workers),
+                    # Each resolved runtime's own counters — for the process
+                    # runtime: shipments, shipment_bytes, per-worker
+                    # resident-piece counts, restarts.
+                    "by_runtime": {
+                        name: instance.stats()
+                        for name, instance in self._runtimes_used.items()
+                    },
                 },
                 "sharding": {
                     "calls": self.sharded_calls,

@@ -30,6 +30,7 @@ this module is the pure decision + partitioning logic.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
 from repro.cq.database import Database, shard_of
@@ -38,6 +39,105 @@ from repro.cq.query import ConjunctiveQuery
 SHARD_MODE_COPARTITIONED = "co-partitioned"
 SHARD_MODE_BROADCAST = "broadcast"
 SHARD_MODE_SINGLE = "single-shard"
+
+
+# ----------------------------------------------------------------------
+# Worker affinity: deterministic piece -> worker assignment
+# ----------------------------------------------------------------------
+# The process runtime routes every task for a resident piece to the one
+# worker that *owns* the piece, so pool memory is O(db) instead of
+# O(workers x db).  The ownership decision lives here, beside the sharding
+# ladder, because it is the same kind of pure, replayable routing logic:
+# no clock, no randomness, no runtime state — the same (tokens, workers)
+# always produce the same assignment, so a coordinator restart or a
+# differential-test replay reroutes identically.
+
+
+def rendezvous_score(token: str, worker) -> int:
+    """The rendezvous (highest-random-weight) score of ``worker`` for
+    ``token``.
+
+    CRC32 over the joint key for the same reason :func:`~repro.cq.database
+    .shard_of` uses it: Python's builtin ``hash`` is salted per process, and
+    routing must replay identically across runs.  Unlike modular hashing of
+    the token alone, each (token, worker) pair scores independently — so
+    removing one worker perturbs only the pieces that worker was winning.
+    """
+    return zlib.crc32(f"{token}\x1f{worker!r}".encode("utf-8"))
+
+
+def rendezvous_rank(token: str, workers) -> list:
+    """``workers`` ordered by descending preference for ``token`` (score
+    desc, worker order as the deterministic tie-break)."""
+    ordered = sorted(set(workers), key=repr)
+    ordered.sort(key=lambda worker: rendezvous_score(token, worker), reverse=True)
+    return ordered
+
+
+def assign_pieces(tokens, workers) -> dict:
+    """Deterministic, exactly-balanced piece -> worker assignment.
+
+    Every token goes to its highest-preference worker (rendezvous order)
+    that still has capacity, where capacity enforces **exact balance**: with
+    ``n`` tokens over ``w`` workers, every worker ends up owning ``n // w``
+    or ``n // w + 1`` pieces, with precisely ``n % w`` workers at the higher
+    load.  Tokens are processed in sorted order, so the result is a pure
+    function of the two *sets* — independent of iteration order, stable
+    across runs, and mostly stable under pool-size changes (a token moves
+    only when its preferred worker disappears or capacity shifts under it).
+
+    The runtime calls this once per newly seen dataset (all pieces of one
+    sharded call arrive together), so balance holds per dataset — which is
+    the bound that matters for worker memory.
+    """
+    ordered_workers = sorted(set(workers), key=repr)
+    if not ordered_workers:
+        raise ValueError("assign_pieces needs at least one worker")
+    ordered_tokens = sorted(set(tokens))
+    floor_load = len(ordered_tokens) // len(ordered_workers)
+    ceil_slots = len(ordered_tokens) % len(ordered_workers)
+    load = {worker: 0 for worker in ordered_workers}
+    assignment: dict = {}
+    for token in ordered_tokens:
+        for worker in rendezvous_rank(token, ordered_workers):
+            if load[worker] < floor_load:
+                break
+            if load[worker] == floor_load and ceil_slots > 0:
+                ceil_slots -= 1
+                break
+        else:  # pragma: no cover - capacity sums to len(tokens) exactly
+            raise AssertionError("balanced assignment ran out of capacity")
+        load[worker] += 1
+        assignment[token] = worker
+    return assignment
+
+
+def reassign_pieces(assignment, dead, workers) -> dict:
+    """Reassign **only** the dead worker's pieces; everything else stays put.
+
+    Each of the dead worker's tokens (in sorted order) moves to the
+    currently least-loaded survivor, preferring the survivor with the
+    highest rendezvous score for that token among the least-loaded — so the
+    move set is exactly the dead worker's pieces (minimal movement) and a
+    ±1-balanced assignment stays ±1-balanced across the survivors.
+    """
+    survivors = sorted((set(workers) - {dead}), key=repr)
+    if not survivors:
+        raise ValueError("reassign_pieces needs at least one surviving worker")
+    load = {worker: 0 for worker in survivors}
+    for token, owner in assignment.items():
+        if owner in load:
+            load[owner] += 1
+    reassigned = dict(assignment)
+    for token in sorted(t for t, owner in assignment.items() if owner == dead):
+        lightest = min(load[worker] for worker in survivors)
+        chosen = max(
+            (worker for worker in survivors if load[worker] == lightest),
+            key=lambda worker: (rendezvous_score(token, worker), repr(worker)),
+        )
+        load[chosen] += 1
+        reassigned[token] = chosen
+    return reassigned
 
 
 def choose_shard_variable(query: ConjunctiveQuery):

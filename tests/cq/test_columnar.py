@@ -250,6 +250,93 @@ class TestColumnarStore:
         assert store.views.info()["size"] == 2
 
 
+class TestDatabaseWire:
+    def mixed_db(self):
+        database = Database()
+        for row in [(1, "a"), (2, "b"), (3, "a"), (1, "b")]:
+            database.add_fact("R", row)
+        for row in [("a", "b"), ("b", "b")]:
+            database.add_fact("S", row)
+        database.add_fact("U", ())  # arity-0 unit relation
+        database.add_relation(Relation("Empty", 2))
+        return database
+
+    def test_round_trip_is_identity(self):
+        database = self.mixed_db()
+        back = Database.from_wire(database.to_wire())
+        assert back == database
+        assert Database.from_wire(Database().to_wire()) == Database()
+
+    def test_round_trip_survives_pickle(self):
+        database = self.mixed_db()
+        blob = pickle.dumps(database.to_wire(), protocol=pickle.HIGHEST_PROTOCOL)
+        assert Database.from_wire(pickle.loads(blob)) == database
+
+    def test_decode_attaches_a_warm_store(self):
+        database = self.mixed_db()
+        wire = database.to_wire()
+        back = Database.from_wire(wire)
+        store = back.columnar_cache
+        assert store is not None
+        assert len(store.interner) == len(wire.dictionary)
+        # The identity view is zero-copy over the adopted base columns.
+        view = back.columnar_view(Atom("R", ["x", "y"]))
+        assert view._data[0] is wire.relations["R"][1][0]
+        assert view.to_named() == NamedRelation(
+            ("x", "y"), set(database.relation("R").tuples)
+        )
+
+    def test_decoded_views_agree_with_fresh_views(self):
+        database = self.mixed_db()
+        back = Database.from_wire(database.to_wire())
+        for atom in [
+            Atom("R", ["x", "y"]),
+            Atom("R", [Constant(1), "y"]),
+            Atom("R", [Constant(99), "y"]),  # constant outside the domain
+            Atom("S", ["x", "x"]),
+            Atom("S", [Constant("a"), Constant("b")]),
+            Atom("Empty", ["x", "y"]),
+        ]:
+            assert (
+                back.columnar_view(atom).to_named()
+                == database.columnar_view(atom).to_named()
+            ), atom
+
+    def test_growth_after_decode_invalidates_the_base(self):
+        database = self.mixed_db()
+        back = Database.from_wire(database.to_wire())
+        atom = Atom("R", ["x", "y"])
+        before = back.columnar_view(atom)
+        back.add_fact("R", (7, "fresh"))
+        after = back.columnar_view(atom)
+        assert after is not before
+        assert (7, "fresh") in after.decode_rows()
+
+    def test_typecode_narrows_with_the_dictionary(self):
+        small = Database()
+        small.add_fact("R", (1, 2))
+        assert small.to_wire().relations["R"][1][0].typecode == "B"
+        wide = Database()
+        for value in range(300):
+            wide.add_fact("R", (value,))
+        assert wide.to_wire().relations["R"][1][0].typecode == "H"
+
+    def test_wire_pickle_is_smaller_than_database_pickle(self):
+        query = cqgen.hub_cycle_query(4)
+        database = cqgen.random_database(query, 40, 3000, seed=11)
+        wire_bytes = len(
+            pickle.dumps(database.to_wire(), protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        plain_bytes = len(
+            pickle.dumps(database, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        assert wire_bytes < plain_bytes
+
+    def test_from_values_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="equal values"):
+            ValueInterner.from_values([1, True])
+
+
 def _tree_for(query, database):
     from repro.engine import Engine
 

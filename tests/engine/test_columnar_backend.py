@@ -159,12 +159,18 @@ def test_sharded_execution_is_columnar_per_shard(session, acyclic):
 def test_worker_execution_path_is_columnar(acyclic):
     # _worker_execute is the exact function a process-pool worker runs;
     # calling it in-process shows shards evaluate columnar-side on workers
-    # too (ids decode at the worker boundary, values cross the IPC fence).
+    # too.  The payload is what the coordinator ships: pickled DatabaseWire
+    # bytes, decoded straight into a warm columnar store.
+    import pickle
+
     query, database = acyclic
     backend = backend_for(STRATEGY_YANNAKAKIS)
     before = backend.columnar_runs
+    payload = pickle.dumps(
+        database.to_wire(), protocol=pickle.HIGHEST_PROTOCOL
+    )
     reply = _worker_execute(
-        ("token-columnar-test", database.copy(), TASK_ANSWER, query, False,
+        ("token-columnar-test", payload, TASK_ANSWER, query, False,
          STRATEGY_YANNAKAKIS)
     )
     assert reply[0] == _REPLY_OK

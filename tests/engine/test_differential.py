@@ -415,6 +415,88 @@ def test_columnar_pass_covers_every_regime_and_flavour(session, seed):
     assert flavours == {"random", "planted", "unsat", "colour"}
 
 
+# ----------------------------------------------------------------------
+# The affinity pass: owner-routed process execution must stay exact across
+# every regime and shard count, AND honour the routing invariant — every
+# shard task executes on the worker that owns its piece, with zero recovery
+# traffic in a healthy run.  Wired as `make affinity-smoke` in CI.
+# ----------------------------------------------------------------------
+AFFINITY_CASES = [
+    (seed, scenario) for seed in SEEDS for scenario in _runtime_slice(seed)
+]
+
+
+@pytest.fixture(scope="module")
+def affinity_runtime():
+    # A dedicated runtime so the coverage guard below reads counters that
+    # only this pass produced.  max_datasets is raised above the pass's
+    # total token count — eviction re-mints tokens and re-ships, which
+    # would trip the guard for bookkeeping rather than routing reasons.
+    runtime = ProcessRuntime(max_workers=2, max_datasets=4096)
+    yield runtime
+    runtime.close()
+
+
+@pytest.mark.parametrize(
+    "seed,scenario",
+    AFFINITY_CASES,
+    ids=[f"affinity/{s.name}" for _, s in AFFINITY_CASES],
+)
+def test_affinity_routed_execution_agrees_with_naive(
+    session, affinity_runtime, seed, scenario
+):
+    query, database = scenario.query, scenario.database
+    expected_rows = naive_enumerate_answers(query, database)
+    expected_count = naive_count_answers(query, database)
+    for shards in RUNTIME_SHARD_COUNTS:
+        answered = session.answer(
+            query, database, shards=shards,
+            shard_variable=scenario.shard_variable, runtime=affinity_runtime,
+        )
+        assert answered.rows == expected_rows, (
+            f"{scenario.name}: affinity answer disagrees at shards={shards}"
+        )
+        counted = session.count(
+            query, database, shards=shards,
+            shard_variable=scenario.shard_variable, runtime=affinity_runtime,
+        )
+        assert counted.count == expected_count, (
+            f"{scenario.name}: affinity count disagrees at shards={shards}"
+        )
+        boolean = session.is_satisfiable(
+            query, database, shards=shards,
+            shard_variable=scenario.shard_variable, runtime=affinity_runtime,
+        )
+        assert boolean.satisfiable == bool(expected_rows), (
+            f"{scenario.name}: affinity BCQ disagrees at shards={shards}"
+        )
+
+
+def test_affinity_coverage_guard(affinity_runtime):
+    # Runs after the parametrized pass above (file order): every shard task
+    # it dispatched executed on its owning worker — no replica routing on
+    # sharded calls, no need-data recovery, no worker deaths — and the
+    # coordinator's residency agrees with its routing table: each piece
+    # resident on exactly the one worker that owns it.
+    stats = affinity_runtime.stats()
+    assert stats["tasks_dispatched"] > 0, "affinity pass dispatched nothing"
+    assert stats["tasks_owner_routed"] == stats["tasks_dispatched"]
+    assert stats["tasks_replica_routed"] == 0
+    assert stats["recovery_reships"] == 0
+    assert stats["worker_restarts"] == 0
+    routing = affinity_runtime.routing()
+    residency = affinity_runtime.residency()
+    tokens = [token for held in residency.values() for token in held]
+    assert len(tokens) == len(set(tokens)), "a piece is resident twice"
+    for token, owner in routing.items():
+        assert token in residency[owner], (
+            f"{token} owned by worker {owner} but not resident there"
+        )
+    # Shipments are bounded by distinct pieces (each ships at most once).
+    assert stats["shipments"] == len(tokens)
+    assert stats["shipment_bytes"] > 0
+
+
 @functools.lru_cache(maxsize=128)
 def _first_scenario(seed, regime):
     # The property below needs one scenario per (seed, regime); caching

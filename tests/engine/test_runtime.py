@@ -251,21 +251,37 @@ class TestProcessRuntime:
 
     def test_shards_ship_once_then_stay_resident(self, wheel_instance):
         query, database = wheel_instance
-        # One worker makes residency deterministic: after the first call it
-        # holds every piece, so later calls must ship tokens only.  (With a
-        # larger pool the same steady state is reached once every worker has
-        # seen every piece — the need-data protocol converges, it never
-        # re-ships to a worker that already holds the token.)
-        runtime = ProcessRuntime(max_workers=1)
+        # Owner routing makes residency deterministic at ANY pool size: an
+        # N-shard cold start ships exactly N pieces (one per owner — it used
+        # to converge to N x workers), each piece is resident on exactly one
+        # worker, and warm calls ship tokens only.
+        runtime = ProcessRuntime(max_workers=3)
         try:
             session = EngineSession()
             session.answer(query, database, shards=4, runtime=runtime)
-            shipped = runtime.stats()["shipments"]
-            assert shipped == 4
+            stats = runtime.stats()
+            assert stats["shipments"] == 4
+            assert stats["shipment_bytes"] > 0
             for _ in range(3):
                 session.answer(query, database, shards=4, runtime=runtime)
                 session.count(query, database, shards=4, runtime=runtime)
-            assert runtime.stats()["shipments"] == shipped
+            warm = runtime.stats()
+            assert warm["shipments"] == stats["shipments"]
+            assert warm["shipment_bytes"] == stats["shipment_bytes"]
+            assert warm["recovery_reships"] == 0
+            # Each piece is resident on exactly one worker...
+            residency = runtime.residency()
+            tokens = [t for held in residency.values() for t in held]
+            assert len(tokens) == len(set(tokens)) == 4
+            # ... the one its routing table says owns it, ±1 balanced.
+            routing = runtime.routing()
+            for token, owner in routing.items():
+                assert token in residency[owner]
+            loads = sorted(len(held) for held in residency.values())
+            assert loads == [1, 1, 2]
+            # Every task ran on its owner: no replica routing on shards.
+            assert warm["tasks_replica_routed"] == 0
+            assert warm["tasks_owner_routed"] == warm["tasks_dispatched"]
         finally:
             runtime.close()
 
@@ -357,7 +373,53 @@ class TestProcessRuntime:
                 time.sleep(0.05)
             second = session.answer(query, database, shards=2, runtime=runtime)
             assert second.rows == expected
-            assert runtime.stats()["pool_restarts"] >= 1
+            assert runtime.stats()["worker_restarts"] >= 1
+        finally:
+            runtime.close()
+
+    def test_killing_one_worker_reships_only_its_shards(self, wheel_instance):
+        query, database = wheel_instance
+        expected = naive_enumerate_answers(query, database)
+        runtime = ProcessRuntime(max_workers=3)
+        try:
+            session = EngineSession()
+            first = session.answer(query, database, shards=4, runtime=runtime)
+            assert first.rows == expected
+            routing = runtime.routing()
+            stats = runtime.stats()
+            victim, pid = next(
+                (index, pid)
+                for index, pid in sorted(stats["worker_pids"].items())
+                if pid is not None and stats["resident_by_worker"][index] > 0
+            )
+            victim_tokens = runtime.residency()[victim]
+            survivor_residency = {
+                index: held
+                for index, held in runtime.residency().items()
+                if index != victim
+            }
+            os.kill(pid, signal.SIGKILL)
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                try:
+                    os.kill(pid, 0)
+                except OSError:
+                    break
+                time.sleep(0.05)
+            second = session.answer(query, database, shards=4, runtime=runtime)
+            assert second.rows == expected
+            after = runtime.stats()
+            assert after["worker_restarts"] >= 1
+            # Exactly the dead worker's pieces re-shipped; every survivor's
+            # residency is untouched.
+            assert after["shipments"] - stats["shipments"] == len(victim_tokens)
+            residency = runtime.residency()
+            for index, held in survivor_residency.items():
+                assert held <= residency[index]
+            # ... and only the dead worker's tokens were reassigned.
+            for token, owner in runtime.routing().items():
+                if token in routing and token not in victim_tokens:
+                    assert owner == routing[token]
         finally:
             runtime.close()
 
@@ -370,6 +432,25 @@ class TestProcessRuntime:
             "pool_live",
             "resident_datasets",
             "tasks_dispatched",
+            "tasks_owner_routed",
+            "tasks_replica_routed",
             "shipments",
-            "pool_restarts",
+            "shipment_bytes",
+            "recovery_reships",
+            "worker_restarts",
+            "resident_by_worker",
+            "worker_pids",
         }
+
+    def test_runtime_counters_surface_in_session_stats(self, wheel_instance):
+        query, database = wheel_instance
+        runtime = ProcessRuntime(max_workers=2)
+        try:
+            session = EngineSession()
+            session.answer(query, database, shards=2, runtime=runtime)
+            report = session.stats()["runtime"]["by_runtime"]
+            assert report["process"]["shipments"] == 2
+            assert report["process"]["shipment_bytes"] > 0
+            assert report["process"]["resident_by_worker"] == {0: 1, 1: 1}
+        finally:
+            runtime.close()

@@ -1,0 +1,95 @@
+"""Property tests for the worker-affinity assignment functions.
+
+Three invariants the owner-routed process runtime stands on, over random
+token sets and worker pools:
+
+* **determinism** — :func:`assign_pieces` is a pure function of the two
+  *sets*: iteration order, duplicates, and shuffling never change the
+  result (so a coordinator restart or a differential replay reroutes
+  identically);
+* **exact balance** — with ``n`` tokens over ``w`` workers, every worker
+  owns ``n // w`` or ``n // w + 1`` pieces, with precisely ``n % w``
+  workers at the higher load (the per-worker memory bound);
+* **minimal movement** — :func:`reassign_pieces` after removing one worker
+  moves *only* that worker's tokens (a worker death never disturbs a
+  surviving worker's residency) and lands back in a ±1-balanced state.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.sharding import (
+    assign_pieces,
+    reassign_pieces,
+    rendezvous_rank,
+    rendezvous_score,
+)
+
+TOKENS = st.sets(
+    st.integers(min_value=0, max_value=10_000).map(lambda i: f"ds{i}"),
+    min_size=1,
+    max_size=64,
+)
+WORKERS = st.integers(min_value=1, max_value=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(tokens=TOKENS, workers=WORKERS, seed=st.randoms())
+def test_assignment_is_deterministic(tokens, workers, seed):
+    pool = list(range(workers))
+    baseline = assign_pieces(tokens, pool)
+    shuffled_tokens = list(tokens) * 2
+    seed.shuffle(shuffled_tokens)
+    shuffled_pool = pool * 2
+    seed.shuffle(shuffled_pool)
+    assert assign_pieces(shuffled_tokens, shuffled_pool) == baseline
+    # ... and every token lands on a real worker.
+    assert set(baseline) == set(tokens)
+    assert set(baseline.values()) <= set(pool)
+
+
+@settings(max_examples=200, deadline=None)
+@given(tokens=TOKENS, workers=WORKERS)
+def test_assignment_is_balanced_within_one_piece(tokens, workers):
+    pool = range(workers)
+    assignment = assign_pieces(tokens, pool)
+    loads = {worker: 0 for worker in pool}
+    for owner in assignment.values():
+        loads[owner] += 1
+    floor_load = len(tokens) // workers
+    assert set(loads.values()) <= {floor_load, floor_load + 1}
+    assert sum(1 for load in loads.values() if load == floor_load + 1) == (
+        len(tokens) % workers
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(tokens=TOKENS, workers=st.integers(min_value=2, max_value=12), data=st.data())
+def test_removing_a_worker_moves_only_its_pieces(tokens, workers, data):
+    pool = list(range(workers))
+    assignment = assign_pieces(tokens, pool)
+    dead = data.draw(st.sampled_from(pool))
+    reassigned = reassign_pieces(assignment, dead, pool)
+    assert set(reassigned) == set(assignment)
+    survivors = set(pool) - {dead}
+    for token, owner in assignment.items():
+        if owner == dead:
+            assert reassigned[token] in survivors
+        else:
+            # Minimal movement: a surviving worker's pieces never move.
+            assert reassigned[token] == owner
+    # The survivors end ±1 balanced again.
+    loads = {worker: 0 for worker in survivors}
+    for owner in reassigned.values():
+        loads[owner] += 1
+    assert max(loads.values()) - min(loads.values()) <= 1
+
+
+@settings(max_examples=100, deadline=None)
+@given(tokens=TOKENS, workers=WORKERS)
+def test_rendezvous_rank_orders_by_score(tokens, workers):
+    pool = list(range(workers))
+    for token in sorted(tokens)[:5]:
+        ranked = rendezvous_rank(token, pool)
+        assert sorted(ranked) == pool
+        scores = [rendezvous_score(token, worker) for worker in ranked]
+        assert scores == sorted(scores, reverse=True)

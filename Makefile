@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke affinity-smoke
+.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke affinity-smoke service-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +58,17 @@ affinity-smoke:
 	$(PYTHON) -m pytest -q tests/property/test_affinity_assignment.py
 	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
 		tests/engine/test_differential.py -k "affinity"
+
+# Smoke of the query service front door: the service unit + end-to-end
+# suites (a real server on a real socket — concurrent-client differential
+# exactness vs a direct EngineSession, 503 shedding under a saturated
+# admission queue, 50ms deadlines cancelling in-flight sharded calls with
+# no orphaned futures, per-tenant isolation), the concurrency/lifetime
+# regression tests the service exposed, then the load benchmark, which
+# writes benchmarks/BENCH_service.json (p50/p99 latency + throughput).
+service-smoke:
+	$(PYTHON) -m pytest -q tests/service tests/engine/test_concurrency_fixes.py
+	$(PYTHON) benchmarks/bench_service.py
 
 # Perf-regression gate: re-run the engine benchmarks and fail on >2x slowdown
 # against benchmarks/BENCH_engine.json.

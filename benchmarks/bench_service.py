@@ -1,0 +1,173 @@
+"""Query-service load benchmark: latency percentiles under concurrent load.
+
+Starts the HTTP service in-process (:func:`repro.service.serve_in_thread`),
+registers one :func:`repro.cq.workloads.mixed_batch` database, then replays
+the batch's queries from ``CLIENTS`` concurrent keep-alive clients — every
+client thread owns one connection and loops over its share of the request
+mix (answer / count / is_satisfiable / sharded count).  Per-request wall
+latency lands in ``benchmarks/BENCH_service.json``:
+
+* ``p50_seconds`` / ``p99_seconds`` / ``mean_seconds`` / ``max_seconds``
+  (``p99_seconds`` is the gated number — the latency family of
+  ``check_regression.compare_to_baseline``);
+* ``throughput_rps`` — completed requests per wall second across all
+  clients;
+* the error count (must be 0 — a shed or 5xx under this configuration is a
+  bug, the admission queue is sized for the client count).
+
+Run it with::
+
+    python benchmarks/bench_service.py              # refresh the baseline
+    python benchmarks/bench_service.py --quick      # smoke scale, no write
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import sys
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cq import workloads  # noqa: E402
+from repro.service import (  # noqa: E402
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    serve_in_thread,
+)
+from repro.service.metrics import percentile  # noqa: E402
+
+BASELINE_PATH = pathlib.Path(__file__).resolve().parent / "BENCH_service.json"
+
+#: (scale label, concurrent clients, requests per client).
+SCALES = [("c2", 2, 40), ("c8", 8, 40)]
+QUICK_SCALES = [("c8", 8, 10)]
+WORKLOAD_SEED = 11
+#: Request mix, cycled per request index: (endpoint, extra options).
+MIX = [
+    ("count", {}),
+    ("answer", {}),
+    ("count", {"shards": 2}),
+    ("is_satisfiable", {}),
+]
+
+
+def _replay(client: ServiceClient, queries, start_at: int, requests: int):
+    """One client's loop: ``requests`` calls, cycling queries and the mix.
+    Returns (latencies, errors)."""
+    latencies, errors = [], 0
+    for i in range(requests):
+        query = queries[(start_at + i) % len(queries)]
+        endpoint, options = MIX[(start_at + i) % len(MIX)]
+        call = getattr(client, endpoint)
+        begin = time.perf_counter()
+        try:
+            call(query, dataset="bench", **options)
+        except ServiceError:
+            errors += 1
+        latencies.append(time.perf_counter() - begin)
+    return latencies, errors
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    queries, database = workloads.mixed_batch(
+        seed=WORKLOAD_SEED, copies=2, size="small", distinct=12
+    )
+    results = []
+    for label, clients, requests in (QUICK_SCALES if quick else SCALES):
+        service = QueryService(
+            ServiceConfig(max_concurrent=clients, max_queue=4 * clients)
+        )
+        service.register_dataset("bench", database)
+        with serve_in_thread(service) as handle:
+            # Warm the public tenant's plan cache so the recorded numbers
+            # are the steady-state serving latency, not cold planning.
+            with ServiceClient(handle.host, handle.port) as warm:
+                for query in queries[: len(set(MIX[i][0] for i in range(4)))]:
+                    warm.count(query, dataset="bench")
+            all_latencies: list = []
+            total_errors = 0
+            lock = threading.Lock()
+
+            def worker(index: int) -> None:
+                nonlocal total_errors
+                with ServiceClient(handle.host, handle.port) as client:
+                    latencies, errors = _replay(
+                        client, queries, index * requests, requests
+                    )
+                with lock:
+                    all_latencies.extend(latencies)
+                    total_errors += errors
+
+            began = time.perf_counter()
+            threads = [
+                threading.Thread(target=worker, args=(w,))
+                for w in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - began
+        results.append(
+            {
+                "scale": label,
+                "clients": clients,
+                "requests": clients * requests,
+                "errors": total_errors,
+                "wall_seconds": round(wall, 6),
+                "throughput_rps": round(clients * requests / wall, 2),
+                "mean_seconds": round(
+                    sum(all_latencies) / len(all_latencies), 6
+                ),
+                "p50_seconds": round(percentile(all_latencies, 0.50), 6),
+                "p99_seconds": round(percentile(all_latencies, 0.99), 6),
+                "max_seconds": round(max(all_latencies), 6),
+            }
+        )
+        print(
+            f"  {label}: {clients} clients x {requests} reqs -> "
+            f"p50 {results[-1]['p50_seconds'] * 1000:.1f}ms  "
+            f"p99 {results[-1]['p99_seconds'] * 1000:.1f}ms  "
+            f"{results[-1]['throughput_rps']:.0f} req/s  "
+            f"errors={total_errors}"
+        )
+    return {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "workload": (
+                f"mixed_batch(seed={WORKLOAD_SEED}, copies=2, size=small, "
+                "distinct=12)"
+            ),
+        },
+        "benchmarks": {"service_latency": results},
+    }
+
+
+def main() -> int:
+    quick = "--quick" in sys.argv
+    print("service load benchmark" + (" (quick)" if quick else ""))
+    payload = run_benchmarks(quick=quick)
+    failures = [
+        point for point in payload["benchmarks"]["service_latency"]
+        if point["errors"]
+    ]
+    if failures:
+        print(f"FAILED: {len(failures)} scale point(s) saw request errors")
+        return 1
+    if quick:
+        print("quick run: baseline not rewritten")
+        return 0
+    BASELINE_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"baseline written to {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,27 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
             if scale not in current_points:
                 failures.append(f"{name}/{scale}: missing from current run")
                 continue
+            if "p99_seconds" in point:
+                # Latency family (service benchmarks): gate the tail, not
+                # the mean — p99 is what an overload or a lost cancellation
+                # moves first.  Same 2x threshold, same noise floor.
+                now = current_points[scale]
+                if now.get("errors"):
+                    failures.append(
+                        f"{name}/{scale}: {now['errors']} request error(s) "
+                        "under benchmark load"
+                    )
+                base_p99 = point["p99_seconds"]
+                now_p99 = now["p99_seconds"]
+                if max(base_p99, now_p99) < MIN_SECONDS:
+                    continue
+                if now_p99 > base_p99 * THRESHOLD:
+                    failures.append(
+                        f"{name}/{scale}: p99 {now_p99:.4f}s vs baseline "
+                        f"{base_p99:.4f}s ({now_p99 / base_p99:.1f}x > "
+                        f"{THRESHOLD}x threshold)"
+                    )
+                continue
             if "indexed_seconds" not in point:
                 # Byte-size family (shipping_bytes): deterministic, so the
                 # gate holds the acceptance inequality (wire < pickled) and
@@ -87,6 +108,22 @@ def run_gate() -> list[str]:
     return compare_to_baseline(current, baseline)
 
 
+def run_service_gate() -> list[str]:
+    """Compare a fresh service load-benchmark run to ``BENCH_service.json``
+    (the latency family: p99 gated at the same 2x threshold)."""
+    from bench_service import BASELINE_PATH as SERVICE_BASELINE
+    from bench_service import run_benchmarks as run_service_benchmarks
+
+    if not SERVICE_BASELINE.exists():
+        raise FileNotFoundError(
+            f"{SERVICE_BASELINE} not found; create it with "
+            "`python benchmarks/bench_service.py`"
+        )
+    baseline = json.loads(SERVICE_BASELINE.read_text())
+    current = run_service_benchmarks(quick=False)
+    return compare_to_baseline(current, baseline)
+
+
 @pytest.mark.bench
 def test_engine_perf_no_regression():
     failures = run_gate()
@@ -94,6 +131,15 @@ def test_engine_perf_no_regression():
 
 
 def main() -> int:
+    if "--service" in sys.argv:
+        failures = run_service_gate()
+        if failures:
+            print("PERF REGRESSION (vs benchmarks/BENCH_service.json):")
+            for failure in failures:
+                print(f"  {failure}")
+            return 1
+        print("service latency within 2x of BENCH_service.json baseline")
+        return 0
     failures = run_gate()
     if failures:
         print("PERF REGRESSION (vs benchmarks/BENCH_engine.json):")

@@ -71,12 +71,14 @@ from repro.engine.executor import (
     plan_query,
 )
 from repro.engine.runtime import (
+    CancellationToken,
     ExecutionRuntime,
     InlineRuntime,
     ProcessRuntime,
     RUNTIME_INLINE,
     RUNTIME_PROCESS,
     RUNTIME_THREAD,
+    RunCancelled,
     RuntimeTask,
     TaskOutcome,
     ThreadRuntime,
@@ -91,6 +93,7 @@ from repro.engine.session import (
     canonical_query_key,
     default_session,
     isolated_session,
+    restore_default_session,
     set_default_session,
 )
 from repro.engine.sharding import (
@@ -133,7 +136,10 @@ __all__ = [
     "canonical_query_key",
     "default_session",
     "isolated_session",
+    "restore_default_session",
     "set_default_session",
+    "CancellationToken",
+    "RunCancelled",
     "ExecutionRuntime",
     "InlineRuntime",
     "ThreadRuntime",

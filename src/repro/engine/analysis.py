@@ -17,6 +17,7 @@ planner dispatch tests assert.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 
@@ -95,6 +96,17 @@ class LRUCache:
     this class *owned by a session* (or an :class:`~repro.engine.Engine`), so
     cache state is never process-global: tests isolate it by constructing a
     fresh session, and two sessions can never poison each other's entries.
+
+    Instances are **thread-safe**: ``get``'s recency bump and ``put``'s
+    eviction loop both mutate the underlying :class:`OrderedDict`, and a
+    serving process drives shared caches from many threads at once —
+    unlocked, concurrent calls could raise mid-``move_to_end`` or corrupt
+    the LRU order.  Every public method serializes on one internal lock;
+    the critical sections are dict operations, far cheaper than the work
+    the cache memoizes.  (Compound operations such as
+    :meth:`AnalysisCache.get_or_create` are *not* atomic: two threads
+    missing simultaneously may both compute, and the second ``put`` wins —
+    a duplicated pure computation, never corruption.)
     """
 
     def __init__(self, maxsize: int = 256) -> None:
@@ -102,30 +114,35 @@ class LRUCache:
             raise ValueError(f"{type(self).__name__} needs maxsize >= 1")
         self.maxsize = maxsize
         self._entries: OrderedDict = OrderedDict()
+        self._cache_lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key, default=None):
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self.hits += 1
-        self._entries.move_to_end(key)
-        return value
+        with self._cache_lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self.hits += 1
+            self._entries.move_to_end(key)
+            return value
 
     def put(self, key, value) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._cache_lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._cache_lock:
+            return len(self._entries)
 
     def __contains__(self, key) -> bool:
-        return key in self._entries
+        with self._cache_lock:
+            return key in self._entries
 
     def clear(self) -> None:
         """Drop every entry *and* zero the hit/miss counters.
@@ -134,17 +151,24 @@ class LRUCache:
         make post-clear hit rates unreadable (hits from evicted state
         counted against the fresh cache's misses).
         """
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._cache_lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def snapshot(self) -> list:
+        """A point-in-time ``[(key, value), ...]`` copy, oldest first."""
+        with self._cache_lock:
+            return list(self._entries.items())
 
     def info(self) -> dict:
-        return {
-            "size": len(self._entries),
-            "maxsize": self.maxsize,
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._cache_lock:
+            return {
+                "size": len(self._entries),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def stats(self) -> dict:
         """Alias of :meth:`info`, matching ``EngineSession.stats()`` so every

@@ -80,6 +80,7 @@ import os
 import pickle
 import threading
 import time
+import weakref
 from collections import OrderedDict
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -103,6 +104,53 @@ RUNTIME_PROCESS = "process"
 #: are a data-layout choice, not a parallelism dial, so a 64-shard call must
 #: not spawn 64 threads.
 DEFAULT_THREAD_WORKERS = 8
+
+#: How often a cancellable fan-out loop re-checks its token while waiting on
+#: futures.  Only paid when a caller actually passes ``cancel=`` — plain
+#: calls keep the zero-polling blocking waits.
+_CANCEL_POLL_SECONDS = 0.02
+
+
+class RunCancelled(RuntimeError):
+    """A fan-out call was abandoned because its cancellation token fired.
+
+    Raised *by the runtime* between tasks (a task already executing on a
+    worker runs to completion — pure-Python evaluation has no preemption
+    points — but its result is discarded and nothing after it starts).  The
+    session lets this propagate to the caller, so a serving layer enforcing
+    request deadlines sees exactly one exception type for "gave up".
+    """
+
+
+class CancellationToken:
+    """A thread-safe, one-shot "stop now" flag threaded through fan-out.
+
+    The serving layer creates one per request and passes it down
+    ``EngineSession.answer(..., cancel=token)``; when the request's deadline
+    expires it calls :meth:`cancel` from any thread, and the runtime's
+    collection loop aborts the remaining tasks (cancelling queued futures,
+    draining the ones already on workers) instead of running the fan-out to
+    completion for a caller that stopped listening.
+    """
+
+    __slots__ = ("_event",)
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+
+    def cancel(self) -> None:
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.is_set()
+
+    def raise_if_cancelled(self) -> None:
+        if self._event.is_set():
+            raise RunCancelled("fan-out cancelled by its cancellation token")
+
+    def __repr__(self) -> str:
+        return f"CancellationToken(cancelled={self.cancelled})"
 
 
 @dataclass(frozen=True, eq=False)
@@ -142,11 +190,27 @@ class ExecutionRuntime:
     call it directly; distributed runtimes may ignore it and evaluate from
     the task's self-contained description instead.  ``parallel`` is the
     caller's per-call worker cap (``None`` = the runtime's default).
+    ``cancel`` is an optional :class:`CancellationToken`: when it fires
+    mid-call, ``run`` must stop starting tasks, leave no orphaned futures
+    behind (cancel the queued ones, drain the running ones), and raise
+    :class:`RunCancelled`.
+
+    ``close`` permanently retires the instance: it sets :attr:`closed`,
+    which the shared registry (:func:`runtime_for`) checks so a closed
+    runtime is never handed out again.
     """
 
     name = "abstract"
+    #: Sticky "this instance was retired" flag — see :meth:`close`.
+    closed = False
 
-    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
+    def run(
+        self,
+        tasks,
+        run_local,
+        parallel: int | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> list[TaskOutcome]:
         raise NotImplementedError
 
     def stats(self) -> dict:
@@ -155,6 +219,7 @@ class ExecutionRuntime:
 
     def close(self) -> None:
         """Release any held resources (worker processes, resident data)."""
+        self.closed = True
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"
@@ -171,8 +236,19 @@ class InlineRuntime(ExecutionRuntime):
 
     name = RUNTIME_INLINE
 
-    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
-        return [self._timed(run_local, task, "inline") for task in tasks]
+    def run(
+        self,
+        tasks,
+        run_local,
+        parallel: int | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> list[TaskOutcome]:
+        outcomes = []
+        for task in tasks:
+            if cancel is not None:
+                cancel.raise_if_cancelled()
+            outcomes.append(self._timed(run_local, task, "inline"))
+        return outcomes
 
 
 class ThreadRuntime(ExecutionRuntime):
@@ -190,14 +266,31 @@ class ThreadRuntime(ExecutionRuntime):
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
 
-    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
+    def run(
+        self,
+        tasks,
+        run_local,
+        parallel: int | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> list[TaskOutcome]:
         tasks = list(tasks)
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         cap = self.max_workers if parallel is None else parallel
         workers = min(len(tasks), cap)
         if workers <= 1:
-            return [self._timed(run_local, task, "thread:main") for task in tasks]
+            outcomes = []
+            for task in tasks:
+                if cancel is not None:
+                    cancel.raise_if_cancelled()
+                outcomes.append(self._timed(run_local, task, "thread:main"))
+            return outcomes
 
         def execute(task: RuntimeTask) -> TaskOutcome:
+            # A task that reaches the front of the queue after cancellation
+            # aborts before doing any evaluation work.
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             # Label by the worker's index within its pool ("thread:0", ...)
             # rather than the pool-unique thread name: session stats
             # accumulate worker labels, and per-call pools would otherwise
@@ -205,8 +298,30 @@ class ThreadRuntime(ExecutionRuntime):
             name = threading.current_thread().name
             return self._timed(run_local, task, f"thread:{name.rsplit('_', 1)[-1]}")
 
+        # The pool is per-call and shut down before returning (the context
+        # manager waits), so whatever happens below — completion, a task
+        # exception, cancellation — no future outlives the call.
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute, tasks))
+            futures = [pool.submit(execute, task) for task in tasks]
+            if cancel is None:
+                return [future.result() for future in futures]
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(
+                    not_done, timeout=_CANCEL_POLL_SECONDS
+                )
+                if cancel.cancelled and not_done:
+                    for future in not_done:
+                        future.cancel()
+                    # Running tasks cannot be interrupted mid-evaluation;
+                    # wait them out so the pool drains deterministically.
+                    wait([f for f in not_done if not f.cancelled()])
+                    raise RunCancelled(
+                        f"thread fan-out cancelled with {len(not_done)} of "
+                        f"{len(tasks)} tasks unfinished"
+                    )
+            # A worker that observed the token raises RunCancelled here.
+            return [future.result() for future in futures]
 
 
 # ----------------------------------------------------------------------
@@ -305,15 +420,13 @@ class ProcessRuntime(ExecutionRuntime):
         available (fast startup, inherits loaded modules), ``"spawn"``
         elsewhere.
     max_datasets:
-        Coordinator-side bound on tracked resident *pieces*.  Each entry
-        pins its database object (so Python cannot recycle its ``id`` while
-        workers hold the token) and is dropped least-recently-used,
-        together with its ownership and residency records.  Must
-        comfortably exceed ``concurrent datasets x shards`` — a sharded
-        call whose pieces overflow the bound re-mints tokens every call and
-        re-ships every piece, silently losing the steady state this runtime
-        exists for.  The default (256) covers every engine workload; raise
-        it for wider fan-outs.
+        Coordinator-side bound on tracked resident *pieces*, dropped
+        least-recently-used together with their ownership and residency
+        records.  Must comfortably exceed ``concurrent datasets x shards``
+        — a sharded call whose pieces overflow the bound re-mints tokens
+        every call and re-ships every piece, silently losing the steady
+        state this runtime exists for.  The default (256) covers every
+        engine workload; raise it for wider fan-outs.
 
     Dataset identity: a piece is resident under a token minted for
     ``(id(piece), relation cardinalities)``.  The cardinality fingerprint
@@ -322,6 +435,17 @@ class ProcessRuntime(ExecutionRuntime):
     fresh token, so workers can never serve a stale shard for a database
     that changed shape.  Callers mutating ``Relation.tuples`` directly are
     off-API and on their own.
+
+    The token map holds each served database through a **weak** reference:
+    a long-lived runtime must not keep up to ``max_datasets`` large
+    databases alive after every caller dropped them (the map used to pin
+    them, a real leak for a serving process cycling tenants).  The id-reuse
+    hazard that pinning papered over is guarded explicitly instead: a
+    token is only ever served back when the stored weakref still yields
+    *the same object* — a recycled ``id()`` finds a dead (or differing)
+    entry, retires its token and its routing/residency records, and mints
+    a fresh one, so a worker can never be asked to serve a stale resident
+    piece for a new database that happens to reuse an address.
 
     Placement: tokens are assigned owning workers by
     :func:`~repro.engine.sharding.assign_pieces` over the worker indexes
@@ -357,6 +481,7 @@ class ProcessRuntime(ExecutionRuntime):
         self.tasks_dispatched = 0
         self.tasks_owner_routed = 0
         self.tasks_replica_routed = 0
+        self.tasks_cancelled = 0
         self.shipments = 0
         self.shipment_bytes = 0
         self.recovery_reships = 0
@@ -419,6 +544,7 @@ class ProcessRuntime(ExecutionRuntime):
 
     def close(self) -> None:
         with self._lock:
+            self.closed = True
             slots, self._slots = self._slots, None
             self._datasets.clear()
             self._owner.clear()
@@ -436,24 +562,43 @@ class ProcessRuntime(ExecutionRuntime):
         )
 
     def _token_for(self, database: Database) -> str:
+        """The stable token for ``database``, minted on first sight.
+
+        The map holds only a weakref to the database (callers dropping a
+        dataset must actually free it — the runtime's own call frames keep
+        it alive for the duration of a ``run``).  Because the key embeds
+        ``id(database)``, a dead entry's key can be *reached again* by a new
+        database whose recycled ``id`` and cardinalities collide; the
+        identity check below catches exactly that and retires the dead
+        entry's token instead of aliasing it onto the newcomer.
+        """
         key = (id(database), self._fingerprint(database))
         with self._lock:
             entry = self._datasets.get(key)
-            if entry is not None and entry[1] is database:
-                self._datasets.move_to_end(key)
-                return entry[0]
+            if entry is not None:
+                token, ref = entry
+                if ref() is database:
+                    self._datasets.move_to_end(key)
+                    return token
+                # id reuse (or a dead ref): this is a different database
+                # wearing a recycled address — never serve the old token.
+                del self._datasets[key]
+                self._drop_token_records_locked(token)
             token = f"ds{self._next_token}"
             self._next_token += 1
-            self._datasets[key] = (token, database)
+            self._datasets[key] = (token, weakref.ref(database))
             while len(self._datasets) > self._max_datasets:
                 _, (evicted, _) = self._datasets.popitem(last=False)
-                # Tokens are never reused (monotonic counter), so dropping
-                # the routing and residency records is enough: a worker
-                # still holding the piece ages it out of its own LRU.
-                self._owner.pop(evicted, None)
-                for slot in self._slots or ():
-                    slot.resident.discard(evicted)
+                self._drop_token_records_locked(evicted)
             return token
+
+    def _drop_token_records_locked(self, token: str) -> None:
+        # Tokens are never reused (monotonic counter), so dropping the
+        # routing and residency records is enough: a worker still holding
+        # the piece ages it out of its own LRU.
+        self._owner.pop(token, None)
+        for slot in self._slots or ():
+            slot.resident.discard(token)
 
     # -- routing ---------------------------------------------------------
     def _route(self, tokens: list[str], parallel: int | None) -> list[int]:
@@ -496,10 +641,18 @@ class ProcessRuntime(ExecutionRuntime):
         return targets
 
     # -- execution -------------------------------------------------------
-    def run(self, tasks, run_local, parallel: int | None = None) -> list[TaskOutcome]:
+    def run(
+        self,
+        tasks,
+        run_local,
+        parallel: int | None = None,
+        cancel: CancellationToken | None = None,
+    ) -> list[TaskOutcome]:
         tasks = list(tasks)
         if not tasks:
             return []
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         tokens = [self._token_for(task.database) for task in tasks]
         targets = self._route(tokens, parallel)
         # One wire encoding per token per call, shared by every shipment of
@@ -524,9 +677,20 @@ class ProcessRuntime(ExecutionRuntime):
         # Collect with a FIRST_COMPLETED loop — never in submission order —
         # so a need-data re-shipment or a death retry launches the moment
         # its reply arrives instead of queueing behind a slow unrelated
-        # task's result.
+        # task's result.  With a cancellation token the wait becomes a
+        # short poll so a fired token aborts within one poll interval.
         while pending:
-            done, _ = wait(list(pending), return_when=FIRST_COMPLETED)
+            done, _ = wait(
+                list(pending),
+                return_when=FIRST_COMPLETED,
+                timeout=None if cancel is None else _CANCEL_POLL_SECONDS,
+            )
+            if cancel is not None and cancel.cancelled:
+                self._abandon(pending)
+                raise RunCancelled(
+                    f"process fan-out cancelled with {len(pending)} of "
+                    f"{len(tasks)} tasks unfinished"
+                )
             for future in done:
                 index, slot_index, generation, token = pending.pop(future)
                 try:
@@ -567,6 +731,27 @@ class ProcessRuntime(ExecutionRuntime):
                 else:
                     self.tasks_replica_routed += 1
         return outcomes  # type: ignore[return-value]
+
+    def _abandon(self, pending: dict) -> None:
+        """Settle every outstanding future of a cancelled call.
+
+        Queued futures cancel outright (single-worker pools execute FIFO, so
+        a cancelled future never starts); a future already executing on a
+        worker cannot be interrupted, so it is drained — the worker finishes,
+        the result is discarded — which keeps the pools clean for the next
+        call and leaves nothing orphaned.
+        """
+        for future in pending:
+            future.cancel()
+        running = [f for f in pending if not f.cancelled()]
+        if running:
+            wait(running)
+            for future in running:
+                # Retrieve outcomes so abandoned failures don't warn at gc.
+                if not future.cancelled():
+                    future.exception()
+        with self._lock:
+            self.tasks_cancelled += len(pending)
 
     def _owner_of(self, token: str, fallback: int) -> int:
         with self._lock:
@@ -648,6 +833,7 @@ class ProcessRuntime(ExecutionRuntime):
                 "tasks_dispatched": self.tasks_dispatched,
                 "tasks_owner_routed": self.tasks_owner_routed,
                 "tasks_replica_routed": self.tasks_replica_routed,
+                "tasks_cancelled": self.tasks_cancelled,
                 "shipments": self.shipments,
                 "shipment_bytes": self.shipment_bytes,
                 "recovery_reships": self.recovery_reships,
@@ -697,7 +883,14 @@ def runtime_for(spec) -> ExecutionRuntime:
     """Resolve a runtime argument: an instance passes through; a name maps
     to one shared, lazily created instance per process (worker pools are
     expensive — sessions share them); ``None`` means the default
-    :class:`ThreadRuntime`."""
+    :class:`ThreadRuntime`.
+
+    A shared instance that was **closed** — directly by a caller, or by the
+    :func:`shutdown_runtimes` atexit hook firing early in a long-lived
+    embedder — is lazily replaced with a fresh instance rather than handed
+    out dead: ``close()`` marks the instance (:attr:`ExecutionRuntime
+    .closed`) and resolution never returns a marked one.
+    """
     if isinstance(spec, ExecutionRuntime):
         return spec
     if spec is None:
@@ -708,7 +901,7 @@ def runtime_for(spec) -> ExecutionRuntime:
                 f"unknown runtime {spec!r}; registered: {sorted(_FACTORIES)}"
             )
         runtime = _SHARED.get(spec)
-        if runtime is None:
+        if runtime is None or runtime.closed:
             runtime = _FACTORIES[spec]()
             _SHARED[spec] = runtime
         return runtime

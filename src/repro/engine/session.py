@@ -301,47 +301,63 @@ class EngineSession(Engine):
     def answer(
         self, query, database, plan=None, use_core=False,
         shards=1, shard_variable=None, parallel=None, runtime=None,
+        cancel=None,
     ) -> EvalResult:
-        """``q(D)``; with ``shards=N`` the union of exact per-shard answers."""
+        """``q(D)``; with ``shards=N`` the union of exact per-shard answers.
+
+        ``cancel`` (a :class:`~repro.engine.runtime.CancellationToken`)
+        makes the call abandonable: when the token fires, in-flight fan-out
+        is cancelled at the next task boundary and the call raises
+        :class:`~repro.engine.runtime.RunCancelled` instead of returning —
+        the seam a serving layer's request deadlines hang off.
+        """
         self._check_parallel(parallel)
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         if shards == 1 and shard_variable is None and runtime is None:
             return super().answer(query, database, plan=plan, use_core=use_core)
         return self._run_sharded(
             TASK_ANSWER, query, database, plan, use_core,
-            shards, shard_variable, parallel, runtime,
+            shards, shard_variable, parallel, runtime, cancel,
         )
 
     def is_satisfiable(
         self, query, database, plan=None, use_core=False,
         shards=1, shard_variable=None, parallel=None, runtime=None,
+        cancel=None,
     ) -> EvalResult:
         """BCQ; with ``shards=N`` the disjunction of the per-shard questions."""
         self._check_parallel(parallel)
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         if shards == 1 and shard_variable is None and runtime is None:
             return super().is_satisfiable(query, database, plan=plan, use_core=use_core)
         return self._run_sharded(
             TASK_SATISFIABLE, query, database, plan, use_core,
-            shards, shard_variable, parallel, runtime,
+            shards, shard_variable, parallel, runtime, cancel,
         )
 
     def count(
         self, query, database, plan=None, use_core=False,
         shards=1, shard_variable=None, parallel=None, runtime=None,
+        cancel=None,
     ) -> EvalResult:
         """#CQ; with ``shards=N`` the sum of per-shard counts (shard variable
         free: answer-disjoint shards) or the size of the per-shard answer
         union (shard variable existential: shards may share projections)."""
         self._check_parallel(parallel)
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         if shards == 1 and shard_variable is None and runtime is None:
             return super().count(query, database, plan=plan, use_core=use_core)
         return self._run_sharded(
             TASK_COUNT, query, database, plan, use_core,
-            shards, shard_variable, parallel, runtime,
+            shards, shard_variable, parallel, runtime, cancel,
         )
 
     def _run_sharded(
         self, task, query, database, plan, use_core, shards, shard_variable,
-        parallel, runtime,
+        parallel, runtime, cancel=None,
     ) -> EvalResult:
         """Sharded execution: partition → per-shard plan execution → combine.
 
@@ -431,7 +447,18 @@ class EngineSession(Engine):
         def run_local(item: RuntimeTask):
             return self._run(item.task, item.query, item.database, plan, False).value
 
-        outcomes = resolved.run(tasks, run_local, parallel=parallel)
+        if cancel is None:
+            # Only pass cancel= through when set: pre-cancellation runtime
+            # implementations (third-party registrations) stay callable for
+            # every non-cancellable call.
+            outcomes = resolved.run(tasks, run_local, parallel=parallel)
+        else:
+            outcomes = resolved.run(tasks, run_local, parallel=parallel, cancel=cancel)
+            # Every runtime drains its futures before raising, so reaching
+            # here with a fired token means all tasks finished anyway —
+            # still honour the caller's "stop" rather than hand back a
+            # result it stopped listening for.
+            cancel.raise_if_cancelled()
         values = [outcome.value for outcome in outcomes]
         result = EvalResult(task=task, plan=plan)
         if not spec.is_sharded:
@@ -496,23 +523,30 @@ class EngineSession(Engine):
         parallel: int = 1,
         use_core: bool = False,
         runtime=None,
+        cancel=None,
     ) -> list[EvalResult]:
         """Answer a batch of queries over one database (see :meth:`_run_many`)."""
-        return self._run_many(TASK_ANSWER, queries, database, parallel, use_core, runtime)
+        return self._run_many(
+            TASK_ANSWER, queries, database, parallel, use_core, runtime, cancel
+        )
 
     def is_satisfiable_many(
-        self, queries, database, parallel: int = 1, use_core: bool = False, runtime=None
+        self, queries, database, parallel: int = 1, use_core: bool = False,
+        runtime=None, cancel=None,
     ) -> list[EvalResult]:
         """BCQ over a batch of queries."""
         return self._run_many(
-            TASK_SATISFIABLE, queries, database, parallel, use_core, runtime
+            TASK_SATISFIABLE, queries, database, parallel, use_core, runtime, cancel
         )
 
     def count_many(
-        self, queries, database, parallel: int = 1, use_core: bool = False, runtime=None
+        self, queries, database, parallel: int = 1, use_core: bool = False,
+        runtime=None, cancel=None,
     ) -> list[EvalResult]:
         """#CQ over a batch of queries."""
-        return self._run_many(TASK_COUNT, queries, database, parallel, use_core, runtime)
+        return self._run_many(
+            TASK_COUNT, queries, database, parallel, use_core, runtime, cancel
+        )
 
     def _run_many(
         self,
@@ -522,6 +556,7 @@ class EngineSession(Engine):
         parallel: int,
         use_core: bool,
         runtime=None,
+        cancel=None,
     ) -> list[EvalResult]:
         """The batch pipeline: dedup → plan once per class → execute.
 
@@ -544,6 +579,8 @@ class EngineSession(Engine):
         """
         if parallel < 1:
             raise ValueError("parallel must be >= 1")
+        if cancel is not None:
+            cancel.raise_if_cancelled()
         resolved = self._resolve_runtime(runtime)
         queries = [self._checked_query(query) for query in queries]
         keys = [canonical_query_key(query) for query in queries]
@@ -560,6 +597,8 @@ class EngineSession(Engine):
         plans: dict = {}
         planning_seconds: dict = {}
         for key, query in representatives.items():
+            if cancel is not None:
+                cancel.raise_if_cancelled()
             planning_started = time.perf_counter()
             plans[key] = self.plan(query, use_core=use_core)
             planning_seconds[key] = time.perf_counter() - planning_started
@@ -579,7 +618,11 @@ class EngineSession(Engine):
                 item.task, item.query, item.database, plan_of[id(item)], False
             ).value
 
-        outcomes = resolved.run(tasks, run_local, parallel=parallel)
+        if cancel is None:
+            outcomes = resolved.run(tasks, run_local, parallel=parallel)
+        else:
+            outcomes = resolved.run(tasks, run_local, parallel=parallel, cancel=cancel)
+            cancel.raise_if_cancelled()
         results: dict = {}
         for (key, query), outcome in zip(items, outcomes):
             result = EvalResult(task=task, plan=plans[key])
@@ -746,9 +789,31 @@ def set_default_session(session: EngineSession | None) -> EngineSession | None:
         return previous
 
 
+def restore_default_session(expected: EngineSession, previous) -> bool:
+    """Compare-and-swap restore: reinstate ``previous`` only if the current
+    default is still ``expected``.  Returns whether the swap happened.
+
+    This is the exit path of :func:`isolated_session`: an unconditional
+    restore would clobber a default installed *during* the block — by the
+    block's own body, or by another thread — silently reviving a session
+    the process had already moved away from.
+    """
+    global _default_session
+    with _default_session_lock:
+        if _default_session is not expected:
+            return False
+        _default_session = previous
+        return True
+
+
 @contextmanager
 def isolated_session(**session_kwargs):
     """Run a block against a fresh default session (cache-state isolation).
+
+    On exit the previous default comes back **only if the block's session
+    is still the default** (see :func:`restore_default_session`): a default
+    swapped mid-block — by the body itself or by a concurrent thread — is
+    deliberately left in place rather than clobbered.
 
     >>> with isolated_session() as session:          # doctest: +SKIP
     ...     repro.engine.answer(query, database)     # uses `session`
@@ -758,7 +823,7 @@ def isolated_session(**session_kwargs):
     try:
         yield session
     finally:
-        set_default_session(previous)
+        restore_default_session(session, previous)
 
 
 def answer_many(

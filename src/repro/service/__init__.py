@@ -1,0 +1,67 @@
+"""The query service front door: an HTTP/JSON API over the engine.
+
+Quick start::
+
+    from repro.service import QueryService, ServiceConfig, serve_in_thread
+
+    service = QueryService(ServiceConfig(max_concurrent=4))
+    service.register_dataset("movies", database)
+    with serve_in_thread(service) as handle:
+        client = ServiceClient(handle.host, handle.port)
+        print(client.count(query, dataset="movies"))
+
+See :mod:`repro.service.app` for the request-path topology and
+``docs/ARCHITECTURE.md`` for how the service composes the engine's
+sessions, runtimes, and sharding.
+"""
+
+from repro.service.admission import AdmissionController, Overloaded
+from repro.service.app import (
+    QueryService,
+    ServiceConfig,
+    ServiceThread,
+    serve_in_thread,
+)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.codec import (
+    CodecError,
+    database_from_json,
+    database_to_json,
+    query_from_json,
+    query_to_json,
+    result_to_json,
+)
+from repro.service.deadlines import DeadlineExceeded, deadline_seconds
+from repro.service.metrics import LatencyWindow, ServiceMetrics, percentile
+from repro.service.tenancy import (
+    DEFAULT_TENANT,
+    DatasetRegistry,
+    TenantSessions,
+    UnknownDataset,
+)
+
+__all__ = [
+    "AdmissionController",
+    "CodecError",
+    "DEFAULT_TENANT",
+    "DatasetRegistry",
+    "DeadlineExceeded",
+    "LatencyWindow",
+    "Overloaded",
+    "QueryService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceThread",
+    "TenantSessions",
+    "UnknownDataset",
+    "database_from_json",
+    "database_to_json",
+    "deadline_seconds",
+    "percentile",
+    "query_from_json",
+    "query_to_json",
+    "result_to_json",
+    "serve_in_thread",
+]

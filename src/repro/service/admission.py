@@ -1,0 +1,106 @@
+"""Admission control: a bounded queue in front of the engine executor.
+
+The engine work of every request runs on a fixed-size thread pool; this
+module decides whether a new request may *wait* for a slot at all.  The
+policy is the classic bounded queue:
+
+* at most ``max_concurrent`` requests execute engine work at once (the
+  semaphore — matched to the executor's thread count, so an admitted
+  request never queues again inside the executor);
+* at most ``max_queue`` further requests wait for a slot;
+* anything beyond that is **shed immediately** with
+  :class:`Overloaded` — the HTTP layer turns it into a ``503`` with a
+  ``Retry-After`` hint.  Shedding beats queueing without bound: a queue
+  longer than the pool can drain within a deadline only adds latency to
+  requests that will time out anyway, while a fast 503 lets a well-behaved
+  client back off and retry elsewhere.
+
+The controller is asyncio-native (acquire from the event loop only), but
+:meth:`release` is thread-safe-by-construction *when called from the
+loop* — the service releases from executor-future done callbacks, which
+asyncio runs on the loop thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class Overloaded(Exception):
+    """The admission queue is full; the caller should retry later."""
+
+    def __init__(self, retry_after_seconds: float, depth: int) -> None:
+        super().__init__(
+            f"admission queue full ({depth} waiting); retry in "
+            f"{retry_after_seconds:g}s"
+        )
+        self.retry_after_seconds = retry_after_seconds
+        self.depth = depth
+
+
+class AdmissionController:
+    def __init__(
+        self,
+        max_concurrent: int = 8,
+        max_queue: int = 32,
+        retry_after_seconds: float = 1.0,
+    ) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self.retry_after_seconds = retry_after_seconds
+        self._semaphore = asyncio.Semaphore(max_concurrent)
+        self._queued = 0
+        self._in_flight = 0
+        self.admitted = 0
+        self.completed = 0
+        self.shed = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    @property
+    def queued(self) -> int:
+        return self._queued
+
+    async def acquire(self) -> None:
+        """Take an execution slot, waiting in the bounded queue if needed.
+
+        Raises :class:`Overloaded` without waiting when the queue is full.
+        The shed check and the queued-counter bump happen without an
+        ``await`` in between, so the bound is exact under the event loop's
+        single-threaded execution.
+        """
+        if self._semaphore.locked() and self._queued >= self.max_queue:
+            self.shed += 1
+            raise Overloaded(self.retry_after_seconds, self._queued)
+        self._queued += 1
+        try:
+            await self._semaphore.acquire()
+        finally:
+            self._queued -= 1
+        self._in_flight += 1
+        self.admitted += 1
+
+    def release(self) -> None:
+        """Return a slot (call exactly once per successful acquire — the
+        service does it from the engine future's done callback, so the slot
+        is held until the engine work actually settled, deadline or not)."""
+        self._in_flight -= 1
+        self.completed += 1
+        self._semaphore.release()
+
+    def stats(self) -> dict:
+        return {
+            "max_concurrent": self.max_concurrent,
+            "max_queue": self.max_queue,
+            "in_flight": self._in_flight,
+            "queued": self._queued,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "shed": self.shed,
+        }

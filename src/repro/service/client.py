@@ -1,0 +1,130 @@
+"""A small synchronous client for the query service (stdlib ``http.client``).
+
+Used by the service tests, the load benchmark, and the example — and a
+reasonable template for real callers.  One :class:`ServiceClient` holds one
+keep-alive connection, so N concurrent clients means N instances on N
+threads (``http.client`` connections are not thread-safe).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.service.codec import database_to_json, query_to_json
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict, headers: dict) -> None:
+        super().__init__(f"HTTP {status}: {payload.get('error', payload)}")
+        self.status = status
+        self.payload = payload
+        self.headers = {name.lower(): value for name, value in headers.items()}
+
+    @property
+    def retry_after_seconds(self) -> float | None:
+        raw = self.headers.get("retry-after")
+        return float(raw) if raw is not None else None
+
+
+class ServiceClient:
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- transport -------------------------------------------------------
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        """One round trip; raises :class:`ServiceError` on non-2xx."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = self._connect()
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, ConnectionError, OSError):
+            # A dropped keep-alive connection is not an API error: reconnect
+            # once and retry (requests here are idempotent reads).
+            self.close()
+            connection = self._connect()
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status >= 300:
+            raise ServiceError(
+                response.status, data, dict(response.getheaders())
+            )
+        return data
+
+    # -- payload assembly ------------------------------------------------
+    @staticmethod
+    def _payload(query=None, database=None, dataset=None, tenant=None, **options):
+        payload = dict(options)
+        if query is not None:
+            payload["query"] = query_to_json(query)
+        if database is not None:
+            payload["database"] = database_to_json(database)
+        if dataset is not None:
+            payload["dataset"] = dataset
+        if tenant is not None:
+            payload["tenant"] = tenant
+        return payload
+
+    # -- API -------------------------------------------------------------
+    def answer(self, query, database=None, dataset=None, tenant=None, **options):
+        return self.request(
+            "POST", "/answer",
+            self._payload(query, database, dataset, tenant, **options),
+        )
+
+    def count(self, query, database=None, dataset=None, tenant=None, **options):
+        return self.request(
+            "POST", "/count",
+            self._payload(query, database, dataset, tenant, **options),
+        )
+
+    def is_satisfiable(self, query, database=None, dataset=None, tenant=None,
+                       **options):
+        return self.request(
+            "POST", "/is_satisfiable",
+            self._payload(query, database, dataset, tenant, **options),
+        )
+
+    def batch(self, queries, database=None, dataset=None, tenant=None,
+              task: str = "answer", **options):
+        payload = self._payload(None, database, dataset, tenant, **options)
+        payload["task"] = task
+        payload["queries"] = [query_to_json(q) for q in queries]
+        return self.request("POST", "/batch", payload)
+
+    def stats(self) -> dict:
+        return self.request("GET", "/stats")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")

@@ -1,0 +1,55 @@
+"""Per-request deadlines that actually cancel engine work.
+
+A deadline here is not just a response timeout: when it expires, the
+request's :class:`~repro.engine.runtime.CancellationToken` is fired, which
+the session threads through ``EngineSession.answer(..., cancel=token)``
+into the runtime fan-out loops — queued shard/batch futures are cancelled,
+running ones are drained, and the engine call unwinds with
+:class:`~repro.engine.runtime.RunCancelled` instead of computing an answer
+nobody is waiting for.
+
+The service keeps the admission slot until that unwind completes (the
+engine future's done callback releases it), so the concurrency bound stays
+honest: a deadline turns a request into a *draining* request, not a free
+slot plus orphaned background work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+class DeadlineExceeded(Exception):
+    """The request's deadline expired before the engine call finished."""
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"deadline of {seconds:g}s exceeded")
+        self.seconds = seconds
+
+
+def deadline_seconds(payload: dict, default_seconds: float | None) -> float | None:
+    """The effective deadline for a request: its ``deadline_ms`` field, or
+    the service default; ``None`` disables the deadline entirely."""
+    raw = payload.get("deadline_ms")
+    if raw is None:
+        return default_seconds
+    if not isinstance(raw, (int, float)) or isinstance(raw, bool) or raw <= 0:
+        raise ValueError(f"deadline_ms must be a positive number, got {raw!r}")
+    return float(raw) / 1000.0
+
+
+async def guard(future, seconds: float | None, token):
+    """Await ``future`` under a deadline.
+
+    On expiry the token fires (the engine call begins unwinding on its
+    executor thread) and :class:`DeadlineExceeded` is raised; the future
+    itself is shielded, so it keeps running until the cancellation takes
+    effect — its done callback, not this coroutine, owns the cleanup.
+    """
+    if seconds is None:
+        return await future
+    try:
+        return await asyncio.wait_for(asyncio.shield(future), seconds)
+    except (asyncio.TimeoutError, TimeoutError):
+        token.cancel()
+        raise DeadlineExceeded(seconds) from None

@@ -1,0 +1,171 @@
+"""A minimal asyncio HTTP/1.1 layer — no third-party dependencies.
+
+The service deliberately speaks just enough HTTP for a JSON API: request
+line + headers + ``Content-Length`` bodies in, ``application/json``
+responses out, keep-alive by default.  There is no chunked encoding, no
+TLS, no multipart — a reverse proxy in front owns those concerns in any
+real deployment; here the point is a dependency-free front door the test
+suite and the load harness can drive with :mod:`http.client`.
+
+:class:`Router` maps ``(method, path)`` to async handlers
+(``Request -> Response``) and produces the 404/405 responses itself, so
+the connection loop in :mod:`repro.service.app` only ever sees a
+:class:`Response` to serialize.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from urllib.parse import urlsplit
+
+#: Hard cap on one header line / request line (a parser, not a proxy).
+_MAX_LINE_BYTES = 16 * 1024
+_MAX_HEADER_COUNT = 100
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level failure the connection loop turns into a response
+    (and then closes the connection — framing may be lost)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    headers: dict
+    body: bytes
+
+    def json(self):
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from None
+
+    @property
+    def wants_close(self) -> bool:
+        return self.headers.get("connection", "").lower() == "close"
+
+
+@dataclass
+class Response:
+    status: int = 200
+    payload: object = None
+    headers: dict = field(default_factory=dict)
+
+    @classmethod
+    def error(
+        cls, status: int, message: str, headers: dict | None = None, **extra
+    ) -> "Response":
+        body = {"error": message}
+        body.update(extra)
+        return cls(status, body, headers or {})
+
+    def encode(self, keep_alive: bool) -> bytes:
+        body = b""
+        if self.payload is not None:
+            body = json.dumps(self.payload, default=repr).encode("utf-8")
+        lines = [
+            f"HTTP/1.1 {self.status} {REASONS.get(self.status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+async def read_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> Request | None:
+    """Parse one request off the stream; ``None`` on clean EOF between
+    requests (the client closed a keep-alive connection)."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not line:
+        return None
+    if len(line) > _MAX_LINE_BYTES:
+        raise HttpError(400, "request line too long")
+    try:
+        method, target, version = line.decode("ascii").split()
+    except ValueError:
+        raise HttpError(400, "malformed request line") from None
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version}")
+    headers: dict = {}
+    while True:
+        line = await reader.readline()
+        if len(line) > _MAX_LINE_BYTES:
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        if len(headers) >= _MAX_HEADER_COUNT:
+            raise HttpError(400, "too many headers")
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:
+            raise HttpError(400, "undecodable header") from None
+        headers[name.strip().lower()] = value.strip()
+    length_header = headers.get("content-length", "0")
+    try:
+        length = int(length_header)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {length_header!r}") from None
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > max_body_bytes:
+        raise HttpError(413, f"body of {length} bytes exceeds {max_body_bytes}")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None
+    return Request(method.upper(), urlsplit(target).path, headers, body)
+
+
+class Router:
+    """``(method, path) -> async handler``; emits its own 404/405."""
+
+    def __init__(self) -> None:
+        self._routes: dict = {}
+
+    def add(self, method: str, path: str, handler) -> None:
+        self._routes[(method.upper(), path)] = handler
+
+    async def dispatch(self, request: Request) -> Response:
+        handler = self._routes.get((request.method, request.path))
+        if handler is not None:
+            return await handler(request)
+        allowed = sorted(
+            method for method, path in self._routes if path == request.path
+        )
+        if allowed:
+            return Response.error(
+                405,
+                f"{request.method} not allowed on {request.path}",
+                allowed=allowed,
+            )
+        return Response.error(404, f"no route for {request.path}")

@@ -1,0 +1,354 @@
+"""Concurrency/lifetime regressions exposed by the query service front door.
+
+Four bugfixes, each with a test that fails on the pre-fix code:
+
+* ``ProcessRuntime._token_for`` retained every database it ever tokenised
+  (strong refs in the token map) — now weakrefs plus an id-reuse guard;
+* ``LRUCache`` raced under concurrent access — now every operation locks;
+* ``runtime_for`` handed out **closed** shared runtimes after
+  ``shutdown_runtimes`` (or any ``close()``) — now lazily revived;
+* ``isolated_session`` unconditionally restored the previous default on
+  exit, clobbering a default swapped mid-block — now a CAS restore.
+
+Plus the cancellation layer the service's deadlines hang off:
+``CancellationToken`` / ``RunCancelled`` through every runtime and the
+session fan-out paths.
+"""
+
+import gc
+import threading
+import time
+import weakref
+
+import pytest
+
+from repro.cq import generators as cqgen
+from repro.cq.database import Database
+from repro.engine import (
+    CancellationToken,
+    EngineSession,
+    InlineRuntime,
+    ProcessRuntime,
+    RunCancelled,
+    RuntimeTask,
+    ThreadRuntime,
+    restore_default_session,
+    runtime_for,
+)
+from repro.engine.analysis import LRUCache
+from repro.engine.runtime import shutdown_runtimes
+from repro.engine.session import (
+    default_session,
+    isolated_session,
+    set_default_session,
+)
+import repro.engine.runtime as runtime_module
+
+
+def _database(seed: int = 0, tuples: int = 40) -> Database:
+    query = cqgen.chain_query(3)
+    return cqgen.random_database(query, 8, tuples, seed=seed)
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: the token map must not retain databases
+# ----------------------------------------------------------------------
+class TestTokenRetention:
+    def test_token_map_does_not_retain_databases(self):
+        runtime = ProcessRuntime(max_workers=1)
+        database = _database(seed=1)
+        token = runtime._token_for(database)
+        assert runtime._token_for(database) == token  # stable while alive
+        ref = weakref.ref(database)
+        del database
+        gc.collect()
+        # Pre-fix: the strong ref in _datasets kept every served database
+        # alive for the runtime's lifetime (unbounded in a long-lived
+        # service process).
+        assert ref() is None
+
+    def test_dead_entry_with_recycled_key_mints_fresh_token(self):
+        """A new database whose ``(id, fingerprint)`` collides with a dead
+        entry must not inherit the dead entry's token (a worker could still
+        hold that token's *old* rows resident)."""
+        runtime = ProcessRuntime(max_workers=1)
+        database = _database(seed=2)
+        fingerprint = runtime._fingerprint(database)
+        key = (id(database), fingerprint)
+        stale = "ds-stale"
+        # Install a dead entry under this database's exact key, with
+        # routing state the retirement must clean up.
+        runtime._datasets[key] = (stale, weakref.ref(Database()))
+        gc.collect()
+        runtime._owner[stale] = 0
+        token = runtime._token_for(database)
+        assert token != stale
+        assert stale not in runtime._owner
+        # The live entry now answers for the key.
+        assert runtime._token_for(database) == token
+
+    def test_eviction_still_bounded(self):
+        runtime = ProcessRuntime(max_workers=1, max_datasets=4)
+        keep = [_database(seed=10 + i, tuples=5) for i in range(8)]
+        for database in keep:
+            runtime._token_for(database)
+        assert len(runtime._datasets) <= 4
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: LRUCache must survive concurrent use
+# ----------------------------------------------------------------------
+class TestLRUCacheThreadSafety:
+    def test_concurrent_hammer(self):
+        cache = LRUCache(8)
+        errors = []
+        barrier = threading.Barrier(6)
+
+        def hammer(worker: int) -> None:
+            try:
+                barrier.wait(timeout=10)
+                for i in range(2500):
+                    key = (worker + i) % 24
+                    op = i % 7
+                    if op in (0, 1, 2):
+                        cache.put(key, i)
+                    elif op in (3, 4):
+                        cache.get(key)
+                    elif op == 5:
+                        key in cache
+                        len(cache)
+                        cache.info()
+                        cache.snapshot()
+                    else:
+                        if i % 500 == 0:
+                            cache.clear()
+            except Exception as exc:  # pre-fix: KeyError/RuntimeError races
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(cache) <= 8
+        info = cache.info()
+        assert info["size"] == len(cache)
+
+    def test_snapshot_is_point_in_time_copy(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        snap = cache.snapshot()
+        cache.put("c", 3)
+        assert snap == [("a", 1), ("b", 2)]
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: the registry must never hand out a closed runtime
+# ----------------------------------------------------------------------
+class TestRuntimeRegistryRevival:
+    def test_close_marks_instance(self):
+        runtime = ThreadRuntime(max_workers=1)
+        assert not runtime.closed
+        runtime.close()
+        assert runtime.closed
+
+    def test_runtime_for_revives_closed_shared_instance(self):
+        first = runtime_for("thread")
+        first.close()
+        second = runtime_for("thread")
+        # Pre-fix: `second is first` — a dead runtime handed to every
+        # subsequent caller.
+        assert second is not first
+        assert not second.closed
+        assert runtime_for("thread") is second
+
+    def test_usable_after_shutdown_runtimes(self):
+        runtime_for("inline")
+        shutdown_runtimes()
+        with runtime_module._registry_lock:
+            assert runtime_module._SHARED.get("inline") is None
+        revived = runtime_for("inline")
+        assert not revived.closed
+        tasks = [RuntimeTask("answer", cqgen.chain_query(2), None, label="t")]
+        outcomes = revived.run(tasks, lambda task: task.label)
+        assert [o.value for o in outcomes] == ["t"]
+
+    def test_session_call_after_shared_close(self):
+        query = cqgen.chain_query(3)
+        database = cqgen.random_database(query, 6, 30, seed=3)
+        session = EngineSession()
+        expected = session.answer(query, database).rows
+        runtime_for("thread").close()
+        result = session.answer(query, database, shards=2, runtime="thread")
+        assert result.rows == expected
+
+
+# ----------------------------------------------------------------------
+# Satellite 4: isolated_session must restore with compare-and-swap
+# ----------------------------------------------------------------------
+class TestIsolatedSessionRestore:
+    def setup_method(self):
+        self._saved = set_default_session(None)
+
+    def teardown_method(self):
+        set_default_session(self._saved)
+
+    def test_plain_block_restores_previous_default(self):
+        outer = default_session()
+        with isolated_session() as session:
+            assert default_session() is session
+            assert session is not outer
+        assert default_session() is outer
+
+    def test_default_swapped_mid_block_is_not_clobbered(self):
+        default_session()
+        replacement = EngineSession()
+        with isolated_session() as session:
+            assert default_session() is session
+            set_default_session(replacement)
+        # Pre-fix: exit blindly reinstated the pre-block default, silently
+        # reviving a session the process had moved away from.
+        assert default_session() is replacement
+
+    def test_restore_reports_whether_it_swapped(self):
+        original = default_session()
+        mine = EngineSession()
+        previous = set_default_session(mine)
+        assert previous is original
+        assert restore_default_session(mine, previous)
+        assert default_session() is original
+        # Now the default is `original`, not `mine`: CAS must refuse.
+        assert not restore_default_session(mine, previous)
+        assert default_session() is original
+
+
+# ----------------------------------------------------------------------
+# Cancellation: the seam the service's deadlines hang off
+# ----------------------------------------------------------------------
+class TestCancellation:
+    def _tasks(self, count: int):
+        query = cqgen.chain_query(2)
+        return [
+            RuntimeTask("answer", query, None, label=f"t{i}") for i in range(count)
+        ]
+
+    def test_token_raises_once_fired(self):
+        token = CancellationToken()
+        token.raise_if_cancelled()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+        with pytest.raises(RunCancelled):
+            token.raise_if_cancelled()
+
+    def test_inline_stops_between_tasks(self):
+        token = CancellationToken()
+        executed = []
+
+        def run_local(task):
+            executed.append(task.label)
+            token.cancel()
+            return task.label
+
+        with pytest.raises(RunCancelled):
+            InlineRuntime().run(self._tasks(5), run_local, cancel=token)
+        assert executed == ["t0"]
+
+    def test_thread_runtime_cancels_queued_work_and_stays_usable(self):
+        runtime = ThreadRuntime(max_workers=2)
+        token = CancellationToken()
+        executed = []
+        lock = threading.Lock()
+
+        def run_local(task):
+            with lock:
+                executed.append(task.label)
+            if task.label == "t0":
+                token.cancel()
+            time.sleep(0.01)
+            return task.label
+
+        with pytest.raises(RunCancelled):
+            runtime.run(self._tasks(12), run_local, parallel=2, cancel=token)
+        # Queued tasks were cancelled: nowhere near all 12 ran.
+        assert 0 < len(executed) < 12
+        # The per-call pool was shut down cleanly; the runtime still works.
+        outcomes = runtime.run(self._tasks(3), lambda task: task.label)
+        assert [o.value for o in outcomes] == ["t0", "t1", "t2"]
+
+    def test_pre_fired_token_skips_all_work(self):
+        token = CancellationToken()
+        token.cancel()
+        for runtime in (
+            InlineRuntime(),
+            ThreadRuntime(max_workers=2),
+            ProcessRuntime(max_workers=1),
+        ):
+            with pytest.raises(RunCancelled):
+                runtime.run(
+                    self._tasks(3),
+                    lambda task: pytest.fail("must not execute"),
+                    cancel=token,
+                )
+        # The process runtime never even spawned its pool.
+
+    def test_process_runtime_mid_run_cancel(self):
+        query = cqgen.hub_cycle_query(5)
+        database = cqgen.random_database(query, 14, 700, seed=7)
+        tasks = [
+            RuntimeTask("count", query, database, label=f"c{i}") for i in range(24)
+        ]
+        runtime = ProcessRuntime(max_workers=1)
+        try:
+            token = CancellationToken()
+            # Fire while the single worker is still grinding through the
+            # queue (each count takes far longer than 20ms here).
+            timer = threading.Timer(0.05, token.cancel)
+            timer.start()
+            try:
+                with pytest.raises(RunCancelled):
+                    runtime.run(tasks, None, cancel=token)
+            finally:
+                timer.cancel()
+            assert runtime.tasks_cancelled > 0
+            # Drained, not orphaned: the runtime still answers.
+            outcomes = runtime.run(tasks[:2], None)
+            assert len(outcomes) == 2
+        finally:
+            runtime.close()
+
+    def test_session_sharded_call_cancels(self):
+        query = cqgen.chain_query(3)
+        database = cqgen.random_database(query, 6, 30, seed=5)
+        session = EngineSession()
+        token = CancellationToken()
+        token.cancel()
+        with pytest.raises(RunCancelled):
+            session.answer(query, database, shards=2, cancel=token)
+        with pytest.raises(RunCancelled):
+            session.answer_many([query], database, cancel=token)
+        # A fresh call without a token is unaffected.
+        assert session.answer(query, database, shards=2).rows == session.answer(
+            query, database
+        ).rows
+
+    def test_old_style_runtime_without_cancel_still_works(self):
+        """Third-party runtimes with the pre-cancellation ``run`` signature
+        must keep working for calls that pass no token."""
+
+        class OldStyle(InlineRuntime):
+            name = "old-style"
+
+            def run(self, tasks, run_local, parallel=None):  # no cancel
+                return super().run(tasks, run_local, parallel=parallel)
+
+        query = cqgen.chain_query(3)
+        database = cqgen.random_database(query, 6, 30, seed=6)
+        session = EngineSession()
+        expected = session.answer(query, database).rows
+        result = session.answer(query, database, shards=2, runtime=OldStyle())
+        assert result.rows == expected

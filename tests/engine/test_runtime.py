@@ -434,6 +434,7 @@ class TestProcessRuntime:
             "tasks_dispatched",
             "tasks_owner_routed",
             "tasks_replica_routed",
+            "tasks_cancelled",
             "shipments",
             "shipment_bytes",
             "recovery_reships",

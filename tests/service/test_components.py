@@ -1,0 +1,237 @@
+"""Unit tests for the service building blocks: HTTP parsing, admission
+control, deadlines, tenancy, metrics."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.cq.database import Database
+from repro.engine import EngineSession
+from repro.service import (
+    AdmissionController,
+    DatasetRegistry,
+    DeadlineExceeded,
+    LatencyWindow,
+    Overloaded,
+    ServiceMetrics,
+    TenantSessions,
+    UnknownDataset,
+    deadline_seconds,
+    percentile,
+)
+from repro.service.deadlines import guard
+from repro.service.http import HttpError, Request, Response, Router
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+# ----------------------------------------------------------------------
+# HTTP layer
+# ----------------------------------------------------------------------
+class TestHttp:
+    def test_response_encode_roundtrip(self):
+        raw = Response(200, {"ok": True}).encode(keep_alive=True)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode().split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: keep-alive" in lines
+        assert json.loads(body) == {"ok": True}
+
+    def test_error_response_carries_headers(self):
+        raw = Response.error(
+            503, "busy", headers={"Retry-After": "1"}
+        ).encode(False)
+        head = raw.split(b"\r\n\r\n", 1)[0].decode()
+        assert "Retry-After: 1" in head
+        assert "Connection: close" in head
+        assert b'"error": "busy"' in raw
+
+    def test_request_json_errors_are_http_400(self):
+        request = Request("POST", "/answer", {}, b"{not json")
+        with pytest.raises(HttpError) as info:
+            request.json()
+        assert info.value.status == 400
+
+    def test_router_404_and_405(self):
+        router = Router()
+
+        async def handler(request):
+            return Response(200, {"hit": request.path})
+
+        router.add("POST", "/answer", handler)
+        ok = run(router.dispatch(Request("POST", "/answer", {}, b"")))
+        assert ok.payload == {"hit": "/answer"}
+        missing = run(router.dispatch(Request("GET", "/nope", {}, b"")))
+        assert missing.status == 404
+        wrong_method = run(router.dispatch(Request("GET", "/answer", {}, b"")))
+        assert wrong_method.status == 405
+        assert wrong_method.payload["allowed"] == ["POST"]
+
+
+# ----------------------------------------------------------------------
+# Admission control
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_sheds_beyond_queue_bound(self):
+        async def scenario():
+            controller = AdmissionController(
+                max_concurrent=1, max_queue=1, retry_after_seconds=0.5
+            )
+            await controller.acquire()          # running
+            waiter = asyncio.ensure_future(controller.acquire())  # queued
+            await asyncio.sleep(0)              # let the waiter enqueue
+            assert controller.queued == 1
+            with pytest.raises(Overloaded) as info:
+                await controller.acquire()      # bound hit: shed
+            assert info.value.retry_after_seconds == 0.5
+            assert controller.stats()["shed"] == 1
+            controller.release()                # running slot frees
+            await waiter                        # the queued one gets in
+            assert controller.in_flight == 1
+            controller.release()
+            stats = controller.stats()
+            assert stats["admitted"] == 2
+            assert stats["completed"] == 2
+            assert stats["in_flight"] == 0
+
+        run(scenario())
+
+    def test_zero_queue_sheds_immediately_when_busy(self):
+        async def scenario():
+            controller = AdmissionController(max_concurrent=1, max_queue=0)
+            await controller.acquire()
+            with pytest.raises(Overloaded):
+                await controller.acquire()
+            controller.release()
+            await controller.acquire()  # free again
+
+        run(scenario())
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_concurrent=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+
+# ----------------------------------------------------------------------
+# Deadlines
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_deadline_seconds_parsing(self):
+        assert deadline_seconds({}, None) is None
+        assert deadline_seconds({}, 2.5) == 2.5
+        assert deadline_seconds({"deadline_ms": 250}, None) == 0.25
+        for bad in (0, -5, "fast", True):
+            with pytest.raises(ValueError):
+                deadline_seconds({"deadline_ms": bad}, None)
+
+    def test_guard_passes_results_through(self):
+        async def scenario():
+            future = asyncio.get_running_loop().create_future()
+            future.set_result(41)
+            assert await guard(future, None, None) == 41
+
+        run(scenario())
+
+    def test_guard_fires_token_on_expiry(self):
+        class Token:
+            fired = False
+
+            def cancel(self):
+                self.fired = True
+
+        async def scenario():
+            token = Token()
+            never = asyncio.get_running_loop().create_future()
+            with pytest.raises(DeadlineExceeded):
+                await guard(never, 0.02, token)
+            assert token.fired
+            never.cancel()
+
+        run(scenario())
+
+
+# ----------------------------------------------------------------------
+# Tenancy
+# ----------------------------------------------------------------------
+class TestTenancy:
+    def test_sessions_are_tenant_private_and_stable(self):
+        pool = TenantSessions(max_tenants=4)
+        a = pool.get("a")
+        assert pool.get("a") is a
+        assert pool.get("b") is not a
+        assert pool.created == 2
+        assert set(pool.tenants()) == {"a", "b"}
+        assert isinstance(a, EngineSession)
+
+    def test_lru_bound_evicts_cold_tenants(self):
+        pool = TenantSessions(max_tenants=2)
+        a = pool.get("a")
+        pool.get("b")
+        pool.get("c")  # evicts "a"
+        assert "a" not in pool.tenants()
+        assert pool.get("a") is not a  # fresh, cold session
+        assert pool.created == 4
+
+    def test_stats_keyed_by_tenant(self):
+        pool = TenantSessions()
+        pool.get("x")
+        stats = pool.stats()
+        assert set(stats) == {"x"}
+        assert "plan_cache" in stats["x"]
+
+    def test_dataset_namespace_is_per_tenant(self):
+        registry = DatasetRegistry()
+        public_db, acme_db = Database(), Database()
+        registry.register("public", "movies", public_db)
+        registry.register("acme", "movies", acme_db)
+        assert registry.get("public", "movies") is public_db
+        assert registry.get("acme", "movies") is acme_db
+        with pytest.raises(UnknownDataset):
+            registry.get("public", "books")
+        with pytest.raises(UnknownDataset):
+            registry.get("ghost", "movies")
+        assert registry.by_tenant() == {
+            "public": ["movies"], "acme": ["movies"],
+        }
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) is None
+        assert percentile([3.0], 0.99) == 3.0
+        samples = [float(i) for i in range(1, 102)]
+        assert percentile(samples, 0.5) == 51.0  # the true median of 1..101
+        assert percentile(samples, 0.99) == 100.0
+
+    def test_latency_window_is_bounded(self):
+        window = LatencyWindow(maxlen=4)
+        for i in range(10):
+            window.record(float(i))
+        snap = window.snapshot()
+        assert snap["count"] == 10
+        assert snap["window"] == 4
+        assert snap["max_seconds"] == 9.0
+
+    def test_snapshot_shape(self):
+        metrics = ServiceMetrics()
+        metrics.record("/answer", 200, 0.01)
+        metrics.record("/answer", 503, 0.001)
+        metrics.record("/stats", 200, 0.002)
+        metrics.record_deadline_exceeded()
+        snap = metrics.snapshot()
+        assert snap["requests_by_endpoint"] == {"/answer": 2, "/stats": 1}
+        assert snap["responses_by_status"] == {"200": 2, "503": 1}
+        assert snap["shed"] == 1
+        assert snap["deadline_exceeded"] == 1
+        assert snap["latency"]["count"] == 3
+        assert set(snap["latency_by_endpoint"]) == {"/answer", "/stats"}
+        json.dumps(snap)  # everything must be JSON-serialisable

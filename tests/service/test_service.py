@@ -1,0 +1,359 @@
+"""End-to-end service tests: a real server on a real socket, driven by
+concurrent ``http.client`` connections.
+
+This file is the core of ``make service-smoke``:
+
+* **differential exactness** — 8 concurrent clients replay a mixed
+  workload through HTTP and every response must equal the direct
+  ``EngineSession`` answer;
+* **admission shedding** — a saturated queue answers 503 + ``Retry-After``
+  immediately instead of queueing without bound;
+* **deadline cancellation** — a 50ms deadline on an in-flight sharded call
+  returns 504, fires the engine's cancellation token, and leaves no
+  orphaned work (in-flight drains back to 0);
+* **tenant isolation** — tenants get private sessions and private dataset
+  namespaces.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.cq import generators as cqgen
+from repro.cq.database import Database
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.engine import EngineSession
+from repro.service import (
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    serve_in_thread,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    query = cqgen.hub_cycle_query(4)
+    database = cqgen.random_database(query, 10, 120, seed=42)
+    queries = [
+        query,
+        cqgen.chain_query(3),
+        cqgen.chain_query(4),
+        cqgen.star_query(3),
+    ]
+    return queries, database
+
+
+@pytest.fixture(scope="module")
+def server(workload):
+    _, database = workload
+    service = QueryService(
+        ServiceConfig(max_concurrent=4, debug_hooks=True)
+    )
+    service.register_dataset("bench", database)
+    service.register_dataset("acme-private", Database(), tenant="acme")
+    with serve_in_thread(service) as handle:
+        yield handle
+
+
+def _client(server):
+    return ServiceClient(server.host, server.port)
+
+
+class TestEndpoints:
+    def test_healthz(self, server):
+        with _client(server) as client:
+            assert client.healthz()["status"] == "ok"
+
+    def test_answer_matches_direct_session(self, server, workload):
+        queries, database = workload
+        reference = EngineSession()
+        with _client(server) as client:
+            for query in queries:
+                served = client.answer(query, dataset="bench")
+                direct = reference.answer(query, database)
+                assert served["rows"] == sorted(
+                    (list(row) for row in direct.rows), key=repr
+                )
+                assert served["strategy"] == direct.strategy
+
+    def test_count_and_satisfiable_with_sharding(self, server, workload):
+        queries, database = workload
+        reference = EngineSession()
+        with _client(server) as client:
+            for query in queries:
+                served = client.count(query, dataset="bench", shards=3)
+                assert served["value"] == reference.count(query, database).count
+                assert served["sharding"]["shards"] == 3
+                sat = client.is_satisfiable(query, dataset="bench")
+                assert sat["value"] is reference.is_satisfiable(
+                    query, database
+                ).satisfiable
+
+    def test_inline_database(self, server):
+        database = Database()
+        database.add_fact("E", (1, 2))
+        database.add_fact("E", (2, 1))
+        query = ConjunctiveQuery([Atom("E", ("x", "y")), Atom("E", ("y", "x"))])
+        with _client(server) as client:
+            served = client.answer(query, database=database)
+            assert sorted(served["rows"]) == [[1, 2], [2, 1]]
+
+    def test_batch_matches_answer_many(self, server, workload):
+        queries, database = workload
+        batch = queries + [queries[0]]  # a dedup candidate
+        reference = EngineSession().answer_many(batch, database, parallel=2)
+        with _client(server) as client:
+            served = client.batch(batch, dataset="bench")
+        assert len(served["results"]) == len(batch)
+        for wire, direct in zip(served["results"], reference):
+            assert wire["rows"] == sorted(
+                (list(row) for row in direct.rows), key=repr
+            )
+
+    def test_error_mapping(self, server, workload):
+        queries, _ = workload
+        with _client(server) as client:
+            with pytest.raises(ServiceError) as info:
+                client.answer(queries[0], dataset="ghost")
+            assert info.value.status == 404
+            with pytest.raises(ServiceError) as info:
+                client.request("POST", "/answer", {"dataset": "bench"})
+            assert info.value.status == 400  # no query
+            with pytest.raises(ServiceError) as info:
+                client.request(
+                    "POST", "/answer",
+                    {"query": {"atoms": []}, "dataset": "bench"},
+                )
+            assert info.value.status == 400  # codec error
+            with pytest.raises(ServiceError) as info:
+                client.answer(queries[0], dataset="bench", shards=0)
+            assert info.value.status == 400
+            with pytest.raises(ServiceError) as info:
+                client.answer(queries[0], dataset="bench", runtime="warp-drive")
+            assert info.value.status == 400
+            with pytest.raises(ServiceError) as info:
+                client.request("GET", "/answer")
+            assert info.value.status == 405
+            with pytest.raises(ServiceError) as info:
+                client.request("POST", "/nope", {})
+            assert info.value.status == 404
+
+    def test_stats_shape(self, server, workload):
+        queries, _ = workload
+        with _client(server) as client:
+            client.count(queries[0], dataset="bench")
+            stats = client.stats()
+        assert set(stats) >= {
+            "service", "admission", "tenants", "tenant_pool", "datasets",
+            "config",
+        }
+        assert stats["admission"]["max_concurrent"] == 4
+        service_stats = stats["service"]
+        assert service_stats["requests_by_endpoint"]["/count"] >= 1
+        assert service_stats["latency"]["p99_seconds"] is not None
+        # The engine's own counters surface per tenant.
+        public = stats["tenants"]["public"]
+        assert "plan_cache" in public
+        assert "bench" in stats["datasets"]["public"]
+
+
+class TestConcurrentDifferential:
+    def test_eight_concurrent_clients_exact_results(self, server, workload):
+        queries, database = workload
+        reference = EngineSession()
+        expected = {}
+        for index, query in enumerate(queries):
+            direct = reference.answer(query, database)
+            expected[index] = sorted(
+                (list(row) for row in direct.rows), key=repr
+            )
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_index: int) -> None:
+            try:
+                client = _client(server)
+                barrier.wait(timeout=30)
+                for round_index in range(6):
+                    index = (worker_index + round_index) % len(queries)
+                    shards = 1 + (worker_index + round_index) % 3
+                    served = client.answer(
+                        queries[index], dataset="bench", shards=shards
+                    )
+                    if served["rows"] != expected[index]:
+                        errors.append(
+                            f"worker {worker_index} round {round_index}: "
+                            f"mismatch on query {index} (shards={shards})"
+                        )
+                client.close()
+            except Exception as exc:
+                errors.append(f"worker {worker_index}: {exc!r}")
+
+        threads = [
+            threading.Thread(target=worker, args=(w,)) for w in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert errors == []
+
+
+class TestAdmissionShedding:
+    def test_saturated_queue_sheds_with_retry_after(self, workload):
+        _, database = workload
+        service = QueryService(
+            ServiceConfig(
+                max_concurrent=1,
+                max_queue=1,
+                retry_after_seconds=0.5,
+                debug_hooks=True,
+            )
+        )
+        service.register_dataset("bench", database)
+        query = cqgen.chain_query(2)
+        with serve_in_thread(service) as handle:
+            statuses = []
+            lock = threading.Lock()
+
+            def slow_client():
+                client = ServiceClient(handle.host, handle.port)
+                try:
+                    client.answer(query, dataset="bench", _sleep_ms=700)
+                    with lock:
+                        statuses.append(200)
+                except ServiceError as exc:
+                    with lock:
+                        statuses.append(exc.status)
+                finally:
+                    client.close()
+
+            threads = [threading.Thread(target=slow_client) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.05)  # deterministic arrival order
+            for thread in threads:
+                thread.join(timeout=60)
+            # 1 running + 1 queued succeed; the other 4 shed.
+            assert sorted(statuses) == [200, 200, 503, 503, 503, 503]
+
+            with ServiceClient(handle.host, handle.port) as client:
+                stats = client.stats()
+                assert stats["admission"]["shed"] == 4
+                assert stats["service"]["shed"] == 4
+                # Shed responses carry the backoff hint.
+                try:
+                    saturator = threading.Thread(target=slow_client)
+                    blocker = threading.Thread(target=slow_client)
+                    saturator.start()
+                    blocker.start()
+                    time.sleep(0.2)
+                    with pytest.raises(ServiceError) as info:
+                        client.answer(query, dataset="bench")
+                    assert info.value.status == 503
+                    assert info.value.retry_after_seconds == 0.5
+                finally:
+                    saturator.join(timeout=60)
+                    blocker.join(timeout=60)
+
+
+class TestDeadlines:
+    def test_deadline_cancels_in_flight_sharded_call(self, workload):
+        _, database = workload
+        service = QueryService(
+            ServiceConfig(max_concurrent=2, debug_hooks=True)
+        )
+        service.register_dataset("bench", database)
+        query = cqgen.hub_cycle_query(4)
+        with serve_in_thread(service) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                started = time.perf_counter()
+                with pytest.raises(ServiceError) as info:
+                    client.answer(
+                        query,
+                        dataset="bench",
+                        shards=4,
+                        deadline_ms=50,
+                        _sleep_ms=5000,
+                    )
+                elapsed = time.perf_counter() - started
+                assert info.value.status == 504
+                # Answered at the deadline, not after the sleep.
+                assert elapsed < 2.0
+                # The admission slot is held until the engine call unwinds,
+                # then released: no orphaned futures, no leaked slots.
+                for _ in range(200):
+                    if client.healthz()["in_flight"] == 0:
+                        break
+                    time.sleep(0.05)
+                assert client.healthz()["in_flight"] == 0
+                stats = client.stats()
+                assert stats["service"]["deadline_exceeded"] == 1
+                assert stats["admission"]["completed"] == (
+                    stats["admission"]["admitted"]
+                )
+                # The service still answers normally afterwards.
+                fine = client.count(query, dataset="bench", shards=2)
+                assert isinstance(fine["value"], int)
+
+    def test_default_deadline_from_config(self, workload):
+        _, database = workload
+        service = QueryService(
+            ServiceConfig(
+                max_concurrent=1,
+                default_deadline_seconds=0.05,
+                debug_hooks=True,
+            )
+        )
+        service.register_dataset("bench", database)
+        with serve_in_thread(service) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.answer(
+                        cqgen.chain_query(2), dataset="bench", _sleep_ms=3000
+                    )
+                assert info.value.status == 504
+
+
+class TestTenantIsolation:
+    def test_sessions_and_datasets_are_tenant_private(self, server, workload):
+        queries, _ = workload
+        with _client(server) as client:
+            client.count(queries[0], dataset="bench", tenant="public")
+            # acme can't see public's dataset...
+            with pytest.raises(ServiceError) as info:
+                client.count(queries[0], dataset="bench", tenant="acme")
+            assert info.value.status == 404
+            # ...but has its own namespace (registered in the fixture).
+            names = client.stats()["datasets"]
+            assert "bench" in names["public"]
+            assert names["acme"] == ["acme-private"]
+
+    def test_tenant_sessions_have_private_caches(self, server, workload):
+        queries, _ = workload
+        query = queries[0]
+        database = workload[1]
+        with _client(server) as client:
+            client.count(query, database=database, tenant="cache-a")
+            client.count(query, database=database, tenant="cache-a")
+            stats = client.stats()["tenants"]
+            # cache-a planned once and hit its plan cache once; a fresh
+            # tenant has no cache state at all (nothing leaked across).
+            cache_a = stats["cache-a"]["plan_cache"]
+            assert cache_a["hits"] >= 1
+            assert "cache-b" not in stats
+
+    def test_debug_hook_gated(self, workload):
+        _, database = workload
+        service = QueryService(ServiceConfig())  # debug_hooks off
+        service.register_dataset("bench", database)
+        with serve_in_thread(service) as handle:
+            with ServiceClient(handle.host, handle.port) as client:
+                with pytest.raises(ServiceError) as info:
+                    client.answer(
+                        cqgen.chain_query(2), dataset="bench", _sleep_ms=10
+                    )
+                assert info.value.status == 400

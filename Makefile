@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke affinity-smoke service-smoke
+.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke affinity-smoke service-smoke delta-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -58,6 +58,19 @@ affinity-smoke:
 	$(PYTHON) -m pytest -q tests/property/test_affinity_assignment.py
 	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
 		tests/engine/test_differential.py -k "affinity"
+
+# One-seed smoke of the versioned write path: the storage version seam and
+# incremental-evaluation unit tests, the service append/subscription
+# endpoints, then the differential incremental pass — append-heavy replay
+# where a standing IncrementalView's semi-naive refresh must equal a
+# from-scratch evaluation after every append batch, across shards 1/2/4
+# and through process-runtime delta shipping (with the coverage guard that
+# deltas actually shipped).  Override the seed with WORKLOAD_SEEDS=n.
+delta-smoke:
+	$(PYTHON) -m pytest -q tests/cq/test_versioning.py \
+		tests/engine/test_incremental.py tests/service/test_subscriptions.py
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/engine/test_differential.py -k "incremental or delta"
 
 # Smoke of the query service front door: the service unit + end-to-end
 # suites (a real server on a real socket — concurrent-client differential

@@ -9,7 +9,10 @@ points faster than the baseline always pass (refresh the baseline with
 gate keeps tracking the best known numbers).
 
 Timings below ``MIN_SECONDS`` are ignored for gating: at sub-10ms scale the
-noise floor of a shared machine would dominate the signal.
+noise floor of a shared machine would dominate the signal.  Families that
+record an acceptance ratio instead of (or next to) a timing — the wire-byte
+sizes and the incremental-refresh speedups — gate on the ratio, which stays
+meaningful below the noise floor.
 
 Run it as a script (``make bench``) or through pytest::
 
@@ -84,6 +87,22 @@ def compare_to_baseline(current: dict, baseline: dict) -> list[str]:
                         f"(> {THRESHOLD}x threshold)"
                     )
                 continue
+            if "from_scratch_seconds" in point:
+                # Incremental-refresh family: the refresh time itself is
+                # usually below the noise floor, so the gate holds the
+                # acceptance ratio instead — a small-delta refresh must
+                # keep beating the from-scratch evaluation by the recorded
+                # ``min_speedup`` (5x on the one-tuple and 1% points).
+                now = current_points[scale]
+                minimum = point.get("min_speedup")
+                if minimum is not None and now["speedup"] < minimum:
+                    failures.append(
+                        f"{name}/{scale}: incremental refresh only "
+                        f"{now['speedup']:.1f}x faster than from-scratch "
+                        f"answer() (acceptance bar {minimum:.0f}x; refresh "
+                        f"{now['indexed_seconds']:.4f}s vs "
+                        f"{now['from_scratch_seconds']:.4f}s)"
+                    )
             base_seconds = point["indexed_seconds"]
             now_seconds = current_points[scale]["indexed_seconds"]
             if max(base_seconds, now_seconds) < MIN_SECONDS:

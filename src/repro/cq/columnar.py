@@ -42,8 +42,10 @@ unchanged — they are duck-typed over the relation interface (``columns``,
 The engine dispatches here by default for the decomposition strategies
 through :class:`repro.engine.backends.ColumnarBackend`; conversion and
 caching live at the :class:`~repro.cq.database.Database` layer
-(``Database.columnar_view``), with the same grow-only cardinality
-fingerprint invalidation as the atom-view cache.
+(``Database.columnar_view``), versioned like the atom-view cache: appends
+through the storage API *extend* cached views in place instead of
+invalidating them, and :class:`DatabaseDelta` ships only the appended rows
+to workers that already hold a piece resident.
 """
 
 from __future__ import annotations
@@ -404,12 +406,16 @@ class ColumnarStore:
     """One database's interner plus its memoized columnar atom views.
 
     Mirrors the atom-view cache contract: views are keyed by ``(relation,
-    term pattern, cardinality)``, so any growth through the grow-only
-    storage API (``add_fact`` / ``Relation.add``) misses and rebuilds; the
-    store is derived data and is dropped by ``Database.__getstate__`` before
-    shipping to runtime workers.  The view cache is a bounded
-    :class:`~repro.engine.analysis.LRUCache`, so its hit/miss counters feed
-    ``EngineSession.stats()``.
+    term pattern)`` and tagged with the :attr:`~repro.cq.database.Relation
+    .version` they reflect.  Growth through the versioned append-only
+    storage API (``add_fact`` / ``Relation.add``) *extends* the cached view
+    in place — the ``delta_since`` rows run through the atom's selection
+    recipe, surviving rows intern and append onto the existing id columns,
+    and the memoized packed-key vectors, hash buckets and key sets are
+    patched rather than dropped.  The store is derived data and is dropped
+    by ``Database.__getstate__`` before shipping to runtime workers.  The
+    view cache is a bounded :class:`~repro.engine.analysis.LRUCache`, so its
+    hit/miss counters feed ``EngineSession.stats()``.
     """
 
     def __init__(self, maxsize: int = 256, interner: ValueInterner | None = None) -> None:
@@ -419,6 +425,9 @@ class ColumnarStore:
 
         self.interner = interner if interner is not None else ValueInterner()
         self.views = LRUCache(maxsize)
+        #: Number of times a cached view was extended in place instead of
+        #: rebuilt (coverage guard for the incremental differential pass).
+        self.extensions = 0
         #: relation name -> (column id-vectors in term-position order, rows):
         #: pre-interned base columns adopted from a wire payload.  Views over
         #: a based relation build by id-level selection and column gathering
@@ -433,13 +442,99 @@ class ColumnarStore:
         self._bases[name] = (tuple(data), length)
 
     def view(self, atom, relation) -> ColumnarRelation:
-        key = (atom.relation, atom.terms, len(relation.tuples))
-        cached = self.views.get(key)
-        if cached is not None:
-            return cached
-        built = self._build(atom, relation)
-        self.views.put(key, built)
+        key = (atom.relation, atom.terms)
+        version = relation.version
+        entry = self.views.get(key)
+        if entry is not None:
+            seen, view, shape, owned = entry
+            if seen != version:
+                self._extend(view, shape, relation.delta_since(seen), owned)
+                self.extensions += 1
+                self.views.put(key, (version, view, shape, True))
+            return view
+        shape = self._atom_shape(atom)
+        built, owned = self._build(atom, relation, shape)
+        self.views.put(key, (version, built, shape, owned))
         return built
+
+    def _extend(self, view, shape, delta_rows, owned: bool) -> None:
+        """Fold appended stored rows into a cached view in place.
+
+        The delta rows run through the same selection recipe as the full
+        build; survivors intern column-wise and append onto the view's id
+        columns.  Memoized key vectors, buckets and key sets whose pack base
+        is still current are *patched* with the new rows (single-column key
+        vectors are the live column arrays and extend automatically);
+        entries packed under an outgrown dictionary base are purged — they
+        would miss anyway, this just frees them.  A view that still shares
+        its columns with an adopted wire base (``owned=False``) first
+        promotes them to private ``array('q')`` copies: base columns use the
+        narrowest wire typecode and may be shared with other views, so they
+        must be neither widened nor mutated in place.
+        """
+        columns, keep, constant_checks, equality_checks = shape
+        survivors = [
+            row
+            for row in delta_rows
+            if not any(row[i] != value for i, value in constant_checks)
+            and not any(row[i] != row[a] for i, a in equality_checks)
+        ]
+        if not columns:
+            # Zero-column view (all-constant atom): the only thing growth
+            # can do is flip the relational zero {} to the unit {()}.
+            if survivors and view._length == 0:
+                view._length = 1
+                view._invalidate()
+            return
+        if not survivors:
+            return
+        if not owned:
+            view._data = tuple(array("q", column) for column in view._data)
+        intern = self.interner.intern
+        # Stored rows are distinct and the kept projection is injective on
+        # them (dropped positions are constants or repeats of kept anchors),
+        # so the appended rows need no dedup against the resident columns.
+        new_columns = [
+            [intern(row[i]) for row in survivors] for i in keep
+        ]
+        base = len(self.interner)
+        added = len(survivors)
+        start = view._length
+
+        def packed(positions):
+            keys = list(new_columns[positions[0]]) if positions else [0] * added
+            for position in positions[1:]:
+                vector = new_columns[position]
+                keys = [k * base + i for k, i in zip(keys, vector)]
+            return keys
+
+        for cache_key in list(view._key_cache):
+            positions, entry_base = cache_key
+            if entry_base != base:
+                del view._key_cache[cache_key]
+                continue
+            view._key_cache[cache_key].extend(packed(positions))
+        for cache_key in list(view._bucket_cache):
+            positions, entry_base = cache_key
+            if len(positions) > 1 and entry_base != base:
+                del view._bucket_cache[cache_key]
+                continue
+            buckets = view._bucket_cache[cache_key]
+            for offset, key in enumerate(packed(positions)):
+                rows = buckets.get(key)
+                if rows is None:
+                    buckets[key] = [start + offset]
+                else:
+                    rows.append(start + offset)
+        for cache_key in list(view._keyset_cache):
+            positions, entry_base = cache_key
+            if len(positions) > 1 and entry_base != base:
+                del view._keyset_cache[cache_key]
+                continue
+            view._keyset_cache[cache_key].update(packed(positions))
+        for vector, fresh in zip(view._data, new_columns):
+            vector.extend(fresh)
+        view._length += added
 
     @staticmethod
     def _atom_shape(atom):
@@ -461,18 +556,22 @@ class ColumnarStore:
                 columns.append(term)
         return columns, keep, constant_checks, equality_checks
 
-    def _build(self, atom, relation) -> ColumnarRelation:
+    def _build(self, atom, relation, shape) -> tuple:
+        """Build a fresh view; returns ``(view, owned)`` where ``owned``
+        says the view's columns are private (safe to extend in place).  The
+        identity pattern over an adopted wire base shares the base arrays —
+        those are promoted to private copies on first extension."""
         base = self._bases.get(atom.relation)
         if base is not None and base[1] == len(relation.tuples):
-            return self._build_from_base(atom, *base)
-        return self._build_from_tuples(atom, relation)
+            return self._build_from_base(shape, *base)
+        return self._build_from_tuples(relation, shape), True
 
-    def _build_from_base(self, atom, data, length) -> ColumnarRelation:
+    def _build_from_base(self, shape, data, length) -> tuple:
         """Build a view from adopted id columns: constants resolve through
         ``interner.id_of`` and every selection compares ints — the stored
         tuples are never touched, so a shipped piece serves its first query
         without re-scanning or re-interning anything."""
-        columns, keep, constant_checks, equality_checks = self._atom_shape(atom)
+        columns, keep, constant_checks, equality_checks = shape
         id_checks: list[tuple[int, int]] = []
         missing_constant = False
         for index, value in constant_checks:
@@ -492,32 +591,33 @@ class ColumnarStore:
                 and not any(data[i][row] != data[a][row] for i, a in equality_checks)
             ]
         else:
-            # Identity pattern: the base columns serve as-is, zero copy.
+            # Identity pattern: the base columns serve as-is, zero copy —
+            # shared with the base, so not extend-owned.
             if not columns:
                 return ColumnarRelation._trusted(
                     (), self.interner, (), 1 if length else 0
-                )
+                ), True
             return ColumnarRelation._trusted(
                 tuple(columns), self.interner,
                 tuple(data[i] for i in keep), length,
-            )
+            ), False
         if not columns:
             return ColumnarRelation._trusted(
                 (), self.interner, (), 1 if survivors else 0
-            )
+            ), True
         # As in the tuple path: the kept projection is injective on the
         # surviving rows, so distinctness is inherited without a dedup.
         return ColumnarRelation._trusted(
             tuple(columns), self.interner,
             tuple([data[i][row] for row in survivors] for i in keep),
             len(survivors),
-        )
+        ), True
 
-    def _build_from_tuples(self, atom, relation) -> ColumnarRelation:
+    def _build_from_tuples(self, relation, shape) -> ColumnarRelation:
         """The columnar analogue of :func:`repro.cq.relational.from_atom`:
         constants and repeated variables resolve to selections in one pass
         over the stored tuples, then surviving rows intern column-wise."""
-        columns, keep, constant_checks, equality_checks = self._atom_shape(atom)
+        columns, keep, constant_checks, equality_checks = shape
         intern = self.interner.intern
         if constant_checks or equality_checks:
             rows = [
@@ -605,14 +705,17 @@ class DatabaseWire:
         store = ColumnarStore(interner=interner)
         for name in sorted(self.relations):
             arity, data, length = self.relations[name]
-            relation = Relation(name, arity)
             if arity == 0:
-                if length:
-                    relation.tuples.add(())
+                rows = [()] if length else []
             elif length:
                 decoded = [[values[ident] for ident in column] for column in data]
-                relation.tuples.update(zip(*decoded))
-            database.add_relation(relation)
+                rows = list(zip(*decoded))
+            else:
+                rows = []
+            # _trusted keeps the version seam coherent: the decoded relation
+            # reports version == row count, matching a relation grown row by
+            # row, so delta shipping can resume from the decoded state.
+            database.add_relation(Relation._trusted(name, arity, rows))
             store.adopt_base(name, data, length)
         database.attach_columnar_store(store)
         return database
@@ -647,7 +750,7 @@ def encode_database(database) -> DatabaseWire:
     staged: dict = {}
     for name in sorted(database.relations):
         relation = database.relations[name]
-        rows = sorted(relation.tuples, key=repr)
+        rows = list(relation)  # the version-cached sorted order
         if relation.arity and rows:
             columns = tuple(
                 [intern(value) for value in column] for column in zip(*rows)
@@ -661,6 +764,108 @@ def encode_database(database) -> DatabaseWire:
         for name, (arity, columns, rows) in staged.items()
     }
     return DatabaseWire(relations, interner.values)
+
+
+class DeltaMismatchError(ValueError):
+    """A :class:`DatabaseDelta` was applied to a database whose versions do
+    not match the delta's base — the receiver is missing rows the sender
+    assumed resident.  Callers fall back to shipping the full wire form."""
+
+
+class DatabaseDelta:
+    """The delta form of :class:`DatabaseWire`: only the rows appended after
+    a base version, with their own mini-dictionary.
+
+    An appended shard ships to the worker that already holds it resident as
+    just the ``delta_since`` rows of each grown relation, encoded exactly
+    like the full wire (id columns over a dictionary holding only the values
+    the delta touches).  Each relation carries the base version the delta
+    starts from; :meth:`apply` refuses (``DeltaMismatchError``) when the
+    resident copy is not at that version, so a desynchronised worker falls
+    back to a full ship instead of silently diverging.
+    """
+
+    __slots__ = ("relations", "dictionary")
+
+    def __init__(self, relations: dict, dictionary: list) -> None:
+        #: name -> (arity, tuple of id-column arrays, rows, base_version).
+        self.relations = relations
+        #: id -> value decode table for the delta rows only.
+        self.dictionary = dictionary
+
+    def __repr__(self) -> str:
+        rows = sum(entry[2] for entry in self.relations.values())
+        return (
+            f"DatabaseDelta(relations={len(self.relations)}, rows={rows}, "
+            f"dictionary={len(self.dictionary)})"
+        )
+
+    def apply(self, database) -> int:
+        """Append the delta rows to ``database`` through the versioned
+        storage API (so every resident cache layer extends in place on its
+        next use).  Returns the number of rows appended."""
+        values = self.dictionary
+        applied = 0
+        for name in sorted(self.relations):
+            arity, data, length, base_version = self.relations[name]
+            if database.has_relation(name):
+                relation = database.relation(name)
+            else:
+                from repro.cq.database import Relation
+
+                relation = Relation(name, arity)
+                database.add_relation(relation)
+            if relation.version != base_version:
+                raise DeltaMismatchError(
+                    f"relation {name!r} is at version {relation.version}, "
+                    f"delta starts at {base_version}"
+                )
+            if arity == 0:
+                rows = [()] if length else []
+            else:
+                decoded = [[values[ident] for ident in column] for column in data]
+                rows = list(zip(*decoded))
+            for row in rows:
+                relation.add(row)
+            applied += length
+        return applied
+
+
+def encode_delta(database, since: dict) -> DatabaseDelta:
+    """Encode the rows of ``database`` appended after ``since`` (a relation
+    name -> version map, e.g. the versions a worker's resident copy was last
+    synced at) into a :class:`DatabaseDelta`.
+
+    Relations absent from ``since`` are encoded from version 0 (the receiver
+    creates them).  Relations with no new rows are omitted entirely.
+    """
+    interner = ValueInterner()
+    intern = interner.intern
+    staged: dict = {}
+    for name in sorted(database.relations):
+        relation = database.relations[name]
+        base_version = since.get(name, 0)
+        rows = relation.delta_since(base_version)
+        if not rows:
+            continue
+        if relation.arity:
+            columns = tuple(
+                [intern(value) for value in column] for column in zip(*rows)
+            )
+        else:
+            columns = ()
+        staged[name] = (relation.arity, columns, len(rows), base_version)
+    typecode = _id_typecode(len(interner))
+    relations = {
+        name: (
+            arity,
+            tuple(array(typecode, column) for column in columns),
+            rows,
+            base_version,
+        )
+        for name, (arity, columns, rows, base_version) in staged.items()
+    }
+    return DatabaseDelta(relations, interner.values)
 
 
 # ----------------------------------------------------------------------

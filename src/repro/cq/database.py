@@ -111,14 +111,34 @@ def shard_of(value: Hashable, shards: int) -> int:
 
 
 class Relation:
-    """A named relation: a set of equal-length tuples."""
+    """A named relation: a set of equal-length tuples with a version seam.
+
+    Mutation is append-only and *versioned*: every distinct row appended
+    through :meth:`add` lands in an insertion-ordered log and bumps
+    :attr:`version` (the log length).  Cache layers key on
+    ``(relation, version)`` instead of cardinality fingerprints, and
+    incremental consumers ask :meth:`delta_since` for exactly the rows that
+    arrived after the version they last saw.  Duplicate appends are no-ops —
+    they change neither the set, the log, nor the version.
+    """
 
     def __init__(self, name: str, arity: int, tuples: Iterable[tuple] = ()) -> None:
         self.name = name
         self.arity = arity
         self.tuples: set[tuple] = set()
+        #: Insertion-ordered append log; ``version == len(_log)`` always.
+        self._log: list[tuple] = []
+        self._sorted: list[tuple] | None = None
+        self._sorted_version = -1
         for row in tuples:
             self.add(row)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter: the number of distinct rows ever
+        appended.  Equal to ``len(self.tuples)`` as long as all mutation
+        goes through :meth:`add`."""
+        return len(self._log)
 
     def add(self, row: Iterable[Value]) -> None:
         row = tuple(row)
@@ -126,13 +146,51 @@ class Relation:
             raise ValueError(
                 f"relation {self.name!r} has arity {self.arity}, got tuple of length {len(row)}"
             )
-        self.tuples.add(row)
+        if row not in self.tuples:
+            self.tuples.add(row)
+            self._log.append(row)
+
+    def delta_since(self, version: int) -> tuple:
+        """The rows appended after ``version``, in insertion order.
+
+        ``delta_since(0)`` is every row; ``delta_since(self.version)`` is
+        empty.  The contract behind semi-naive refresh: a consumer that saw
+        the relation at version ``v`` catches up by processing exactly these
+        rows.
+        """
+        if not 0 <= version <= len(self._log):
+            raise ValueError(
+                f"relation {self.name!r} is at version {len(self._log)}; "
+                f"cannot compute delta since {version}"
+            )
+        return tuple(self._log[version:])
+
+    @classmethod
+    def _trusted(cls, name: str, arity: int, rows: Iterable[tuple]) -> "Relation":
+        """Bulk-load pre-validated, distinct tuples without per-row checks
+        (partitioning, wire decode, copies).  Version state is coherent: the
+        log holds every row, so ``delta_since`` and the version counter
+        behave exactly as if the rows had been appended one by one."""
+        relation = cls.__new__(cls)
+        relation.name = name
+        relation.arity = arity
+        relation._log = list(rows)
+        relation.tuples = set(relation._log)
+        relation._sorted = None
+        relation._sorted_version = -1
+        return relation
 
     def __len__(self) -> int:
         return len(self.tuples)
 
     def __iter__(self):
-        return iter(sorted(self.tuples, key=repr))
+        # Deterministic scan order, computed once per version: the sorted
+        # order is cached and invalidated by the version counter, so the
+        # naive solver's repeated scans stop paying the n·log(n) re-sort.
+        if self._sorted is None or self._sorted_version != len(self._log):
+            self._sorted = sorted(self.tuples, key=repr)
+            self._sorted_version = len(self._log)
+        return iter(self._sorted)
 
     def __contains__(self, row: tuple) -> bool:
         return tuple(row) in self.tuples
@@ -142,12 +200,28 @@ class Relation:
             return NotImplemented
         return self.name == other.name and self.arity == other.arity and self.tuples == other.tuples
 
+    def __getstate__(self):
+        # The log alone reconstructs the tuple set (it holds every distinct
+        # row in insertion order), so pickles ship one sequence instead of
+        # set + log + sort cache.
+        return (self.name, self.arity, self._log)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.arity, log = state
+        self._log = list(log)
+        self.tuples = set(self._log)
+        self._sorted = None
+        self._sorted_version = -1
+
     def size(self) -> int:
         """Number of cells stored in the relation."""
         return len(self.tuples) * max(1, self.arity)
 
     def __repr__(self) -> str:
-        return f"Relation({self.name!r}, arity={self.arity}, tuples={len(self.tuples)})"
+        return (
+            f"Relation({self.name!r}, arity={self.arity}, "
+            f"tuples={len(self.tuples)}, version={len(self._log)})"
+        )
 
 
 class Database:
@@ -159,6 +233,10 @@ class Database:
         self._atom_cache: dict | None = None
         #: Lazily created columnar store (see :meth:`columnar_view`).
         self._columnar = None
+        #: Memoized active domain (see :meth:`active_domain`).
+        self._domain_values: set | None = None
+        self._domain_frozen: frozenset | None = None
+        self._domain_versions: dict[str, int] = {}
         if isinstance(relations, Mapping):
             iterable = relations.values()
         else:
@@ -186,6 +264,16 @@ class Database:
             self.relations[name] = Relation(name, len(row))
         self.relations[name].add(row)
 
+    @property
+    def version(self) -> int:
+        """Monotone database-level version: total appended rows plus the
+        number of relations.  Bumps on every ``add_fact`` of a new row and on
+        every ``add_relation``, so any ``(id(db), db.version)`` key is safe
+        to memoize on — growth anywhere in the database changes it."""
+        return len(self.relations) + sum(
+            relation.version for relation in self.relations.values()
+        )
+
     # ------------------------------------------------------------------
     @property
     def atom_cache(self) -> dict | None:
@@ -202,10 +290,12 @@ class Database:
         per (relation, term pattern), together with whatever key indexes
         later joins memoized on it, instead of rescanning and re-indexing the
         stored tuples on every call.  Correctness relies on the storage
-        layer's grow-only API: cache keys carry the relation's cardinality,
-        every ``add`` changes it, and no removal API exists — so a stale view
-        can only be served to code that mutates ``Relation.tuples`` directly,
-        which is off-API.
+        layer's versioned append-only API: cache keys carry the relation's
+        :attr:`Relation.version`, every ``add`` of a new row bumps it, and no
+        removal API exists — so a stale view can only be served to code that
+        mutates ``Relation.tuples`` directly, which is off-API.  On a version
+        miss the cached view is *extended* with ``delta_since`` rows rather
+        than rebuilt.
         """
         if self._atom_cache is None:
             self._atom_cache = {}
@@ -232,9 +322,10 @@ class Database:
         ``atom`` over this database's interner.
 
         Sits beside the atom-view cache with the same invalidation contract:
-        keys carry the relation's cardinality, so growth through the
-        grow-only storage API misses and rebuilds; stale views are only
-        possible through off-API mutation of ``Relation.tuples``.
+        keys carry the relation's version, so growth through the append-only
+        storage API misses — and the store extends the stale view in place
+        with the ``delta_since`` rows instead of rebuilding it.  Stale views
+        are only possible through off-API mutation of ``Relation.tuples``.
         """
         return self.columnar_store().view(atom, self.relation(atom.relation))
 
@@ -273,20 +364,40 @@ class Database:
         state = self.__dict__.copy()
         state["_atom_cache"] = None
         state["_columnar"] = None
+        state["_domain_values"] = None
+        state["_domain_frozen"] = None
+        state["_domain_versions"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
         self._atom_cache = None
         self._columnar = None
+        self._domain_values = None
+        self._domain_frozen = None
+        self._domain_versions = {}
 
     # ------------------------------------------------------------------
     def active_domain(self) -> frozenset:
-        domain: set = set()
-        for relation in self.relations.values():
-            for row in relation.tuples:
-                domain.update(row)
-        return frozenset(domain)
+        """The set of values appearing anywhere in the database, memoized
+        behind the version seam: the first call scans everything, later
+        calls fold in only the ``delta_since`` rows of relations whose
+        version moved (and values from newly added relations)."""
+        if self._domain_values is None:
+            self._domain_values = set()
+            self._domain_versions = {}
+            self._domain_frozen = None
+        before = len(self._domain_values)
+        for name, relation in self.relations.items():
+            seen = self._domain_versions.get(name, 0)
+            version = relation.version
+            if version > seen:
+                for row in relation.delta_since(seen):
+                    self._domain_values.update(row)
+                self._domain_versions[name] = version
+        if self._domain_frozen is None or len(self._domain_values) != before:
+            self._domain_frozen = frozenset(self._domain_values)
+        return self._domain_frozen
 
     def size(self) -> int:
         """``||D||``: total cells plus number of relations."""
@@ -298,7 +409,9 @@ class Database:
     def copy(self) -> "Database":
         clone = Database()
         for relation in self.relations.values():
-            clone.add_relation(Relation(relation.name, relation.arity, relation.tuples))
+            clone.add_relation(
+                Relation._trusted(relation.name, relation.arity, relation._log)
+            )
         return clone
 
     # ------------------------------------------------------------------
@@ -344,16 +457,16 @@ class Database:
         pieces = [Database() for _ in range(shards)]
         for name, column in key_columns.items():
             relation = self.relations[name]
-            buckets = [Relation(name, relation.arity) for _ in range(shards)]
-            for row in relation.tuples:
-                buckets[shard_of(row[column], shards)].tuples.add(row)
+            buckets: list[list[tuple]] = [[] for _ in range(shards)]
+            for row in relation._log:
+                buckets[shard_of(row[column], shards)].append(row)
             for piece, bucket in zip(pieces, buckets):
-                piece.add_relation(bucket)
+                piece.add_relation(Relation._trusted(name, relation.arity, bucket))
         for name in broadcast:
             relation = self.relations[name]
             for piece in pieces:
                 piece.add_relation(
-                    Relation(name, relation.arity, relation.tuples)
+                    Relation._trusted(name, relation.arity, relation._log)
                 )
         return pieces
 

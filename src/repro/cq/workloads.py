@@ -28,6 +28,13 @@ proper-colouring databases with predictable counts — so Boolean,
 enumeration, and counting semantics are all exercised on both empty and
 non-empty answer sets.
 
+Beyond the static scenarios, :func:`append_schedule` turns any scenario
+into an **append-heavy** replay: deterministic growth batches (drawn from
+the database's own column values, plus fresh values) that the incremental
+differential pass feeds through ``add_fact`` between standing-query
+refreshes — semi-naive refresh must equal a from-scratch evaluation after
+every batch.
+
 Everything is deterministic in ``(seed, size, regime)``: the differential
 harness can be pointed at a fresh seed every CI run and still reproduce any
 failure locally.
@@ -246,6 +253,84 @@ def generate_workload(
                     )
                 )
     return scenarios
+
+
+# ----------------------------------------------------------------------
+# Append-heavy replay: deterministic growth batches for ANY scenario
+# ----------------------------------------------------------------------
+def append_schedule(
+    database: Database,
+    batches: int = 3,
+    fraction: float = 0.05,
+    seed: int = 0,
+) -> list[dict]:
+    """Deterministic append batches for an append-heavy replay of
+    ``database``: ``batches`` dicts of relation name → rows to feed through
+    ``add_fact`` (or ``POST /facts``) between refreshes.
+
+    Each batch appends about ``fraction`` of every relation's current rows
+    (at least one).  Cell values are drawn from the values already seen in
+    the same column — so appended rows actually *join* — with a slice of
+    fresh values (one past the column's maximum, for integer columns) so
+    the interner/dictionary growth paths are exercised too.  Some generated
+    rows may duplicate stored rows; the storage layer treats those as
+    no-ops, which is itself part of the contract under test.
+
+    Deterministic in ``(database contents, batches, fraction, seed)``; the
+    schedule is computed up front, so applying batch ``i`` never changes
+    batch ``i+1``.
+    """
+    if batches < 1:
+        raise ValueError("append_schedule needs batches >= 1")
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction!r}")
+    rng = random.Random(f"appends|{seed}|{batches}|{fraction}")
+    columns: dict = {}
+    per_batch: dict = {}
+    for name, relation in sorted(database.relations.items()):
+        if relation.arity == 0:
+            continue
+        if relation.tuples:
+            pools = [sorted({row[i] for row in relation}, key=repr)
+                     for i in range(relation.arity)]
+        else:
+            # An empty relation still grows: small fresh integers, so the
+            # relation-appears-later path of every cache layer is replayed.
+            pools = [list(range(3)) for _ in range(relation.arity)]
+        columns[name] = pools
+        per_batch[name] = max(1, int(len(relation.tuples) * fraction))
+    schedule = []
+    for _ in range(batches):
+        batch: dict = {}
+        for name, pools in columns.items():
+            rows = []
+            for _ in range(per_batch[name]):
+                row = []
+                for pool in pools:
+                    if rng.random() < 0.2 and all(
+                        isinstance(v, int) and not isinstance(v, bool)
+                        for v in pool
+                    ):
+                        row.append(max(pool) + 1 + rng.randrange(3))
+                    else:
+                        row.append(rng.choice(pool))
+                rows.append(tuple(row))
+            batch[name] = rows
+        schedule.append(batch)
+    return schedule
+
+
+def apply_appends(database: Database, batch: dict) -> int:
+    """Feed one :func:`append_schedule` batch through ``add_fact``; returns
+    the number of genuinely new rows (duplicates are storage no-ops)."""
+    added = 0
+    for name, rows in batch.items():
+        relation = database.relation(name)
+        before = relation.version
+        for row in rows:
+            database.add_fact(name, row)
+        added += relation.version - before
+    return added
 
 
 # ----------------------------------------------------------------------

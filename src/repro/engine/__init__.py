@@ -37,7 +37,13 @@ The pipeline has three layers, each reusable on its own:
   :class:`ProcessRuntime` (owner-routed persistent workers: each shard is
   resident on the one worker that owns it, shipped once in the compact
   columnar wire form), selected per call or per session via
-  ``runtime="inline" | "thread" | "process"`` (or an instance).
+  ``runtime="inline" | "thread" | "process"`` (or an instance);
+* :mod:`repro.engine.incremental` — :class:`IncrementalView`, a standing
+  query refreshed in delta time after appends: semi-naive evaluation
+  (Δ⋈old + old⋈Δ + Δ⋈Δ) over the versioned storage layer's delta logs and
+  the resident atom views, with an exact full-recompute fallback when the
+  delta fraction exceeds a threshold
+  (:meth:`EngineSession.incremental_view`).
 
 Strategy backends and runtimes are both pluggable: see
 :func:`repro.engine.backends.register_backend`,
@@ -69,6 +75,14 @@ from repro.engine.executor import (
     count,
     is_satisfiable,
     plan_query,
+)
+from repro.engine.incremental import (
+    DEFAULT_REFRESH_THRESHOLD,
+    MODE_FULL,
+    MODE_INCREMENTAL,
+    MODE_INITIAL,
+    MODE_NOOP,
+    IncrementalView,
 )
 from repro.engine.runtime import (
     CancellationToken,

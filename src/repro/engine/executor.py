@@ -89,6 +89,17 @@ class EvalResult:
         """
         return self.timings.get("runtime")
 
+    @property
+    def incremental(self) -> dict | None:
+        """The incremental-refresh record, or ``None`` for plain calls.
+
+        Filled by :class:`repro.engine.incremental.IncrementalView`:
+        ``mode`` (``initial`` / ``noop`` / ``incremental`` / ``full``),
+        ``delta_rows`` (stored rows folded in), ``delta_fraction``,
+        ``new_answers``, and ``refresh_seconds``.
+        """
+        return self.timings.get("incremental")
+
     def __repr__(self) -> str:
         return (
             f"EvalResult(task={self.task!r}, value={self.value!r}, "

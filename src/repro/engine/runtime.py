@@ -55,15 +55,19 @@ Serialization contract (what crosses the process boundary):
   exactly because planning is deterministic.  Plans whose strategy the
   planner cannot reproduce (hand-built plans for unregistered strategies)
   are rejected by the worker rather than silently re-routed.
-* **data** ships as the compact columnar wire form: ``payload`` is a
-  pre-pickled :class:`~repro.cq.columnar.DatabaseWire` (interned-id
-  columns + one shared value dictionary — see
+* **data** ships as the compact columnar wire form: ``payload`` is either
+  ``None`` (steady state), ``("full", bytes)`` — a pre-pickled
+  :class:`~repro.cq.columnar.DatabaseWire` (interned-id columns + one
+  shared value dictionary — see
   :func:`repro.cq.columnar.encode_database`), which the worker decodes
   straight into a database with a **warm**
-  :class:`~repro.cq.columnar.ColumnarStore`: the first query over a
-  shipped piece never re-scans or re-interns the stored tuples.  The
-  coordinator pickles the wire itself, so ``shipment_bytes`` accounts the
-  exact payload cost and replicas reuse one encoding.
+  :class:`~repro.cq.columnar.ColumnarStore` — or ``("delta", bytes)`` — a
+  pickled :class:`~repro.cq.columnar.DatabaseDelta` carrying only the
+  rows appended since the worker's copy was last synced, which the worker
+  applies to its resident piece through the versioned storage API (so the
+  piece's caches extend in place).  The coordinator pickles the payloads
+  itself, so ``shipment_bytes`` / ``delta_bytes`` account the exact cost
+  and replicas reuse one encoding.
 * **results** return as ``(value, seconds, pid)`` — the answer payload
   (rows / bool / count), the worker-side execution time, and the worker
   identity for the ``timings["runtime"]`` record.
@@ -92,6 +96,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
+from repro.cq.columnar import DeltaMismatchError, encode_delta
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
 from repro.engine.sharding import assign_pieces, reassign_pieces, rendezvous_rank
@@ -342,6 +347,12 @@ _WORKER_RESIDENT_CAP = 256
 _REPLY_OK = "ok"
 _REPLY_NEED_DATA = "need-data"
 
+#: Payload kinds a task message can carry: ``None`` (token only), a full
+#: :class:`~repro.cq.columnar.DatabaseWire`, or a
+#: :class:`~repro.cq.columnar.DatabaseDelta` of just the appended rows.
+_SHIP_FULL = "full"
+_SHIP_DELTA = "delta"
+
 
 def _worker_session():
     global _WORKER_SESSION
@@ -369,14 +380,31 @@ def _worker_execute(message: tuple) -> tuple:
     token, payload, task, query, use_core, force_strategy = message
     database = _WORKER_RESIDENT.get(token)
     if database is None:
-        if payload is None:
+        if payload is None or payload[0] != _SHIP_FULL:
+            # Nothing resident and no full payload: a bare token or a delta
+            # cannot (re)build the piece — ask the coordinator to ship.
             return (_REPLY_NEED_DATA, token, os.getpid())
-        database = pickle.loads(payload).decode().enable_atom_cache()
+        database = pickle.loads(payload[1]).decode().enable_atom_cache()
         _WORKER_RESIDENT[token] = database
         while len(_WORKER_RESIDENT) > _WORKER_RESIDENT_CAP:
             _WORKER_RESIDENT.popitem(last=False)
     else:
         _WORKER_RESIDENT.move_to_end(token)
+        if payload is not None:
+            if payload[0] == _SHIP_FULL:
+                # The coordinator chose a full re-ship (e.g. recovery after
+                # a need-data reply): replace the resident piece outright.
+                database = pickle.loads(payload[1]).decode().enable_atom_cache()
+                _WORKER_RESIDENT[token] = database
+            else:
+                delta = pickle.loads(payload[1])
+                try:
+                    delta.apply(database)
+                except DeltaMismatchError:
+                    # The resident copy is not at the delta's base version —
+                    # drop it and ask for a full ship rather than diverge.
+                    del _WORKER_RESIDENT[token]
+                    return (_REPLY_NEED_DATA, token, os.getpid())
     session = _worker_session()
     started = time.perf_counter()
     plan = session.plan(query, use_core=use_core, force_strategy=force_strategy)
@@ -389,17 +417,21 @@ class _WorkerSlot:
     """One addressable worker: a single-process executor plus the
     coordinator's book-keeping about it.
 
-    ``resident`` is the coordinator's view of which tokens the worker
-    holds (marked at submit time — submissions to one slot execute FIFO,
-    so a later token-only task can never overtake the shipment in front of
-    it).  ``generation`` makes recovery idempotent: every future remembers
-    the generation it was submitted against, and only the first failure
+    ``resident`` is the coordinator's view of what the worker holds: a map
+    ``token -> {relation name: version}`` recording the storage versions
+    the piece was last synced to on that worker (marked at submit time —
+    submissions to one slot execute FIFO, so a later token-only task can
+    never overtake the shipment in front of it).  A database whose versions
+    moved past the recorded map ships only a
+    :class:`~repro.cq.columnar.DatabaseDelta` of the appended rows.
+    ``generation`` makes recovery idempotent: every future remembers the
+    generation it was submitted against, and only the first failure
     observer actually replaces the slot.
     """
 
     index: int
     pool: ProcessPoolExecutor
-    resident: set = field(default_factory=set)
+    resident: dict = field(default_factory=dict)
     generation: int = 0
     pid: int | None = None
 
@@ -428,13 +460,18 @@ class ProcessRuntime(ExecutionRuntime):
         state this runtime exists for.  The default (256) covers every
         engine workload; raise it for wider fan-outs.
 
-    Dataset identity: a piece is resident under a token minted for
-    ``(id(piece), relation cardinalities)``.  The cardinality fingerprint
-    makes any growth through the storage API (``add_fact`` /
-    ``Relation.add`` — the only mutators; there is no removal API) mint a
-    fresh token, so workers can never serve a stale shard for a database
-    that changed shape.  Callers mutating ``Relation.tuples`` directly are
-    off-API and on their own.
+    Dataset identity: a piece is resident under a token minted for the
+    database *object* (checked by identity through a weakref).  Growth
+    through the versioned storage API (``add_fact`` / ``Relation.add`` —
+    the only mutators; there is no removal API) keeps the token: the
+    coordinator records the relation versions each worker's copy was last
+    synced to, and a grown piece ships a
+    :class:`~repro.cq.columnar.DatabaseDelta` of just its appended rows to
+    the owning worker instead of re-shipping the piece (counted by
+    ``delta_shipments`` / ``delta_bytes`` in the ledger).  A worker whose
+    resident copy cannot accept a delta (it desynced, restarted, or aged
+    the piece out) answers need-data and gets a full re-ship.  Callers
+    mutating ``Relation.tuples`` directly are off-API and on their own.
 
     The token map holds each served database through a **weak** reference:
     a long-lived runtime must not keep up to ``max_datasets`` large
@@ -484,6 +521,9 @@ class ProcessRuntime(ExecutionRuntime):
         self.tasks_cancelled = 0
         self.shipments = 0
         self.shipment_bytes = 0
+        self.delta_shipments = 0
+        self.delta_bytes = 0
+        self.tokens_retired = 0
         self.recovery_reships = 0
         self.worker_restarts = 0
 
@@ -553,26 +593,28 @@ class ProcessRuntime(ExecutionRuntime):
 
     # -- dataset residency ----------------------------------------------
     @staticmethod
-    def _fingerprint(database: Database) -> tuple:
-        return tuple(
-            sorted(
-                (name, len(relation.tuples))
-                for name, relation in database.relations.items()
-            )
-        )
+    def _versions(database: Database) -> dict:
+        """The database's per-relation version map — what the shipping
+        ledger records per worker so appends ship as deltas."""
+        return {
+            name: relation.version
+            for name, relation in database.relations.items()
+        }
 
     def _token_for(self, database: Database) -> str:
-        """The stable token for ``database``, minted on first sight.
+        """The stable token for ``database``, minted on first sight and
+        **kept across appends** (versions are tracked per worker in the
+        residency map, not in the token).
 
         The map holds only a weakref to the database (callers dropping a
         dataset must actually free it — the runtime's own call frames keep
-        it alive for the duration of a ``run``).  Because the key embeds
+        it alive for the duration of a ``run``).  Because the key is
         ``id(database)``, a dead entry's key can be *reached again* by a new
-        database whose recycled ``id`` and cardinalities collide; the
-        identity check below catches exactly that and retires the dead
-        entry's token instead of aliasing it onto the newcomer.
+        database that recycles the address; the identity check below catches
+        exactly that and retires the dead entry's token instead of aliasing
+        it onto the newcomer.
         """
-        key = (id(database), self._fingerprint(database))
+        key = id(database)
         with self._lock:
             entry = self._datasets.get(key)
             if entry is not None:
@@ -595,10 +637,13 @@ class ProcessRuntime(ExecutionRuntime):
     def _drop_token_records_locked(self, token: str) -> None:
         # Tokens are never reused (monotonic counter), so dropping the
         # routing and residency records is enough: a worker still holding
-        # the piece ages it out of its own LRU.
+        # the piece ages it out of its own LRU.  ``tokens_retired`` keeps
+        # the shipping ledger reconcilable: a retired token's shipments
+        # stay counted after its residency records are gone.
+        self.tokens_retired += 1
         self._owner.pop(token, None)
         for slot in self._slots or ():
-            slot.resident.discard(token)
+            slot.resident.pop(token, None)
 
     # -- routing ---------------------------------------------------------
     def _route(self, tokens: list[str], parallel: int | None) -> list[int]:
@@ -656,8 +701,11 @@ class ProcessRuntime(ExecutionRuntime):
         tokens = [self._token_for(task.database) for task in tasks]
         targets = self._route(tokens, parallel)
         # One wire encoding per token per call, shared by every shipment of
-        # the piece in this call (replicas, recovery retries).
+        # the piece in this call (replicas, recovery retries).  Delta blobs
+        # memoize per (token, base versions): workers synced at the same
+        # point share one encoding.
         blobs: dict[str, bytes] = {}
+        delta_blobs: dict[tuple, bytes] = {}
 
         def blob_for(token: str, database: Database) -> bytes:
             blob = blobs.get(token)
@@ -668,11 +716,24 @@ class ProcessRuntime(ExecutionRuntime):
                 blobs[token] = blob
             return blob
 
+        def delta_blob_for(token: str, database: Database, since: dict) -> bytes:
+            key = (token, tuple(sorted(since.items())))
+            blob = delta_blobs.get(key)
+            if blob is None:
+                blob = pickle.dumps(
+                    encode_delta(database, since),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                delta_blobs[key] = blob
+            return blob
+
         outcomes: list[TaskOutcome | None] = [None] * len(tasks)
         #: future -> (task index, slot index, generation, token)
         pending: dict = {}
         for index, (task, token, target) in enumerate(zip(tasks, tokens, targets)):
-            future, meta = self._submit(index, task, token, target, False, blob_for)
+            future, meta = self._submit(
+                index, task, token, target, False, blob_for, delta_blob_for
+            )
             pending[future] = meta
         # Collect with a FIRST_COMPLETED loop — never in submission order —
         # so a need-data re-shipment or a death retry launches the moment
@@ -702,7 +763,8 @@ class ProcessRuntime(ExecutionRuntime):
                     self._recover_worker(slot_index, generation)
                     retry_target = self._owner_of(token, slot_index)
                     future, meta = self._submit(
-                        index, tasks[index], token, retry_target, False, blob_for
+                        index, tasks[index], token, retry_target, False,
+                        blob_for, delta_blob_for,
                     )
                     pending[future] = meta
                     continue
@@ -712,7 +774,8 @@ class ProcessRuntime(ExecutionRuntime):
                     with self._lock:
                         self.recovery_reships += 1
                     future, meta = self._submit(
-                        index, tasks[index], token, slot_index, True, blob_for
+                        index, tasks[index], token, slot_index, True,
+                        blob_for, delta_blob_for,
                     )
                     pending[future] = meta
                     continue
@@ -765,19 +828,35 @@ class ProcessRuntime(ExecutionRuntime):
         target: int,
         force_ship: bool,
         blob_for,
+        delta_blob_for,
     ) -> tuple:
-        """Submit one task to one worker, shipping the piece when the
-        coordinator does not believe it resident there (or when
-        ``force_ship`` says the worker just told us otherwise).  A broken
-        worker at submit time is replaced and the task rerouted, a bounded
-        number of times."""
+        """Submit one task to one worker, shipping what the worker's copy is
+        missing: the full wire form when the coordinator does not believe
+        the piece resident there (or when ``force_ship`` says the worker
+        just told us otherwise), only a :class:`~repro.cq.columnar
+        .DatabaseDelta` of the appended rows when the copy is resident but
+        its synced versions lag the database, and nothing in steady state.
+        A broken worker at submit time is replaced and the task rerouted, a
+        bounded number of times."""
         for attempt in range(self._SUBMIT_ATTEMPTS):
+            current = self._versions(task.database)
             with self._lock:
                 slots = self._ensure_slots_locked()
                 slot = slots[target]
                 generation = slot.generation
-                ship = force_ship or token not in slot.resident
-            payload = blob_for(token, task.database) if ship else None
+                synced = None if force_ship else slot.resident.get(token)
+            if synced is None:
+                kind = _SHIP_FULL
+                payload = (_SHIP_FULL, blob_for(token, task.database))
+            elif synced != current:
+                kind = _SHIP_DELTA
+                payload = (
+                    _SHIP_DELTA,
+                    delta_blob_for(token, task.database, synced),
+                )
+            else:
+                kind = None
+                payload = None
             message = (
                 token, payload, task.task, task.query,
                 task.use_core, task.force_strategy,
@@ -789,15 +868,19 @@ class ProcessRuntime(ExecutionRuntime):
                         # Lost a race with recovery: re-evaluate shipping
                         # against the fresh (empty-residency) slot.
                         generation = slot.generation
-                        if payload is None and token not in slot.resident:
-                            payload = blob_for(token, task.database)
-                            ship = True
+                        if kind != _SHIP_FULL and token not in slot.resident:
+                            kind = _SHIP_FULL
+                            payload = (_SHIP_FULL, blob_for(token, task.database))
                             message = message[:1] + (payload,) + message[2:]
                     future = slot.pool.submit(_worker_execute, message)
-                    if ship:
-                        slot.resident.add(token)
-                        self.shipments += 1
-                        self.shipment_bytes += len(payload)
+                    if kind is not None:
+                        slot.resident[token] = current
+                        if kind == _SHIP_FULL:
+                            self.shipments += 1
+                            self.shipment_bytes += len(payload[1])
+                        else:
+                            self.delta_shipments += 1
+                            self.delta_bytes += len(payload[1])
                 return future, (index, target, generation, token)
             except BrokenProcessPool:
                 self._recover_worker(target, generation)
@@ -836,6 +919,9 @@ class ProcessRuntime(ExecutionRuntime):
                 "tasks_cancelled": self.tasks_cancelled,
                 "shipments": self.shipments,
                 "shipment_bytes": self.shipment_bytes,
+                "delta_shipments": self.delta_shipments,
+                "delta_bytes": self.delta_bytes,
+                "tokens_retired": self.tokens_retired,
                 "recovery_reships": self.recovery_reships,
                 "worker_restarts": self.worker_restarts,
                 "resident_by_worker": {

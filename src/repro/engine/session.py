@@ -44,7 +44,7 @@ import time
 import weakref
 from contextlib import contextmanager
 
-from repro.cq.database import Database
+from repro.cq.database import Database, shard_of
 from repro.cq.query import Constant, ConjunctiveQuery
 from repro.engine.analysis import LRUCache
 from repro.engine.executor import (
@@ -172,6 +172,8 @@ class EngineSession(Engine):
         self._runtimes_used: dict = {}
         self.sharded_calls = 0
         self.sharding_modes: dict = {}
+        #: Standing incremental views handed out by :meth:`incremental_view`.
+        self.incremental_views = 0
         #: Weak refs to every database this session has executed against,
         #: so stats()/clear_cache() can reach their columnar-view caches
         #: (which live on the Database, not the session) without keeping
@@ -216,42 +218,72 @@ class EngineSession(Engine):
 
     # ------------------------------------------------------------------
     def _sharded_pieces(self, database: Database, target, spec) -> list:
-        """The resident pieces for ``(database, spec)``, partitioned once.
+        """The resident pieces for ``(database, spec)``, partitioned once
+        and *extended* across appends.
 
-        Cache validity: the key carries the database's identity plus the
-        cardinality of every relation the spec touches.  The storage API is
-        grow-only (``add_fact`` / ``Relation.add``; no removal), so any
-        mutation changes a cardinality and misses; the identity check on the
-        cached entry guards against ``id`` reuse after garbage collection.
-        The pieces are session-owned and get the atom-view memo enabled —
-        callers must treat a served database as immutable for the lifetime
-        of the session (the same contract the plan cache already implies).
+        Cache validity rides the version seam: the key carries the
+        database's identity plus the spec, and the entry records the
+        :attr:`~repro.cq.database.Relation.version` of every relation the
+        spec touches.  When versions have moved since the pieces were cut,
+        only the ``delta_since`` rows are routed — partitioned relations
+        hash each appended row to its owning piece, broadcast relations
+        append to every piece — so resident pieces (and the atom-view and
+        columnar caches living on them) extend instead of being rebuilt.
+        The identity check on the cached entry guards against ``id`` reuse
+        after garbage collection.  The pieces are session-owned and get the
+        atom-view memo enabled — callers must not mutate a served database
+        concurrently with evaluation (appends between evaluations are the
+        supported write pattern).
         """
         relevant = tuple(sorted(set(spec.partition_columns) | set(spec.broadcast_relations)))
-        fingerprint = tuple(
-            (name, len(database.relations[name].tuples))
-            if database.has_relation(name)
-            else (name, None)
-            for name in relevant
-        )
         key = (
             id(database),
             spec.shard_variable,
             spec.shards,
             tuple(sorted(spec.partition_columns.items())),
             spec.broadcast_relations,
-            fingerprint,
+            relevant,
         )
         with self._lock:
             entry = self._partition_cache.get(key)
             if entry is not None and entry[0] is database:
-                return entry[1]
+                pieces, versions = entry[1], entry[2]
+                self._extend_pieces(database, pieces, versions, spec, relevant)
+                return pieces
         pieces = ShardedDatabase.partition(database, target, spec.shards, spec=spec).shards
         for piece in pieces:
             piece.enable_atom_cache()
+        versions = {
+            name: database.relations[name].version
+            for name in relevant
+            if database.has_relation(name)
+        }
         with self._lock:
-            self._partition_cache.put(key, (database, pieces))
+            self._partition_cache.put(key, (database, pieces, versions))
         return pieces
+
+    @staticmethod
+    def _extend_pieces(database, pieces, versions, spec, relevant) -> None:
+        """Catch resident pieces up with rows appended since they were cut
+        (called under the session lock)."""
+        for name in relevant:
+            if not database.has_relation(name):
+                continue
+            relation = database.relations[name]
+            seen = versions.get(name, 0)
+            if relation.version == seen:
+                continue
+            delta = relation.delta_since(seen)
+            if name in spec.partition_columns:
+                column = spec.partition_columns[name]
+                shards = len(pieces)
+                for row in delta:
+                    pieces[shard_of(row[column], shards)].add_fact(name, row)
+            else:
+                for piece in pieces:
+                    for row in delta:
+                        piece.add_fact(name, row)
+            versions[name] = relation.version
 
     # ------------------------------------------------------------------
     def plan(
@@ -354,6 +386,25 @@ class EngineSession(Engine):
             TASK_COUNT, query, database, plan, use_core,
             shards, shard_variable, parallel, runtime, cancel,
         )
+
+    def incremental_view(self, query, database, threshold=None):
+        """A standing :class:`~repro.engine.incremental.IncrementalView`
+        over ``database``: call ``refresh()`` after appends to bring its
+        answer set up to date in delta time (semi-naive evaluation against
+        the resident atom views, with an exact full-recompute fallback when
+        the delta fraction exceeds ``threshold``)."""
+        from repro.engine.incremental import (
+            DEFAULT_REFRESH_THRESHOLD,
+            IncrementalView,
+        )
+
+        if threshold is None:
+            threshold = DEFAULT_REFRESH_THRESHOLD
+        view = IncrementalView(self, query, database, threshold=threshold)
+        self._track_database(database)
+        with self._lock:
+            self.incremental_views += 1
+        return view
 
     def _run_sharded(
         self, task, query, database, plan, use_core, shards, shard_variable,
@@ -718,6 +769,7 @@ class EngineSession(Engine):
                     "calls": self.sharded_calls,
                     "by_mode": dict(self.sharding_modes),
                 },
+                "incremental_views": self.incremental_views,
             }
 
     def _columnar_stats(self) -> dict:

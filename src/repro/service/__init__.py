@@ -27,12 +27,18 @@ from repro.service.codec import (
     CodecError,
     database_from_json,
     database_to_json,
+    facts_from_json,
     query_from_json,
     query_to_json,
     result_to_json,
 )
 from repro.service.deadlines import DeadlineExceeded, deadline_seconds
 from repro.service.metrics import LatencyWindow, ServiceMetrics, percentile
+from repro.service.subscriptions import (
+    Subscription,
+    SubscriptionRegistry,
+    UnknownSubscription,
+)
 from repro.service.tenancy import (
     DEFAULT_TENANT,
     DatasetRegistry,
@@ -54,11 +60,15 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceThread",
+    "Subscription",
+    "SubscriptionRegistry",
     "TenantSessions",
     "UnknownDataset",
+    "UnknownSubscription",
     "database_from_json",
     "database_to_json",
     "deadline_seconds",
+    "facts_from_json",
     "percentile",
     "query_from_json",
     "query_to_json",

@@ -27,9 +27,17 @@ Topology (one request, left to right)::
   ledger, sharding modes) as one JSON document.
 
 Endpoints: ``POST /answer`` | ``/count`` | ``/is_satisfiable`` |
-``/batch``, ``GET /stats`` | ``/healthz``.  Request payloads reference a
-registered dataset (``{"dataset": "name"}``) or carry an inline database;
-see :mod:`repro.service.codec` for the wire format and
+``/batch``, ``GET /stats`` | ``/healthz``; the write path adds
+``POST /facts`` (append rows to a registered dataset — the versioned
+storage layer propagates the delta to every resident cache) and standing
+queries: ``POST /subscriptions`` registers a CQ over a dataset, each
+``GET /subscriptions/{id}`` poll refreshes it incrementally
+(:class:`~repro.engine.incremental.IncrementalView`) and returns only the
+answers derived since the last poll, ``DELETE /subscriptions/{id}`` tears
+it down.  Request payloads reference a registered dataset
+(``{"dataset": "name"}``) or carry an inline database; bodyless requests
+name their tenant via the ``X-Tenant`` header.  See
+:mod:`repro.service.codec` for the wire format and
 ``docs/ARCHITECTURE.md`` for the topology discussion.
 """
 
@@ -48,12 +56,15 @@ from repro.service.admission import AdmissionController, Overloaded
 from repro.service.codec import (
     CodecError,
     database_from_json,
+    facts_from_json,
     query_from_json,
     result_to_json,
+    rows_to_json,
 )
 from repro.service.deadlines import DeadlineExceeded, deadline_seconds, guard
 from repro.service.http import HttpError, Request, Response, Router, read_request
 from repro.service.metrics import ServiceMetrics
+from repro.service.subscriptions import SubscriptionRegistry, UnknownSubscription
 from repro.service.tenancy import (
     DEFAULT_TENANT,
     DatasetRegistry,
@@ -120,17 +131,30 @@ class QueryService:
         self._server: asyncio.AbstractServer | None = None
         self.port: int | None = None
         self._router = Router()
+        self.subscriptions = SubscriptionRegistry()
+        #: Serializes dataset appends (``POST /facts``): each request's rows
+        #: land atomically with respect to other appends, and the versioned
+        #: storage layer makes every append visible to later refreshes.
+        self._append_lock = threading.Lock()
         self._router.add("GET", "/healthz", self._handle_healthz)
         self._router.add("GET", "/stats", self._handle_stats)
         self._router.add("POST", "/batch", self._handle_batch)
+        self._router.add("POST", "/facts", self._handle_facts)
+        self._router.add("POST", "/subscriptions", self._handle_subscribe)
+        self._router.add("GET", "/subscriptions/{id}", self._handle_poll)
+        self._router.add(
+            "DELETE", "/subscriptions/{id}", self._handle_unsubscribe
+        )
         for task in _TASK_METHODS:
             self._router.add("POST", f"/{task}", partial(self._handle_single, task))
 
     # -- datasets --------------------------------------------------------
     def register_dataset(self, name: str, database, tenant: str = DEFAULT_TENANT):
         """Make ``database`` queryable as ``{"dataset": name}`` for
-        ``tenant``.  Served databases are treated as immutable; the
-        atom-view memo is enabled so repeated queries skip re-indexing."""
+        ``tenant``.  Served databases are append-only: ``POST /facts`` may
+        grow them (never shrink), and the atom-view memo is enabled so
+        repeated queries reuse resident views — extended in place from the
+        delta log when appends land between calls."""
         database.enable_atom_cache()
         self.datasets.register(tenant, name, database)
         return self
@@ -176,7 +200,7 @@ class QueryService:
                     response = await self._router.dispatch(request)
                 except HttpError as exc:
                     response = Response.error(exc.status, exc.message)
-                except UnknownDataset as exc:
+                except (UnknownDataset, UnknownSubscription) as exc:
                     # KeyError's str() wraps its message in quotes; args[0]
                     # is the clean text.
                     response = Response.error(404, exc.args[0])
@@ -215,6 +239,7 @@ class QueryService:
                 "tenant_pool": self.sessions.info(),
                 "tenants": self.sessions.stats(),
                 "datasets": self.datasets.by_tenant(),
+                "subscriptions": self.subscriptions.stats(),
                 "config": {
                     "max_concurrent": self.config.max_concurrent,
                     "max_queue": self.config.max_queue,
@@ -280,6 +305,111 @@ class QueryService:
             call,
             lambda results: {"results": [result_to_json(r) for r in results]},
         )
+
+    # -- append path & standing queries ----------------------------------
+    async def _handle_facts(self, request: Request) -> Response:
+        """Append rows to a registered dataset (the service write path).
+
+        The versioned storage layer makes the append observable everywhere
+        downstream: resident atom views and columnar views extend in place,
+        session partition caches route the delta rows to their shards, the
+        process runtime ships only the delta to the owning workers, and
+        standing subscriptions fold the rows in on their next poll.
+        """
+        payload = self._payload(request)
+        tenant = self._tenant_of(payload, request)
+        dataset = self._field(payload, "dataset")
+        if not isinstance(dataset, str):
+            raise HttpError(400, f"dataset must be a string, got {dataset!r}")
+        facts = facts_from_json(self._field(payload, "facts"))
+        database = self.datasets.get(tenant, dataset)
+        appended: dict = {}
+        with self._append_lock:
+            for name, rows in facts.items():
+                before = (
+                    database.relation(name).version
+                    if database.has_relation(name)
+                    else 0
+                )
+                for row in rows:
+                    try:
+                        database.add_fact(name, row)
+                    except ValueError as exc:  # arity mismatch with storage
+                        raise HttpError(400, str(exc)) from None
+                appended[name] = database.relation(name).version - before
+            version = database.version
+        return Response(
+            200,
+            {
+                "dataset": dataset,
+                "appended": appended,
+                "added": sum(appended.values()),
+                "version": version,
+            },
+        )
+
+    async def _handle_subscribe(self, request: Request) -> Response:
+        """Register a standing query; the response carries the initial
+        answer set as the first delta (later polls return only growth)."""
+        payload = self._payload(request)
+        tenant = self._tenant_of(payload, request)
+        dataset = self._field(payload, "dataset")
+        if not isinstance(dataset, str):
+            raise HttpError(400, f"dataset must be a string, got {dataset!r}")
+        query = query_from_json(self._field(payload, "query"))
+        threshold = payload.get("threshold")
+        if threshold is not None and (
+            not isinstance(threshold, (int, float))
+            or isinstance(threshold, bool)
+            or not 0.0 <= threshold <= 1.0
+        ):
+            raise HttpError(400, f"threshold must be in [0, 1], got {threshold!r}")
+        session = self.sessions.get(tenant)
+        database = self.datasets.get(tenant, dataset)
+        view = session.incremental_view(query, database, threshold=threshold)
+        subscription = self.subscriptions.register(tenant, dataset, query, view)
+        return await self._execute(
+            payload,
+            lambda cancel=None: subscription.poll(),
+            self._poll_to_json,
+        )
+
+    async def _handle_poll(self, request: Request) -> Response:
+        """Refresh one subscription and return the undelivered answers."""
+        tenant = self._tenant_of({}, request)
+        subscription = self.subscriptions.get(tenant, request.params["id"])
+        return await self._execute(
+            {},
+            lambda cancel=None: subscription.poll(),
+            self._poll_to_json,
+        )
+
+    async def _handle_unsubscribe(self, request: Request) -> Response:
+        tenant = self._tenant_of({}, request)
+        subscription = self.subscriptions.remove(tenant, request.params["id"])
+        return Response(
+            200, {"removed": subscription.id, "polls": subscription.polls}
+        )
+
+    @staticmethod
+    def _poll_to_json(record: dict) -> dict:
+        return {
+            "subscription": record["id"],
+            "dataset": record["dataset"],
+            "mode": record["mode"],
+            "delta": rows_to_json(record["delta"]),
+            "total": record["total"],
+            "delta_rows": record["delta_rows"],
+            "refresh_seconds": record["refresh_seconds"],
+        }
+
+    def _tenant_of(self, payload: dict, request: Request) -> str:
+        """The request's tenant: the body field when present, else the
+        ``X-Tenant`` header (the only channel bodyless GET/DELETE have)."""
+        tenant = payload.get("tenant", request.headers.get("x-tenant", DEFAULT_TENANT))
+        if not isinstance(tenant, str) or not tenant:
+            raise HttpError(400, f"tenant must be a non-empty string, got {tenant!r}")
+        return tenant
 
     # -- request plumbing ------------------------------------------------
     def _payload(self, request: Request) -> dict:

@@ -55,10 +55,16 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def request(self, method: str, path: str, payload: dict | None = None) -> dict:
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: dict | None = None,
+        headers: dict | None = None,
+    ) -> dict:
         """One round trip; raises :class:`ServiceError` on non-2xx."""
         body = None
-        headers = {}
+        headers = dict(headers or {})
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -122,6 +128,38 @@ class ServiceClient:
         payload["task"] = task
         payload["queries"] = [query_to_json(q) for q in queries]
         return self.request("POST", "/batch", payload)
+
+    # -- write path & standing queries -----------------------------------
+    def add_facts(self, dataset: str, facts: dict, tenant=None):
+        """Append ``{"R": [[...], ...]}`` rows to a registered dataset."""
+        payload = self._payload(None, None, dataset, tenant)
+        payload["facts"] = {
+            name: [list(row) for row in rows] for name, rows in facts.items()
+        }
+        return self.request("POST", "/facts", payload)
+
+    def subscribe(self, query, dataset: str, tenant=None, threshold=None):
+        """Register a standing query; the response's ``delta`` is the
+        initial answer set, and its ``subscription`` id keys later polls."""
+        payload = self._payload(query, None, dataset, tenant)
+        if threshold is not None:
+            payload["threshold"] = threshold
+        return self.request("POST", "/subscriptions", payload)
+
+    def poll(self, subscription_id: str, tenant=None):
+        """The answers derived since the previous poll of a subscription."""
+        return self.request(
+            "GET",
+            f"/subscriptions/{subscription_id}",
+            headers={"X-Tenant": tenant} if tenant is not None else None,
+        )
+
+    def unsubscribe(self, subscription_id: str, tenant=None):
+        return self.request(
+            "DELETE",
+            f"/subscriptions/{subscription_id}",
+            headers={"X-Tenant": tenant} if tenant is not None else None,
+        )
 
     def stats(self) -> dict:
         return self.request("GET", "/stats")

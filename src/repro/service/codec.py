@@ -12,6 +12,9 @@ payloads.  The format is deliberately minimal and explicit:
   empty list makes it Boolean (matching the library constructor);
 * a **database** is ``{"R": [[1, 2], [2, 3]], ...}`` — relation name to
   rows, arity taken from the rows (which must agree);
+* a **facts payload** (``POST /facts``) reuses the database shape —
+  relation name to rows to append — and is validated by
+  :func:`facts_from_json` before any row touches storage;
 * a **result** ships the payload (``rows`` sorted for stable output /
   ``count`` / ``satisfiable``), the strategy that ran, and the timings.
 
@@ -121,6 +124,40 @@ def database_from_json(obj) -> Database:
             tuples.append(tuple(_scalar(value, f"relation {name!r}") for value in row))
         database.add_relation(Relation(name, arity if arity is not None else 0, tuples))
     return database
+
+
+def facts_from_json(obj) -> dict:
+    """``{"R": [[1, 2], ...], ...}`` → relation name to validated row
+    tuples — the ``POST /facts`` append payload.  Arities must agree within
+    each relation of the payload; agreement with the *stored* relation is
+    the storage layer's check (the append endpoint maps its ``ValueError``
+    to a 400)."""
+    if not isinstance(obj, dict) or not obj:
+        raise CodecError(
+            "'facts' must be a non-empty JSON object of relation -> rows"
+        )
+    facts: dict = {}
+    for name, rows in obj.items():
+        if not isinstance(name, str) or not isinstance(rows, list) or not rows:
+            raise CodecError(
+                f"relation {name!r} must map to a non-empty list of rows"
+            )
+        arity = None
+        tuples = []
+        for row in rows:
+            if not isinstance(row, list):
+                raise CodecError(f"rows of {name!r} must be lists, got {row!r}")
+            if arity is None:
+                arity = len(row)
+            elif len(row) != arity:
+                raise CodecError(
+                    f"relation {name!r} mixes arities {arity} and {len(row)}"
+                )
+            tuples.append(
+                tuple(_scalar(value, f"relation {name!r}") for value in row)
+            )
+        facts[name] = tuples
+    return facts
 
 
 def database_to_json(database: Database) -> dict:

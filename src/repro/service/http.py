@@ -52,6 +52,9 @@ class Request:
     path: str
     headers: dict
     body: bytes
+    #: Path parameters bound by a template route (``/subscriptions/{id}``
+    #: matched against ``/subscriptions/7`` puts ``{"id": "7"}`` here).
+    params: dict = field(default_factory=dict)
 
     def json(self):
         if not self.body:
@@ -147,25 +150,62 @@ async def read_request(
 
 
 class Router:
-    """``(method, path) -> async handler``; emits its own 404/405."""
+    """``(method, path) -> async handler``; emits its own 404/405.
+
+    Paths may contain ``{name}`` template segments (``/subscriptions/{id}``);
+    a template segment matches exactly one non-empty path segment and the
+    matched values land in ``request.params``.  Exact routes always win over
+    template routes.
+    """
 
     def __init__(self) -> None:
         self._routes: dict = {}
+        #: ``(method, segment tuple)`` -> handler, where template segments
+        #: are the parameter name marked by a leading ``{``.
+        self._templates: dict = {}
 
     def add(self, method: str, path: str, handler) -> None:
-        self._routes[(method.upper(), path)] = handler
+        if "{" in path:
+            segments = tuple(
+                segment for segment in path.split("/") if segment != ""
+            )
+            self._templates[(method.upper(), segments)] = handler
+        else:
+            self._routes[(method.upper(), path)] = handler
+
+    @staticmethod
+    def _match(template: tuple, segments: tuple) -> dict | None:
+        if len(template) != len(segments):
+            return None
+        params: dict = {}
+        for pattern, actual in zip(template, segments):
+            if pattern.startswith("{") and pattern.endswith("}"):
+                params[pattern[1:-1]] = actual
+            elif pattern != actual:
+                return None
+        return params
 
     async def dispatch(self, request: Request) -> Response:
         handler = self._routes.get((request.method, request.path))
         if handler is not None:
             return await handler(request)
-        allowed = sorted(
+        segments = tuple(s for s in request.path.split("/") if s != "")
+        allowed = set()
+        for (method, template), candidate in self._templates.items():
+            params = self._match(template, segments)
+            if params is None:
+                continue
+            if method == request.method:
+                request.params = params
+                return await candidate(request)
+            allowed.add(method)
+        allowed.update(
             method for method, path in self._routes if path == request.path
         )
         if allowed:
             return Response.error(
                 405,
                 f"{request.method} not allowed on {request.path}",
-                allowed=allowed,
+                allowed=sorted(allowed),
             )
         return Response.error(404, f"no route for {request.path}")

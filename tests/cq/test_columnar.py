@@ -198,18 +198,21 @@ class TestColumnarStore:
                 atom, database
             ), atom
 
-    def test_views_are_memoized_until_growth(self):
+    def test_views_are_memoized_and_extended_on_growth(self):
         database = self.atom_db()
         atom = Atom("R", ["x", "y"])
         first = database.columnar_view(atom)
         assert database.columnar_view(atom) is first
         info = database.columnar_cache.info()
         assert info["hits"] == 1 and info["misses"] == 1
-        # Growth through the grow-only API changes the cardinality: miss.
+        # Growth through the versioned API extends the resident view in
+        # place — same object, new rows, extension counter bumped.
         database.add_fact("R", (9, 9))
         second = database.columnar_view(atom)
-        assert second is not first
+        assert second is first
+        assert len(second) == 5
         assert (9, 9) in second.decode_rows()
+        assert database.columnar_cache.extensions == 1
 
     def test_one_interner_per_database(self):
         database = self.atom_db()
@@ -302,15 +305,21 @@ class TestDatabaseWire:
                 == database.columnar_view(atom).to_named()
             ), atom
 
-    def test_growth_after_decode_invalidates_the_base(self):
+    def test_growth_after_decode_extends_the_based_view(self):
         database = self.mixed_db()
         back = Database.from_wire(database.to_wire())
         atom = Atom("R", ["x", "y"])
         before = back.columnar_view(atom)
+        base_columns = back.columnar_cache._bases["R"][0]
         back.add_fact("R", (7, "fresh"))
         after = back.columnar_view(atom)
-        assert after is not before
+        # The identity view shared the adopted base arrays; extension
+        # promotes them to private 'q' copies and appends — same object,
+        # untouched base, new row present.
+        assert after is before
         assert (7, "fresh") in after.decode_rows()
+        assert all(column.typecode == "q" for column in after._data)
+        assert len(base_columns[0]) == 4  # the adopted base is unmutated
 
     def test_typecode_narrows_with_the_dictionary(self):
         small = Database()

@@ -159,15 +159,19 @@ def test_sharded_execution_is_columnar_per_shard(session, acyclic):
 def test_worker_execution_path_is_columnar(acyclic):
     # _worker_execute is the exact function a process-pool worker runs;
     # calling it in-process shows shards evaluate columnar-side on workers
-    # too.  The payload is what the coordinator ships: pickled DatabaseWire
-    # bytes, decoded straight into a warm columnar store.
+    # too.  The payload is what the coordinator ships on first routing: a
+    # full-ship tag over pickled DatabaseWire bytes, decoded straight into
+    # a warm columnar store.
     import pickle
+
+    from repro.engine.runtime import _SHIP_FULL
 
     query, database = acyclic
     backend = backend_for(STRATEGY_YANNAKAKIS)
     before = backend.columnar_runs
-    payload = pickle.dumps(
-        database.to_wire(), protocol=pickle.HIGHEST_PROTOCOL
+    payload = (
+        _SHIP_FULL,
+        pickle.dumps(database.to_wire(), protocol=pickle.HIGHEST_PROTOCOL),
     )
     reply = _worker_execute(
         ("token-columnar-test", payload, TASK_ANSWER, query, False,

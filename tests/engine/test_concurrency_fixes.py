@@ -68,13 +68,12 @@ class TestTokenRetention:
         assert ref() is None
 
     def test_dead_entry_with_recycled_key_mints_fresh_token(self):
-        """A new database whose ``(id, fingerprint)`` collides with a dead
-        entry must not inherit the dead entry's token (a worker could still
-        hold that token's *old* rows resident)."""
+        """A new database whose ``id`` collides with a dead entry must not
+        inherit the dead entry's token (a worker could still hold that
+        token's *old* rows resident)."""
         runtime = ProcessRuntime(max_workers=1)
         database = _database(seed=2)
-        fingerprint = runtime._fingerprint(database)
-        key = (id(database), fingerprint)
+        key = id(database)
         stale = "ds-stale"
         # Install a dead entry under this database's exact key, with
         # routing state the retirement must clean up.

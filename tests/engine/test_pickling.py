@@ -176,16 +176,21 @@ class TestAtomViewCache:
         assert swapped is not first
         assert swapped.columns == ("y", "x")
 
-    def test_growth_invalidates(self):
+    def test_growth_extends_the_cached_view_in_place(self):
         query = cqgen.chain_query(1)
         database = Database()
         database.add_fact("R0", (1, 2))
         database.enable_atom_cache()
-        stale = from_atom(query.atoms[0], database)
+        view = from_atom(query.atoms[0], database)
+        view.key_index(("x0",))  # memoize an index to be patched
         database.add_fact("R0", (3, 4))
         fresh = from_atom(query.atoms[0], database)
-        assert fresh is not stale
+        # The version seam extends the resident view instead of rebuilding.
+        assert fresh is view
         assert len(fresh) == 2
+        # The memoized key index was patched in place, not dropped.
+        assert fresh.cached_index_keys
+        assert fresh.key_index(("x0",))[(3,)] == [(3, 4)]
 
     def test_copy_and_partition_do_not_inherit_the_cache(self):
         query = cqgen.hub_cycle_query(3)

@@ -437,6 +437,9 @@ class TestProcessRuntime:
             "tasks_cancelled",
             "shipments",
             "shipment_bytes",
+            "delta_shipments",
+            "delta_bytes",
+            "tokens_retired",
             "recovery_reships",
             "worker_restarts",
             "resident_by_worker",

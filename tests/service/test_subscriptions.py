@@ -1,0 +1,168 @@
+"""The service write path: ``POST /facts`` appends and standing queries.
+
+Drives a real server over HTTP: appends must propagate through the
+versioned storage layer into every later read, and subscription polls must
+return exactly the answers derived since the previous poll — computed
+incrementally, tenant-isolated, and equal to a from-scratch evaluation.
+"""
+
+import pytest
+
+from repro.cq.database import Database
+from repro.cq.query import Atom, ConjunctiveQuery
+from repro.engine import EngineSession
+from repro.service import (
+    QueryService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    serve_in_thread,
+)
+
+
+def _path_query():
+    return ConjunctiveQuery([Atom("E", ("x", "y")), Atom("E", ("y", "z"))])
+
+
+def _graph(edges):
+    database = Database()
+    for a, b in edges:
+        database.add_fact("E", (a, b))
+    return database
+
+
+@pytest.fixture()
+def server():
+    service = QueryService(ServiceConfig(max_concurrent=4))
+    service.register_dataset("graph", _graph((i, i + 1) for i in range(10)))
+    service.register_dataset(
+        "acme-graph", _graph([(1, 2), (2, 3)]), tenant="acme"
+    )
+    with serve_in_thread(service) as handle:
+        yield handle
+
+
+def _client(server):
+    return ServiceClient(server.host, server.port)
+
+
+def _rows(rows):
+    return sorted((list(r) for r in rows), key=repr)
+
+
+class TestFactsEndpoint:
+    def test_append_is_visible_to_answer(self, server):
+        query = _path_query()
+        with _client(server) as client:
+            before = client.answer(query, dataset="graph")["rows"]
+            receipt = client.add_facts("graph", {"E": [[100, 101], [101, 102]]})
+            assert receipt["added"] == 2
+            assert receipt["appended"] == {"E": 2}
+            after = client.answer(query, dataset="graph")["rows"]
+            assert len(after) == len(before) + 1
+            assert [100, 101, 102] in after
+
+    def test_duplicate_rows_are_no_ops(self, server):
+        with _client(server) as client:
+            v = client.add_facts("graph", {"E": [[0, 1]]})
+            assert v["added"] == 0
+            assert v["appended"] == {"E": 0}
+
+    def test_new_relation_and_arity_errors(self, server):
+        with _client(server) as client:
+            receipt = client.add_facts("graph", {"Label": [[3]]})
+            assert receipt["appended"] == {"Label": 1}
+            with pytest.raises(ServiceError) as err:
+                client.add_facts("graph", {"Label": [[3, 4]]})
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                client.add_facts("missing", {"E": [[1, 2]]})
+            assert err.value.status == 404
+
+    def test_facts_payload_validated(self, server):
+        with _client(server) as client:
+            for bad in ({}, {"E": []}, {"E": [[1], [1, 2]]}, {"E": "rows"}):
+                with pytest.raises(ServiceError) as err:
+                    client.request(
+                        "POST", "/facts", {"dataset": "graph", "facts": bad}
+                    )
+                assert err.value.status == 400
+
+
+class TestSubscriptions:
+    def test_initial_poll_then_delta_only(self, server):
+        query = _path_query()
+        with _client(server) as client:
+            sub = client.subscribe(query, dataset="graph")
+            assert sub["mode"] == "initial"
+            initial = sub["delta"]
+            assert sub["total"] == len(initial)
+            assert client.poll(sub["subscription"])["mode"] == "noop"
+            client.add_facts("graph", {"E": [[200, 201], [201, 202]]})
+            poll = client.poll(sub["subscription"])
+            assert poll["mode"] == "incremental"
+            assert poll["delta"] == [[200, 201, 202]]
+            assert poll["total"] == len(initial) + 1
+            # Delivered once: the next poll is empty again.
+            assert client.poll(sub["subscription"])["delta"] == []
+
+    def test_poll_matches_from_scratch_evaluation(self, server):
+        query = _path_query()
+        session = EngineSession()
+        with _client(server) as client:
+            sub = client.subscribe(query, dataset="graph")
+            delivered = {tuple(row) for row in sub["delta"]}
+            shadow = _graph((i, i + 1) for i in range(10))
+            for rows in ([[50, 51]], [[51, 52], [52, 53]], [[9, 50]]):
+                client.add_facts("graph", {"E": rows})
+                for a, b in rows:
+                    shadow.add_fact("E", (a, b))
+                poll = client.poll(sub["subscription"])
+                delivered |= {tuple(row) for row in poll["delta"]}
+                assert delivered == session.answer(query, shadow).rows
+
+    def test_tenant_isolation(self, server):
+        query = _path_query()
+        with _client(server) as client:
+            sub = client.subscribe(query, dataset="acme-graph", tenant="acme")
+            assert sub["delta"] == [[1, 2, 3]]
+            # The default tenant cannot poll, delete, or even observe it.
+            for action in (client.poll, client.unsubscribe):
+                with pytest.raises(ServiceError) as err:
+                    action(sub["subscription"])
+                assert err.value.status == 404
+            poll = client.poll(sub["subscription"], tenant="acme")
+            assert poll["mode"] == "noop"
+
+    def test_unsubscribe_frees_the_registration(self, server):
+        query = _path_query()
+        with _client(server) as client:
+            sub = client.subscribe(query, dataset="graph")
+            removed = client.unsubscribe(sub["subscription"])
+            assert removed["removed"] == sub["subscription"]
+            with pytest.raises(ServiceError) as err:
+                client.poll(sub["subscription"])
+            assert err.value.status == 404
+
+    def test_subscription_errors(self, server):
+        query = _path_query()
+        with _client(server) as client:
+            with pytest.raises(ServiceError) as err:
+                client.subscribe(query, dataset="missing")
+            assert err.value.status == 404
+            with pytest.raises(ServiceError) as err:
+                client.subscribe(query, dataset="graph", threshold=2.0)
+            assert err.value.status == 400
+            with pytest.raises(ServiceError) as err:
+                client.poll("no-such-id")
+            assert err.value.status == 404
+
+    def test_stats_report_subscriptions(self, server):
+        query = _path_query()
+        with _client(server) as client:
+            sub = client.subscribe(query, dataset="graph")
+            stats = client.stats()["subscriptions"]
+            assert stats["active"] >= 1
+            info = stats["by_tenant"]["public"][sub["subscription"]]
+            assert info["dataset"] == "graph"
+            assert info["refresh_modes"]["initial"] == 1

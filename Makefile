@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke affinity-smoke service-smoke delta-smoke
+.PHONY: test bench bench-baseline workload-smoke shard-smoke proc-smoke columnar-smoke affinity-smoke service-smoke delta-smoke skew-smoke
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -71,6 +71,22 @@ delta-smoke:
 		tests/engine/test_incremental.py tests/service/test_subscriptions.py
 	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
 		tests/engine/test_differential.py -k "incremental or delta"
+
+# One-seed smoke of the skew-aware adaptive layer: the statistics sketch
+# unit + property suites, the join-ordering regression guard (cost-based
+# never blows up vs the historical static-greedy order, and wins in
+# aggregate), the hot-key spilling/sharding tests and the bounded columnar
+# memos, then the skewed-regime differential pass — Zipfian and hub-heavy
+# databases vs the naive solver with the coverage guard that cost-based
+# ordering actually ran.  Override the seed with WORKLOAD_SEEDS=n.
+skew-smoke:
+	$(PYTHON) -m pytest -q tests/cq/test_statistics.py \
+		tests/property/test_statistics_sketches.py \
+		tests/cq/test_columnar_memo.py tests/engine/test_skew_sharding.py
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/engine/test_join_ordering_regression.py
+	WORKLOAD_SEEDS=$(or $(WORKLOAD_SEEDS),0) $(PYTHON) -m pytest -q \
+		tests/engine/test_differential.py -k "skew"
 
 # Smoke of the query service front door: the service unit + end-to-end
 # suites (a real server on a real socket — concurrent-client differential

@@ -58,6 +58,22 @@ and writes the results to ``benchmarks/BENCH_engine.json``:
   :class:`DatabaseWire` next to the pickled size of the tuple-set
   ``Database`` it replaces.  The gate fails if the wire form ever stops
   being smaller or grows past 2x its recorded size.
+* ``skewed_answer`` — the skew-ordering acceptance numbers: the hot-pair
+  join ``A(h,x,y) ∧ B(h,x,z) ∧ C(y,z)`` over databases whose ``(h,x)``
+  columns concentrate 90% of their mass on three hot pairs.  The static
+  overlap-greedy order always joins A⋈B first (two shared columns) and
+  materialises the quadratic hot-pair blow-up; the sketches see the heavy
+  hitters and route through C instead.  Each point records the cost-based
+  time (the gated number), ``static_seconds`` under
+  ``forced_join_ordering(ORDERING_STATIC)``, and the resulting ``speedup``
+  — the gate holds the >=2x bar on every point via ``min_speedup``.
+* ``skewed_sharded_answer`` — hot-key broadcast spilling end to end: a
+  projected star query over hub-concentrated databases (90% of every
+  spoke on two hub values), answered at ``shards=4``.  The hub values
+  trip ``_detect_hot_keys`` and spill to broadcast, so the point records
+  the engaged ``hot_keys`` count next to the gated sharded time plus the
+  unsharded time and ``overhead`` ratio as context (broadcast replication
+  is a balance/correctness play, not a single-machine speedup).
 * ``incremental_refresh`` — the versioned write path: one standing
   ``IncrementalView`` (the 2-path self-join projected onto its endpoints)
   over a large sparse random graph, refreshed after appends of one tuple,
@@ -152,6 +168,31 @@ AFFINITY_WORKERS = 2
 # only each delta edge's neighbourhood through the resident key indexes.
 # The ``min_speedup`` entries are the acceptance bar the regression gate
 # holds — refreshing after a <=1% append must beat from-scratch by >=5x.
+# (scale label, key domain, value domain, tuples per relation) for the
+# skew-ordering family.  The key domain holds the hot (h, x) pairs, the
+# value domain keeps the y/z columns wide enough that set semantics cannot
+# dedup the hot mass away (a hot pair carries ~hot_fraction*tuples/hot_pairs
+# distinct rows only while the value domain stays larger than that).
+SKEWED_SCALES = [
+    ("small", 30, 1500, 1000),
+    ("medium", 40, 2000, 1500),
+    ("large", 50, 2500, 2250),
+]
+SKEWED_HOT_PAIRS = 3
+SKEWED_HOT_FRACTION = 0.9
+# The acceptance bar the regression gate holds on every skewed point:
+# cost-based ordering must beat the forced static-greedy order by >=2x.
+SKEWED_MIN_SPEEDUP = 2.0
+
+# (scale label, domain, tuples per relation) for the hot-key spilling
+# family — domain >= tuples so the two hub values keep their 90% mass
+# under set semantics (see SKEWED_SCALES).
+SKEWED_SHARDED_SCALES = [
+    ("small", 2000, 1500),
+    ("medium", 4000, 3000),
+    ("large", 8000, 6000),
+]
+
 INCREMENTAL_GRAPH = (20000, 60000)
 INCREMENTAL_POINTS = [
     ("one-tuple", None, 5.0),
@@ -628,6 +669,137 @@ def bench_incremental_refresh() -> list[dict]:
     return points
 
 
+def _skewed_join_query():
+    """The hot-pair join, projected so the timing is the join work and not
+    the materialisation of the (h, x, y, z) output."""
+    from repro.cq.query import Atom, ConjunctiveQuery
+
+    return ConjunctiveQuery(
+        [Atom("A", ["h", "x", "y"]), Atom("B", ["h", "x", "z"]), Atom("C", ["y", "z"])]
+    ).project(["h"])
+
+
+def _skewed_join_database(key_domain: int, value_domain: int, tuples: int, seed: int = 97):
+    """A and B concentrate 90% of their (h, x) mass on three hot pairs while
+    y/z stay uniform over the wide value domain; C is uniform.  Joining A⋈B
+    first (the static overlap-greedy choice: two shared columns) therefore
+    materialises ~(hot rows)^2/hot_pairs intermediate rows, while routing
+    through C first stays near-linear — the shape the sketches must detect."""
+    import random
+
+    from repro.cq.database import Database, Relation
+
+    rng = random.Random(seed)
+    database = Database()
+    hot = [
+        (rng.randrange(key_domain), rng.randrange(key_domain))
+        for _ in range(SKEWED_HOT_PAIRS)
+    ]
+    for name in ("A", "B"):
+        relation = Relation(name, 3)
+        while len(relation.tuples) < tuples:
+            if rng.random() < SKEWED_HOT_FRACTION:
+                h, x = hot[rng.randrange(SKEWED_HOT_PAIRS)]
+            else:
+                h, x = rng.randrange(key_domain), rng.randrange(key_domain)
+            relation.add((h, x, rng.randrange(value_domain)))
+        database.add_relation(relation)
+    relation = Relation("C", 2)
+    while len(relation.tuples) < tuples:
+        relation.add((rng.randrange(value_domain), rng.randrange(value_domain)))
+    database.add_relation(relation)
+    return database
+
+
+def bench_skewed_answer() -> list[dict]:
+    """Cost-based vs forced-static ordering on the hot-pair join.
+
+    ``indexed_seconds`` is the default cost-based path (the gated number);
+    ``static_seconds`` re-answers the same plan under
+    ``forced_join_ordering(ORDERING_STATIC)``.  The static time is always
+    recorded — like the incremental family's from-scratch comparison —
+    because the regression gate re-checks the ``min_speedup`` ratio, not
+    just the timing.  The warm first call's estimates-vs-actuals record is
+    kept on the point so the baseline documents the sketches steering the
+    order (``estimated_rows`` within a small factor of ``actual_rows``).
+    """
+    from repro.cq.statistics import ORDERING_STATIC, forced_join_ordering
+
+    query = _skewed_join_query()
+    points = []
+    for label, key_domain, value_domain, tuples in SKEWED_SCALES:
+        database = _skewed_join_database(key_domain, value_domain, tuples)
+        session = EngineSession()
+        plan = session.plan(query)
+        warm = session.answer(query, database, plan=plan)
+        indexed = _timed(lambda: session.answer(query, database, plan=plan))
+
+        def static() -> None:
+            with forced_join_ordering(ORDERING_STATIC):
+                session.answer(query, database, plan=plan)
+
+        static_seconds = _timed(static)
+        stats = warm.stats or {}
+        points.append(
+            {
+                "scale": label,
+                "query": "hotpair-triangle",
+                "key_domain": key_domain,
+                "value_domain": value_domain,
+                "tuples_per_relation": tuples,
+                "hot_pairs": SKEWED_HOT_PAIRS,
+                "hot_fraction": SKEWED_HOT_FRACTION,
+                "indexed_seconds": indexed,
+                "static_seconds": static_seconds,
+                "speedup": static_seconds / indexed if indexed else float("inf"),
+                "min_speedup": SKEWED_MIN_SPEEDUP,
+                "estimated_rows": stats.get("estimated_rows", 0),
+                "actual_rows": stats.get("actual_rows", 0),
+                "prefilter_rows_dropped": stats.get("prefilter_rows_dropped", 0),
+            }
+        )
+    return points
+
+
+def bench_skewed_sharded_answer(include_single: bool = True) -> list[dict]:
+    """Hot-key broadcast spilling through the sharded session path.
+
+    A projected star query over hub-concentrated spokes: the two hub
+    values carry 90% of every relation, so hashing the hub variable alone
+    would put 90% of the data (and answers) on one shard.
+    ``_detect_hot_keys`` trips on both values and ``Database.partition``
+    spills them to broadcast.  The sharded time gates (the overhead of
+    replication must stay bounded); the recorded ``hot_keys`` count pins
+    the spilling path as actually engaged in the baseline.
+    """
+    base = cqgen.star_query(3)
+    query = base.project(["c", "x0"])
+    points = []
+    for label, domain, tuples in SKEWED_SHARDED_SCALES:
+        database = cqgen.hub_database(base, domain, tuples, seed=97, hot_values=2)
+        session = EngineSession()
+        plan = session.plan(query)
+        first = session.answer(query, database, plan=plan, shards=SHARDED_SHARDS)
+        sharded = _timed(
+            lambda: session.answer(query, database, plan=plan, shards=SHARDED_SHARDS)
+        )
+        point = {
+            "scale": label,
+            "query": "hub_star3",
+            "domain": domain,
+            "tuples_per_relation": tuples,
+            "shards": SHARDED_SHARDS,
+            "hot_keys": len(first.sharding.get("hot_keys", ())),
+            "indexed_seconds": sharded,
+        }
+        if include_single:
+            single = _timed(lambda: session.answer(query, database, plan=plan))
+            point["single_shard_seconds"] = single
+            point["overhead"] = sharded / single if single else float("inf")
+        points.append(point)
+    return points
+
+
 def run_benchmarks(include_naive: bool = True) -> dict:
     """Run all engine benchmarks and return the JSON-ready result document."""
     return {
@@ -670,6 +842,15 @@ def run_benchmarks(include_naive: bool = True) -> dict:
             # three sizes.  The from-scratch comparison is always recorded —
             # the gate holds the >=5x speedup bar on the small-delta points.
             "incremental_refresh": bench_incremental_refresh(),
+            # Skew-ordering acceptance: the forced-static comparison is
+            # always recorded (the gate holds the >=2x cost-vs-static
+            # ratio on every point, not just the timing).
+            "skewed_answer": bench_skewed_answer(),
+            # Hot-key broadcast spilling: the sharded time gates; the
+            # unsharded comparison is context like the other shard families.
+            "skewed_sharded_answer": bench_skewed_sharded_answer(
+                include_single=include_naive
+            ),
         },
     }
 
@@ -702,6 +883,13 @@ def main() -> int:
                 )
             elif "loop_seconds" in point:
                 extra = f"  (cold loop {point['loop_seconds']:.3f}s, {point['speedup']:.1f}x speedup)"
+            elif "static_seconds" in point:
+                extra = (
+                    f"  (forced static {point['static_seconds']:.3f}s, "
+                    f"{point['speedup']:.0f}x speedup, "
+                    f"est {point['estimated_rows']} vs actual "
+                    f"{point['actual_rows']} rows)"
+                )
             elif "from_scratch_seconds" in point:
                 extra = (
                     f"  (from scratch {point['from_scratch_seconds']:.3f}s, "

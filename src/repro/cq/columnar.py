@@ -61,7 +61,57 @@ from repro.cq.bags import (
 )
 from repro.cq.query import ConjunctiveQuery, Constant
 from repro.cq.relational import NamedRelation, natural_join_all
+from repro.cq.statistics import RelationStatistics
 from repro.cq.yannakakis import JoinTree, yannakakis_boolean, yannakakis_full
+
+#: Entries kept per relation per derived-key memo (packed key vectors, hash
+#: buckets, key sets).  A relation participates in a handful of key-column
+#: sets over its lifetime; the cap only matters for long-lived resident
+#: views probed under many distinct patterns, where unbounded memos were a
+#: slow leak.
+_MEMO_CAP = 16
+
+_MEMO_COUNTERS = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def memo_counters() -> dict:
+    """A snapshot of the process-wide derived-key memo counters (surfaced
+    through ``EngineSession.stats()``)."""
+    return dict(_MEMO_COUNTERS)
+
+
+def reset_memo_counters() -> None:
+    """Zero the memo counters (test isolation)."""
+    for key in _MEMO_COUNTERS:
+        _MEMO_COUNTERS[key] = 0
+
+
+class _BoundedMemo(dict):
+    """A small LRU memo for one relation's derived key structures.
+
+    A plain dict with insertion order as recency: :meth:`lookup` reinserts
+    on hit, :meth:`store` evicts the least recently used entry at the cap.
+    It *is* a dict, so the columnar store's extend-in-place path can keep
+    iterating, patching and purging entries directly.
+    """
+
+    __slots__ = ()
+
+    def lookup(self, key):
+        value = self.get(key)
+        if value is None:
+            _MEMO_COUNTERS["misses"] += 1
+            return None
+        _MEMO_COUNTERS["hits"] += 1
+        del self[key]
+        self[key] = value
+        return value
+
+    def store(self, key, value) -> None:
+        if key not in self and len(self) >= _MEMO_CAP:
+            del self[next(iter(self))]
+            _MEMO_COUNTERS["evictions"] += 1
+        self[key] = value
 
 
 class ValueInterner:
@@ -125,7 +175,8 @@ class ColumnarRelation:
 
     __slots__ = (
         "columns", "interner", "_data", "_length", "_positions",
-        "_key_cache", "_bucket_cache", "_keyset_cache",
+        "_key_cache", "_bucket_cache", "_keyset_cache", "_stats",
+        "_project_cache",
     )
 
     def __init__(
@@ -155,9 +206,11 @@ class ColumnarRelation:
         self._positions = {c: i for i, c in enumerate(columns)}
         if len(self._positions) != len(columns):
             raise ValueError(f"duplicate column names: {columns!r}")
-        self._key_cache: dict = {}
-        self._bucket_cache: dict = {}
-        self._keyset_cache: dict = {}
+        self._key_cache = _BoundedMemo()
+        self._bucket_cache = _BoundedMemo()
+        self._keyset_cache = _BoundedMemo()
+        self._project_cache = _BoundedMemo()
+        self._stats = None
 
     @classmethod
     def _trusted(cls, columns, interner, data, length) -> "ColumnarRelation":
@@ -242,13 +295,13 @@ class ColumnarRelation:
             return [0] * self._length
         base = len(self.interner)
         cache_key = (positions, base)
-        keys = self._key_cache.get(cache_key)
+        keys = self._key_cache.lookup(cache_key)
         if keys is None:
             vectors = [self._data[p] for p in positions]
             keys = list(vectors[0])
             for vector in vectors[1:]:
                 keys = [k * base + i for k, i in zip(keys, vector)]
-            self._key_cache[cache_key] = keys
+            self._key_cache.store(cache_key, keys)
         return keys
 
     def _cache_key(self, columns: Sequence[Hashable]) -> tuple:
@@ -259,7 +312,7 @@ class ColumnarRelation:
     def _buckets(self, columns: Sequence[Hashable]) -> dict:
         """Hash index ``key -> list of row indexes`` (the join build side)."""
         cache_key = self._cache_key(columns)
-        buckets = self._bucket_cache.get(cache_key)
+        buckets = self._bucket_cache.lookup(cache_key)
         if buckets is None:
             buckets = {}
             get = buckets.get
@@ -269,26 +322,47 @@ class ColumnarRelation:
                     buckets[key] = [index]
                 else:
                     rows.append(index)
-            self._bucket_cache[cache_key] = buckets
+            self._bucket_cache.store(cache_key, buckets)
         return buckets
 
     def _keyset(self, columns: Sequence[Hashable]) -> set:
         """The set of packed keys (the semijoin probe side)."""
         cache_key = self._cache_key(columns)
-        keyset = self._keyset_cache.get(cache_key)
+        keyset = self._keyset_cache.lookup(cache_key)
         if keyset is None:
             buckets = self._bucket_cache.get(cache_key)
             keyset = (
                 set(buckets) if buckets is not None
                 else set(self._keys(columns))
             )
-            self._keyset_cache[cache_key] = keyset
+            self._keyset_cache.store(cache_key, keyset)
         return keyset
 
     def _invalidate(self) -> None:
         self._key_cache.clear()
         self._bucket_cache.clear()
         self._keyset_cache.clear()
+        self._project_cache.clear()
+        self._stats = None
+
+    def statistics(self) -> RelationStatistics:
+        """Per-column sketches over the interned **ids** (id equality is
+        value equality, so distinct/heavy-hitter structure carries over),
+        memoized until invalidation; the columnar store's extend-in-place
+        path folds appended rows into existing sketches."""
+        stats = self._stats
+        if stats is None:
+            stats = RelationStatistics.from_columns(
+                self.columns, self._data, self._length
+            )
+            self._stats = stats
+        return stats
+
+    def adopt_statistics(self, stats: RelationStatistics) -> None:
+        """Install externally composed statistics (cardinality propagation
+        for large join outputs) so :meth:`statistics` never scans the id
+        arrays.  Any later mutation invalidates them like a built sketch."""
+        self._stats = stats
 
     def _gather(self, indexes: Sequence[int]) -> "ColumnarRelation":
         data = tuple(
@@ -303,32 +377,48 @@ class ColumnarRelation:
     # ------------------------------------------------------------------
     def project(self, columns: Sequence[Hashable]) -> "ColumnarRelation":
         """Projection with dedup over the id arrays (single-column
-        projections ride ``dict.fromkeys``'s C path)."""
+        projections ride ``dict.fromkeys``'s C path).
+
+        Memoized per column tuple (bounded, LRU like the key memos): the
+        bag-materialisation pool projects the same resident atom views with
+        the same column sets on every call, and a cached projection keeps
+        not just its arrays but its own key indexes and statistics warm
+        across calls.  Derived projections are never mutated — the semijoin
+        pass only filters relations it created itself — and the store's
+        extend-in-place path drops the memo on append."""
         columns = tuple(columns)
         if columns == self.columns:
             return self
+        cached = self._project_cache.lookup(columns)
+        if cached is not None:
+            return cached
         if len(set(columns)) != len(columns):
             raise ValueError(f"duplicate column names: {columns!r}")
         positions = [self.column_index(c) for c in columns]
         if not positions:
-            return ColumnarRelation._trusted(
+            projected = ColumnarRelation._trusted(
                 (), self.interner, (), 1 if self._length else 0
             )
-        if len(positions) == 1:
+        elif len(positions) == 1:
             unique = list(dict.fromkeys(self._data[positions[0]]))
-            return ColumnarRelation._trusted(
+            projected = ColumnarRelation._trusted(
                 columns, self.interner, (unique,), len(unique)
             )
-        keys = self._keys(columns)
-        seen: set = set()
-        add = seen.add
-        survivors = [i for i, k in enumerate(keys) if not (k in seen or add(k))]
-        data = tuple(
-            [self._data[p][i] for i in survivors] for p in positions
-        )
-        return ColumnarRelation._trusted(
-            columns, self.interner, data, len(survivors)
-        )
+        else:
+            keys = self._keys(columns)
+            seen: set = set()
+            add = seen.add
+            survivors = [
+                i for i, k in enumerate(keys) if not (k in seen or add(k))
+            ]
+            data = tuple(
+                [self._data[p][i] for i in survivors] for p in positions
+            )
+            projected = ColumnarRelation._trusted(
+                columns, self.interner, data, len(survivors)
+            )
+        self._project_cache.store(columns, projected)
+        return projected
 
     def natural_join(self, other: "ColumnarRelation") -> "ColumnarRelation":
         """Vectorized hash join: build int-keyed buckets over the smaller
@@ -535,6 +625,14 @@ class ColumnarStore:
         for vector, fresh in zip(view._data, new_columns):
             vector.extend(fresh)
         view._length += added
+        # Derived projections hold copies of the pre-append rows; they are
+        # cheap to rebuild, so an append just drops them (unlike the key
+        # caches above, which patch in place).
+        view._project_cache.clear()
+        if view._stats is not None:
+            # Keep the per-column sketches warm across appends too: fold the
+            # new id rows in instead of dropping the statistics.
+            view._stats.extend_columns(new_columns, added)
 
     @staticmethod
     def _atom_shape(atom):

@@ -233,6 +233,8 @@ class Database:
         self._atom_cache: dict | None = None
         #: Lazily created columnar store (see :meth:`columnar_view`).
         self._columnar = None
+        #: Lazily created per-relation statistics (see :meth:`statistics`).
+        self._statistics = None
         #: Memoized active domain (see :meth:`active_domain`).
         self._domain_values: set | None = None
         self._domain_frozen: frozenset | None = None
@@ -333,6 +335,22 @@ class Database:
         """Drop the columnar store (views *and* interned dictionary)."""
         self._columnar = None
 
+    # ------------------------------------------------------------------
+    def statistics(self):
+        """This database's :class:`~repro.cq.statistics.StatisticsStore`,
+        created on first use.  Sketches are maintained incrementally on the
+        version seam — appends fold ``delta_since`` rows into the existing
+        per-column summaries instead of rebuilding them."""
+        if self._statistics is None:
+            from repro.cq.statistics import StatisticsStore
+
+            self._statistics = StatisticsStore()
+        return self._statistics
+
+    def drop_statistics(self) -> None:
+        """Drop the statistics store (it rebuilds lazily on next use)."""
+        self._statistics = None
+
     def attach_columnar_store(self, store) -> "Database":
         """Adopt a pre-built :class:`~repro.cq.columnar.ColumnarStore` as
         this database's columnar cache (the wire-decode path); returns
@@ -364,6 +382,7 @@ class Database:
         state = self.__dict__.copy()
         state["_atom_cache"] = None
         state["_columnar"] = None
+        state["_statistics"] = None
         state["_domain_values"] = None
         state["_domain_frozen"] = None
         state["_domain_versions"] = {}
@@ -373,6 +392,7 @@ class Database:
         self.__dict__.update(state)
         self._atom_cache = None
         self._columnar = None
+        self._statistics = None
         self._domain_values = None
         self._domain_frozen = None
         self._domain_versions = {}
@@ -420,6 +440,7 @@ class Database:
         key_columns: Mapping[str, int],
         shards: int,
         broadcast: Iterable[str] = (),
+        hot_keys: Iterable[Value] = (),
     ) -> list["Database"]:
         """Hash-partition the database into ``shards`` disjoint-plus-broadcast
         pieces.
@@ -431,14 +452,27 @@ class Database:
         collection are omitted — the caller decides what the shards need
         (the engine passes exactly the relations of the query being sharded).
 
-        The partitioned relations reconstruct the original exactly: every
-        tuple appears in precisely one shard, so the shard databases are a
-        partition of the partitioned relations and a replication of the
-        broadcast ones.
+        ``hot_keys`` is a set of detected **hot** partition-key values
+        (heavy hitters whose mass would overload their hash shard under
+        Zipfian data): rows carrying a hot value in their partition column
+        are *spilled to broadcast* — replicated into every shard instead of
+        concentrated in one — so the per-shard load of the remaining hashed
+        rows stays near ±1 of fair share.  Spilling is sound for answer and
+        satisfiability combination (every piece remains a subset of the
+        original, and any satisfying assignment still finds all its facts in
+        at least one shard); it deliberately breaks the count-by-disjoint-sum
+        shortcut, so callers that spilled hot keys must combine counts by
+        union (see ``EngineSession._run_sharded``).
+
+        Without hot keys, the partitioned relations reconstruct the original
+        exactly: every tuple appears in precisely one shard, so the shard
+        databases are a partition of the partitioned relations and a
+        replication of the broadcast ones.
         """
         if shards < 1:
             raise ValueError("shards must be >= 1")
         broadcast = tuple(broadcast)
+        hot = set(hot_keys)
         overlap = set(key_columns) & set(broadcast)
         if overlap:
             raise ValueError(
@@ -458,8 +492,16 @@ class Database:
         for name, column in key_columns.items():
             relation = self.relations[name]
             buckets: list[list[tuple]] = [[] for _ in range(shards)]
-            for row in relation._log:
-                buckets[shard_of(row[column], shards)].append(row)
+            if hot:
+                for row in relation._log:
+                    if row[column] in hot:
+                        for bucket in buckets:
+                            bucket.append(row)
+                    else:
+                        buckets[shard_of(row[column], shards)].append(row)
+            else:
+                for row in relation._log:
+                    buckets[shard_of(row[column], shards)].append(row)
             for piece, bucket in zip(pieces, buckets):
                 piece.add_relation(Relation._trusted(name, relation.arity, bucket))
         for name in broadcast:

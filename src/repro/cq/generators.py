@@ -181,6 +181,99 @@ def random_database(
     return database
 
 
+def zipf_database(
+    query: ConjunctiveQuery,
+    domain_size: int,
+    tuples_per_relation: int,
+    seed=0,
+    exponent: float = 1.2,
+) -> Database:
+    """A random database whose every column is Zipf-distributed.
+
+    Value ``r`` of the domain (1-indexed rank) is drawn with probability
+    proportional to ``1 / r**exponent``, so a handful of head values carry
+    most of the mass — the canonical skewed workload.  Uniform-independence
+    cardinality estimates are badly wrong here unless corrected by heavy
+    hitters, which is exactly what the cost-based join ordering's sketches
+    are for.
+    """
+    if domain_size < 1:
+        raise ValueError("zipf_database requires domain_size >= 1")
+    rng = _rng(seed)
+    database = Database()
+    domain = list(range(domain_size))
+    cumulative: list[float] = []
+    total = 0.0
+    for rank in range(1, domain_size + 1):
+        total += 1.0 / rank**exponent
+        cumulative.append(total)
+    for atom in query.atoms:
+        if database.has_relation(atom.relation):
+            continue
+        relation = Relation(atom.relation, atom.arity)
+        for _ in range(tuples_per_relation):
+            relation.add(
+                tuple(rng.choices(domain, cum_weights=cumulative, k=atom.arity))
+            )
+        database.add_relation(relation)
+    return database
+
+
+def hub_database(
+    query: ConjunctiveQuery,
+    domain_size: int,
+    tuples_per_relation: int,
+    seed=0,
+    hub_variables: Iterable[Hashable] | None = None,
+    hot_values: int = 2,
+    hot_fraction: float = 0.9,
+) -> Database:
+    """A database concentrating the *hub* columns on a few hot values.
+
+    Every column bound to a hub variable draws from ``hot_values`` designated
+    hot domain values with probability ``hot_fraction`` (uniform otherwise);
+    non-hub columns stay uniform.  ``hub_variables=None`` targets the query's
+    highest-degree variables — the join columns where skew actually hurts.
+    This is the hub-heavy half of the skewed regime: join keys so
+    concentrated that hash-partitioning on them collapses onto one shard
+    unless hot keys are spilled to broadcast.
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in [0, 1], got {hot_fraction!r}")
+    rng = _rng(seed)
+    database = Database()
+    domain = list(range(domain_size))
+    hot = domain[: max(1, min(hot_values, domain_size))]
+    if hub_variables is None:
+        occurrences: dict = {}
+        for atom in query.atoms:
+            for variable in atom.variables():
+                occurrences[variable] = occurrences.get(variable, 0) + 1
+        top = max(occurrences.values(), default=0)
+        hubs = {v for v, count in occurrences.items() if count == top}
+    else:
+        hubs = set(hub_variables)
+    for atom in query.atoms:
+        if database.has_relation(atom.relation):
+            continue
+        relation = Relation(atom.relation, atom.arity)
+        hub_positions = {
+            index
+            for index, term in enumerate(atom.terms)
+            if not hasattr(term, "value") and term in hubs
+        }
+        for _ in range(tuples_per_relation):
+            row = tuple(
+                rng.choice(hot)
+                if index in hub_positions and rng.random() < hot_fraction
+                else rng.choice(domain)
+                for index in range(atom.arity)
+            )
+            relation.add(row)
+        database.add_relation(relation)
+    return database
+
+
 def planted_database(
     query: ConjunctiveQuery,
     domain_size: int,

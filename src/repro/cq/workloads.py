@@ -20,7 +20,13 @@ sync.  Four regimes mirror the paper's complexity landscape:
   hub occurs in *every* atom (the co-partitioned rung of the sharding
   ladder) plus a hub-chain where it occurs in only some atoms (the
   broadcast rung).  The differential harness runs these — and every other
-  regime — through the sharded execution path at several shard counts.
+  regime — through the sharded execution path at several shard counts;
+* :data:`REGIME_SKEWED` — the same query shapes over *skewed* data:
+  Zipf-distributed columns and hub-heavy databases whose join keys
+  concentrate on a few hot values.  Uniform-independence cardinality
+  estimates are wrong here, so these scenarios exercise the heavy-hitter
+  corrections of the cost-based join ordering and the hot-key broadcast
+  spill of the sharded path (:mod:`repro.cq.statistics`).
 
 Databases per scenario deliberately span the satisfiability spectrum —
 random, planted (guaranteed satisfiable), unsatisfiable-by-construction, and
@@ -55,12 +61,14 @@ REGIME_BOUNDED_GHW = "bounded-ghw"
 REGIME_CORE_REDUCIBLE = "core-reducible"
 REGIME_HARD = "hard"
 REGIME_SHARDED = "sharded"
+REGIME_SKEWED = "skewed"
 ALL_REGIMES = (
     REGIME_ACYCLIC,
     REGIME_BOUNDED_GHW,
     REGIME_CORE_REDUCIBLE,
     REGIME_HARD,
     REGIME_SHARDED,
+    REGIME_SKEWED,
 )
 
 #: (domain size, tuples per relation) per workload size.  "small" keeps the
@@ -117,6 +125,26 @@ def _databases(query, rng, domain, tuples, colours=3):
             cqgen.unsatisfiable_database(query, domain, tuples, seed=rng.randrange(2**30)),
         ),
         ("colour", cqgen.grid_constraint_database(query, colours=colours)),
+    ]
+
+
+def _skewed_databases(query, rng, domain, tuples, colours=3):
+    """The database spectrum for a skewed scenario: Zipf-distributed and
+    hub-concentrated instances replace the uniform/colour ones; planted and
+    unsatisfiable stay, so both answer polarities are still exercised."""
+    return [
+        ("zipf", cqgen.zipf_database(query, domain, tuples, seed=rng.randrange(2**30))),
+        ("hub", cqgen.hub_database(query, domain, tuples, seed=rng.randrange(2**30))),
+        (
+            "planted",
+            cqgen.planted_database(
+                query, domain, tuples, seed=rng.randrange(2**30), planted_solutions=2
+            ),
+        ),
+        (
+            "unsat",
+            cqgen.unsatisfiable_database(query, domain, tuples, seed=rng.randrange(2**30)),
+        ),
     ]
 
 
@@ -199,12 +227,25 @@ def _sharded_queries(rng) -> list[tuple]:
     ]
 
 
+def _skewed_queries(rng) -> list[tuple]:
+    """Query shapes where skew actually bites: a triangle (three-relation
+    join pool — the cost-based ordering has a genuine choice to make), a
+    star, and a wheel (hub in every atom, so the sharded path must spill
+    hot hub values to broadcast to stay balanced)."""
+    return [
+        ("skew-triangle", cqgen.clique_query(3)),
+        ("skew-star", cqgen.star_query(rng.randint(3, 5)), "c"),
+        ("skew-wheel", cqgen.hub_cycle_query(3), "h"),
+    ]
+
+
 _REGIME_QUERIES = {
     REGIME_ACYCLIC: _acyclic_queries,
     REGIME_BOUNDED_GHW: _bounded_ghw_queries,
     REGIME_CORE_REDUCIBLE: _core_reducible_queries,
     REGIME_HARD: _hard_queries,
     REGIME_SHARDED: _sharded_queries,
+    REGIME_SKEWED: _skewed_queries,
 }
 
 
@@ -235,7 +276,8 @@ def generate_workload(
             # Wide cliques get a smaller database: their atom count multiplies
             # the naive solver's per-node scan cost in the cross-checks.
             shrink = 2 if regime == REGIME_HARD and "clique" in query_name else 1
-            for db_name, database in _databases(
+            databases = _skewed_databases if regime == REGIME_SKEWED else _databases
+            for db_name, database in databases(
                 query, rng, max(3, domain // shrink), max(6, tuples // shrink)
             ):
                 scenarios.append(

@@ -19,8 +19,18 @@ from __future__ import annotations
 from collections.abc import Hashable, Mapping, Sequence
 
 from repro.cq.relational import NamedRelation
+from repro.cq.statistics import (
+    ORDERING_COST,
+    estimate_semijoin_fraction,
+    join_ordering,
+    record_reducer_ordering,
+)
 
 Node = Hashable
+
+#: A parent smaller than this is filtered in its children's given order —
+#: estimating selectivities costs more than any misordering could save.
+_REDUCER_MIN_ROWS = 64
 
 
 class JoinTree:
@@ -60,11 +70,47 @@ class JoinTree:
         return order
 
 
+def _ordered_children(relations, parent_relation, children: list) -> list:
+    """The order in which a parent consumes its children's semijoin filters.
+
+    The filters commute — the reduced parent is the rows matching *every*
+    child, whatever the order — so ordering is purely a cost decision: apply
+    the estimated-most-selective child first and the later (more expensive)
+    probes scan an already-shrunk parent.  Only consulted in cost-based mode
+    for parents large enough that the sketch lookups pay for themselves;
+    ties keep the given order (``sorted`` is stable), so uniform data keeps
+    the historical sweep.
+    """
+    if (
+        len(children) < 2
+        or len(parent_relation) < _REDUCER_MIN_ROWS
+        or join_ordering() != ORDERING_COST
+    ):
+        return children
+    parent_stats = parent_relation.statistics()
+    parent_columns = set(parent_relation.columns)
+
+    def fraction(child: Node) -> float:
+        child_relation = relations[child]
+        shared = [c for c in child_relation.columns if c in parent_columns]
+        return estimate_semijoin_fraction(
+            parent_stats, child_relation.statistics(), shared
+        )
+
+    record_reducer_ordering()
+    return sorted(children, key=fraction)
+
+
 def semijoin_reduce(tree: JoinTree) -> dict[Node, NamedRelation]:
     """The two semijoin passes of Yannakakis; returns the reduced relations.
 
     After reduction every remaining row participates in at least one global
     solution (the *global consistency* property of acyclic instances).
+
+    The upward pass visits parents leaves-first and consumes each parent's
+    children in selectivity order (:func:`_ordered_children`) — equivalent
+    to the classic per-node sweep, since a node's children all precede it in
+    the reversed topological order and semijoin filters commute.
     """
     relations = dict(tree.relations)
     order = tree.topological_order()
@@ -86,10 +132,11 @@ def semijoin_reduce(tree: JoinTree) -> dict[Node, NamedRelation]:
 
     # Upward pass (leaves to root): filter parents by children.
     for node in reversed(order):
-        parent = tree.parent[node]
-        if parent is None:
+        children = tree.children[node]
+        if not children:
             continue
-        filter_node(parent, node)
+        for child in _ordered_children(relations, relations[node], children):
+            filter_node(node, child)
     # Downward pass (root to leaves): filter children by parents.
     for node in order:
         for child in tree.children[node]:

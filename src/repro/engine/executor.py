@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.cq.database import Database
 from repro.cq.query import ConjunctiveQuery
+from repro.cq.statistics import ledger_delta, ledger_snapshot
 from repro.engine.analysis import AnalysisCache, LRUCache, QueryAnalysis
 from repro.engine.backends import backend_for
 from repro.engine.planner import DEFAULT_MAX_GHD_WIDTH, Plan, QueryPlanner
@@ -88,6 +89,21 @@ class EvalResult:
         (worker-side execution time per task).
         """
         return self.timings.get("runtime")
+
+    @property
+    def stats(self) -> dict | None:
+        """The statistics/ordering record, or ``None`` when nothing ran.
+
+        Filled whenever the execution exercised the cost-based machinery of
+        :mod:`repro.cq.statistics`: ``mode`` (the join-ordering mode),
+        ``cost_joins`` / ``static_joins`` (pairwise join steps taken by each
+        path), ``prefilter_passes`` / ``prefilter_rows_dropped`` (sideways
+        information passing), ``reducer_orderings`` (selectivity-ordered
+        semijoin sweeps), and ``estimated_rows`` / ``actual_rows`` (summed
+        cardinality estimates vs. the joins they predicted).  Sharded calls
+        additionally record ``hot_keys`` (the values spilled to broadcast).
+        """
+        return self.timings.get("stats")
 
     @property
     def incremental(self) -> dict | None:
@@ -203,6 +219,7 @@ class Engine:
         backend = backend_for(plan.strategy)
         target = plan.query
         result = EvalResult(task=task, plan=plan)
+        ledger_before = ledger_snapshot()
         start = time.perf_counter()
         # Solver semantics: a relation absent from the database is empty, so
         # a query mentioning it has no answers.  The ``target.atoms`` guard
@@ -228,6 +245,11 @@ class Engine:
             "execution_seconds": execution,
             "total_seconds": planning + execution,
         }
+        ledger_after = ledger_snapshot()
+        stats_record = ledger_delta(ledger_before, ledger_after)
+        if any(stats_record.values()):
+            stats_record["mode"] = ledger_after["mode"]
+            result.timings["stats"] = stats_record
         return result
 
 

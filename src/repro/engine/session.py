@@ -44,8 +44,10 @@ import time
 import weakref
 from contextlib import contextmanager
 
+from repro.cq.columnar import memo_counters
 from repro.cq.database import Database, shard_of
 from repro.cq.query import Constant, ConjunctiveQuery
+from repro.cq.statistics import ledger_delta, ledger_snapshot
 from repro.engine.analysis import LRUCache
 from repro.engine.executor import (
     Engine,
@@ -242,6 +244,7 @@ class EngineSession(Engine):
             spec.shards,
             tuple(sorted(spec.partition_columns.items())),
             spec.broadcast_relations,
+            spec.hot_keys,
             relevant,
         )
         with self._lock:
@@ -265,7 +268,11 @@ class EngineSession(Engine):
     @staticmethod
     def _extend_pieces(database, pieces, versions, spec, relevant) -> None:
         """Catch resident pieces up with rows appended since they were cut
-        (called under the session lock)."""
+        (called under the session lock).  Rows carrying a spilled hot key
+        broadcast to every piece — matching how the partition was cut.
+        (Hotness is frozen in the spec: a value turning hot *after* the cut
+        keeps hashing to its shard, which is correct, just less balanced.)"""
+        hot = set(spec.hot_keys)
         for name in relevant:
             if not database.has_relation(name):
                 continue
@@ -278,7 +285,11 @@ class EngineSession(Engine):
                 column = spec.partition_columns[name]
                 shards = len(pieces)
                 for row in delta:
-                    pieces[shard_of(row[column], shards)].add_fact(name, row)
+                    if row[column] in hot:
+                        for piece in pieces:
+                            piece.add_fact(name, row)
+                    else:
+                        pieces[shard_of(row[column], shards)].add_fact(name, row)
             else:
                 for piece in pieces:
                     for row in delta:
@@ -461,20 +472,30 @@ class EngineSession(Engine):
                 "single-shard fallback",
             )
         else:
-            spec = sharding_spec(target, shards, shard_variable=shard_variable)
+            spec = sharding_spec(
+                target, shards, shard_variable=shard_variable, database=database
+            )
         start = time.perf_counter()
-        shard_free = spec.shard_variable in target.free_variables
+        ledger_before = ledger_snapshot()
+        # Counts may add across shards only when the per-shard answer sets
+        # are provably disjoint: the shard variable must be free AND no hot
+        # key may have been spilled to broadcast (a spilled value's answers
+        # can surface in every shard).
+        count_via_sum = (
+            spec.shard_variable in target.free_variables and not spec.hot_keys
+        )
         if not spec.is_sharded:
             # One "shard": the database itself, the task as asked.
             pieces = [database]
             shard_task = task
         else:
             pieces = self._sharded_pieces(database, target, spec)
-            # Counting with an existential shard variable must union answer
-            # *sets* across shards (projections may coincide), so the shards
-            # run the answer task and the combiner counts the union.
+            # Counting with an existential shard variable (or spilled hot
+            # keys) must union answer *sets* across shards (projections or
+            # hot-key answers may coincide), so the shards run the answer
+            # task and the combiner counts the union.
             shard_task = (
-                TASK_ANSWER if task == TASK_COUNT and not shard_free else task
+                TASK_ANSWER if task == TASK_COUNT and not count_via_sum else task
             )
         # Ship the PLAN's provenance, not the call's arguments: a pre-built
         # plan arrives with use_core=False even when it was planned for the
@@ -523,7 +544,7 @@ class EngineSession(Engine):
             result.rows = set().union(*values)
         elif task == TASK_SATISFIABLE:
             result.satisfiable = any(values)
-        elif shard_free:
+        elif count_via_sum:
             result.count = sum(values)
         else:
             result.count = len(set().union(*values))
@@ -537,9 +558,10 @@ class EngineSession(Engine):
             "requested_shards": shards,
             "per_shard_seconds": per_shard_seconds,
             "broadcast_relations": list(spec.broadcast_relations),
+            "hot_keys": list(spec.hot_keys),
         }
         if task == TASK_COUNT and spec.is_sharded:
-            sharding_record["count_via"] = "sum" if shard_free else "union"
+            sharding_record["count_via"] = "sum" if count_via_sum else "union"
         runtime_record = {
             "name": resolved.name,
             "tasks": len(tasks),
@@ -549,12 +571,17 @@ class EngineSession(Engine):
         result.plan = plan.with_note(
             f"sharding: {spec.rationale}; runtime: {resolved.name}"
         )
+        ledger_after = ledger_snapshot()
+        stats_record = ledger_delta(ledger_before, ledger_after)
+        stats_record["mode"] = ledger_after["mode"]
+        stats_record["hot_keys"] = list(spec.hot_keys)
         result.timings = {
             "planning_seconds": planning,
             "execution_seconds": execution,
             "total_seconds": planning + execution,
             "sharding": sharding_record,
             "runtime": runtime_record,
+            "stats": stats_record,
         }
         with self._lock:
             self.sharded_calls += 1
@@ -770,6 +797,10 @@ class EngineSession(Engine):
                     "by_mode": dict(self.sharding_modes),
                 },
                 "incremental_views": self.incremental_views,
+                # Process-wide (not session-scoped): the columnar kernel's
+                # bounded derived-key memos and the join-ordering ledger.
+                "columnar_memo": memo_counters(),
+                "join_ordering": ledger_snapshot(),
             }
 
     def _columnar_stats(self) -> dict:
@@ -808,6 +839,7 @@ class EngineSession(Engine):
         self.plan_cache.clear()
         for database in self._live_served_databases():
             database.drop_columnar()
+            database.drop_statistics()
         with self._lock:
             self._partition_cache.clear()
             self._served_databases.clear()

@@ -140,14 +140,56 @@ def reassign_pieces(assignment, dead, workers) -> dict:
     return reassigned
 
 
-def choose_shard_variable(query: ConjunctiveQuery):
-    """The default shard variable: the highest-frequency join variable.
+#: A candidate shard variable whose hottest value carries at least this
+#: fraction of some pinned column's rows is hub-concentrated: hashing on it
+#: would pile that mass onto one shard.
+_HUB_FRACTION = 0.25
+
+#: A partition-key value is spilled to broadcast only when its guaranteed
+#: frequency tops fair share, twice the average per-value mass, *and* this
+#: absolute floor — tiny relations never spill.
+_HOT_KEY_MIN_ROWS = 4
+
+
+def _variable_hot_fraction(query: ConjunctiveQuery, database, variable) -> float:
+    """The worst top-value concentration over the stored columns where
+    ``variable`` occurs: ``max(top guaranteed frequency / rows)`` across
+    every (relation, position) the variable pins, from the Space-Saving
+    summaries.  0.0 when nothing is known (missing/empty relations)."""
+    worst = 0.0
+    store = database.statistics()
+    seen: set = set()
+    for atom in query.atoms:
+        for position, term in enumerate(atom.terms):
+            if term != variable or (atom.relation, position) in seen:
+                continue
+            seen.add((atom.relation, position))
+            if not database.has_relation(atom.relation):
+                continue
+            relation = database.relation(atom.relation)
+            rows = len(relation)
+            if not rows:
+                continue
+            guaranteed = store.column_sketch(relation, position).heavy.guaranteed()
+            if guaranteed:
+                worst = max(worst, max(guaranteed.values()) / rows)
+    return worst
+
+
+def choose_shard_variable(query: ConjunctiveQuery, database=None):
+    """The default shard variable: the highest-frequency join variable,
+    skew-checked against the data when a database is supplied.
 
     Picks the variable occurring in the most atoms (ties broken by ``repr``
     for determinism) — the variable most likely to co-partition every
     relation, and failing that, the one that minimises the broadcast set.
-    Returns ``None`` when the query has no variables (zero-atom or
-    constants-only queries cannot shard).
+    With a ``database``, equally-frequent candidates are screened through
+    the heavy-hitter summaries: when the default candidate is
+    hub-concentrated (one value carrying ≥ 25% of a pinned column) and a
+    peer is not, the cooler peer wins — hashing on a hub key piles its mass
+    onto one shard no matter how good the column structure looks.  Returns
+    ``None`` when the query has no variables (zero-atom or constants-only
+    queries cannot shard).
     """
     occurrences: dict = {}
     for atom in query.atoms:
@@ -155,7 +197,20 @@ def choose_shard_variable(query: ConjunctiveQuery):
             occurrences[variable] = occurrences.get(variable, 0) + 1
     if not occurrences:
         return None
-    return max(occurrences, key=lambda v: (occurrences[v], repr(v)))
+    best_count = max(occurrences.values())
+    candidates = [v for v, count in occurrences.items() if count == best_count]
+    default = max(candidates, key=repr)
+    if database is None or len(candidates) == 1:
+        return default
+    hot = {v: _variable_hot_fraction(query, database, v) for v in candidates}
+    if hot[default] < _HUB_FRACTION:
+        return default
+    cool = [v for v in candidates if hot[v] < _HUB_FRACTION]
+    if cool:
+        return max(cool, key=repr)
+    # Everything is hub-heavy: keep the historical choice and let hot-key
+    # spilling rebalance the partition instead.
+    return default
 
 
 @dataclass(frozen=True)
@@ -164,9 +219,14 @@ class ShardingSpec:
 
     ``partition_columns`` maps each co-partitionable relation to the column
     shared by every atom over it where the shard variable occurs;
-    ``broadcast_relations`` are replicated to every shard.  ``mode`` is the
-    rung of the fallback ladder the decision landed on, and ``rationale``
-    says why in prose (it is appended to the plan rationale by the session).
+    ``broadcast_relations`` are replicated to every shard.  ``hot_keys``
+    are detected heavy-hitter partition-key values spilled to broadcast by
+    :meth:`~repro.cq.database.Database.partition` (rows carrying them are
+    replicated instead of hashed, keeping shard balance near ±1 under
+    Zipfian data — at the price of combining counts by union).  ``mode`` is
+    the rung of the fallback ladder the decision landed on, and
+    ``rationale`` says why in prose (it is appended to the plan rationale by
+    the session).
     """
 
     shard_variable: object
@@ -175,14 +235,42 @@ class ShardingSpec:
     partition_columns: dict
     broadcast_relations: tuple
     rationale: str
+    hot_keys: tuple = ()
 
     @property
     def is_sharded(self) -> bool:
         return self.mode != SHARD_MODE_SINGLE and self.shards > 1
 
 
+def _detect_hot_keys(database, partition_columns: dict, shards: int) -> tuple:
+    """Partition-key values whose frequency would overload their shard.
+
+    A value is hot when its **guaranteed** Space-Saving frequency in some
+    partitioned column exceeds fair share (``rows / shards``), twice the
+    average per-value mass (so uniform small domains never trip), and an
+    absolute floor.  Returned repr-sorted for determinism.
+    """
+    hot: set = set()
+    store = database.statistics()
+    for name, column in partition_columns.items():
+        relation = database.relation(name)
+        rows = len(relation)
+        if not rows:
+            continue
+        sketch = store.column_sketch(relation, column)
+        threshold = max(
+            rows / shards,
+            2.0 * rows / max(1.0, sketch.distinct),
+            float(_HOT_KEY_MIN_ROWS),
+        )
+        for value, guaranteed in sketch.heavy.guaranteed().items():
+            if guaranteed > threshold:
+                hot.add(value)
+    return tuple(sorted(hot, key=repr))
+
+
 def sharding_spec(
-    query: ConjunctiveQuery, shards: int, shard_variable=None
+    query: ConjunctiveQuery, shards: int, shard_variable=None, database=None
 ) -> ShardingSpec:
     """Walk the fallback ladder for ``query``: co-partitioned when every
     relation agrees on a shard column, broadcast when at least one does,
@@ -191,11 +279,16 @@ def sharding_spec(
     A relation is *co-partitionable* when every atom over it contains the
     shard variable at some common position (self-joins must agree on the
     column, otherwise one tuple would need to live in two shards).
+
+    With a ``database``, the decision becomes skew-aware: the default shard
+    variable avoids hub-concentrated keys (:func:`choose_shard_variable`),
+    and detected hot partition-key values land in :attr:`ShardingSpec
+    .hot_keys` for broadcast spilling at partition time.
     """
     if shards < 1:
         raise ValueError("shards must be >= 1")
     if shard_variable is None:
-        shard_variable = choose_shard_variable(query)
+        shard_variable = choose_shard_variable(query, database=database)
     elif shard_variable not in query.variables:
         # Validated before any fallback so a typo'd variable raises on every
         # query shape (including zero-atom queries and shards=1).
@@ -238,19 +331,36 @@ def sharding_spec(
             f"shard variable {shard_variable!r} pins no relation "
             "(absent or at inconsistent self-join positions): single-shard fallback",
         )
+    hot_keys = ()
+    hot_note = ""
+    if database is not None:
+        present = {
+            name: column
+            for name, column in partition_columns.items()
+            if database.has_relation(name)
+        }
+        hot_keys = _detect_hot_keys(database, present, shards)
+        if hot_keys:
+            hot_note = (
+                f"; {len(hot_keys)} hot key(s) spilled to broadcast "
+                "(heavy hitters above fair share)"
+            )
     if not broadcast:
         return ShardingSpec(
             shard_variable, shards, SHARD_MODE_COPARTITIONED,
             partition_columns, (),
             f"every atom contains {shard_variable!r}: all "
             f"{len(partition_columns)} relations hash-partitioned, "
-            "shards answer-disjoint",
+            "shards answer-disjoint" + hot_note,
+            hot_keys,
         )
     return ShardingSpec(
         shard_variable, shards, SHARD_MODE_BROADCAST,
         partition_columns, broadcast,
         f"{len(partition_columns)} relations hash-partitioned on "
-        f"{shard_variable!r}, {len(broadcast)} without it broadcast to every shard",
+        f"{shard_variable!r}, {len(broadcast)} without it broadcast to every shard"
+        + hot_note,
+        hot_keys,
     )
 
 
@@ -309,7 +419,9 @@ class ShardedDatabase:
         broadcast = tuple(
             name for name in spec.broadcast_relations if database.has_relation(name)
         )
-        pieces = database.partition(present, spec.shards, broadcast=broadcast)
+        pieces = database.partition(
+            present, spec.shards, broadcast=broadcast, hot_keys=spec.hot_keys
+        )
         return cls(spec, pieces)
 
     def total_tuples(self) -> int:

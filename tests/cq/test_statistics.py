@@ -1,0 +1,168 @@
+"""Unit tests for :mod:`repro.cq.statistics`: the sketches' incremental
+maintenance on the version seam, the exact→KMV distinct hand-off, the
+ordering-mode toggle, and the estimate ledger."""
+
+import pytest
+
+from repro.cq import statistics
+from repro.cq.database import Database, Relation
+from repro.cq.statistics import (
+    EXACT_DISTINCT_LIMIT,
+    ORDERING_COST,
+    ORDERING_STATIC,
+    ColumnSketch,
+    RelationStatistics,
+    StatisticsStore,
+    forced_join_ordering,
+    join_ordering,
+    ledger_delta,
+    ledger_snapshot,
+    recent_estimates,
+    record_cost_join,
+    set_join_ordering,
+)
+
+
+# ----------------------------------------------------------------------
+# StatisticsStore: appends extend, they never rebuild
+# ----------------------------------------------------------------------
+def test_store_builds_once_and_extends_on_append():
+    database = Database()
+    database.add_relation(Relation("R", 2, {(i, i % 3) for i in range(20)}))
+    store = database.statistics()
+    relation = database.relation("R")
+
+    stats = store.relation_stats(relation)
+    assert store.info() == {"relations": 1, "builds": 1, "extensions": 0}
+    assert stats.rows == 20
+    assert stats.sketches[0].distinct == 20
+    assert stats.sketches[1].distinct == 3
+
+    # A clean re-read is a pure cache hit: same object, no extension.
+    assert store.relation_stats(relation) is stats
+    assert store.info()["extensions"] == 0
+
+    # Appending moves the version; the store folds exactly the delta in.
+    database.add_fact("R", (100, 7))
+    updated = store.relation_stats(relation)
+    assert updated is stats, "append must extend the existing sketches"
+    assert store.info() == {"relations": 1, "builds": 1, "extensions": 1}
+    assert updated.rows == 21
+    assert updated.sketches[0].distinct == 21
+    assert updated.sketches[1].distinct == 4
+    assert updated.sketches[0].maximum == 100
+
+
+def test_store_is_dropped_on_pickle_and_rebuilt_lazily():
+    import pickle
+
+    database = Database()
+    database.add_relation(Relation("R", 1, {(1,), (2,)}))
+    database.statistics().relation_stats(database.relation("R"))
+    clone = pickle.loads(pickle.dumps(database))
+    # The store is derived data: the clone starts fresh and rebuilds.
+    store = clone.statistics()
+    assert store.info()["relations"] == 0
+    assert store.relation_stats(clone.relation("R")).rows == 2
+
+
+# ----------------------------------------------------------------------
+# The exact -> KMV hand-off
+# ----------------------------------------------------------------------
+def test_distinct_switches_to_sampling_and_stays_monotone(monkeypatch):
+    monkeypatch.setattr(statistics, "EXACT_DISTINCT_LIMIT", 64)
+    sketch = ColumnSketch()
+    previous = 0.0
+    for value in range(500):
+        sketch.add(value)
+        current = sketch.distinct
+        assert current >= previous, "distinct decreased across the hand-off"
+        previous = current
+    assert not sketch.exact, "the sketch never left the exact range"
+    # The estimate stays in the right ballpark (KMV over CRC32 of small
+    # ints is coarse; the ordering decisions only need the magnitude).
+    assert 100 <= sketch.distinct <= 5000
+    assert sketch.rows == 500
+
+
+def test_distinct_is_capped_by_rows():
+    sketch = ColumnSketch()
+    for value in range(10):
+        sketch.add(value)
+    assert sketch.distinct <= sketch.rows
+    assert sketch.distinct == 10
+
+
+def test_unorderable_values_disable_min_max_only():
+    sketch = ColumnSketch()
+    sketch.add(3)
+    sketch.add("three")  # int vs str: not orderable
+    assert sketch.minimum is None and sketch.maximum is None
+    assert sketch.distinct == 2
+    assert sketch.rows == 2
+
+
+def test_exact_limit_is_wired():
+    # The production limit stays generous enough that the differential
+    # workloads (hundreds of rows) always run in the exact range.
+    assert EXACT_DISTINCT_LIMIT >= 1024
+
+
+# ----------------------------------------------------------------------
+# Column-wise builds (the columnar kernel's layout)
+# ----------------------------------------------------------------------
+def test_from_columns_matches_from_rows():
+    rows = [(1, "a"), (2, "b"), (1, "c")]
+    by_rows = RelationStatistics.from_rows(("x", "y"), rows)
+    by_columns = RelationStatistics.from_columns(
+        ("x", "y"), [[1, 2, 1], ["a", "b", "c"]], 3
+    )
+    assert by_rows.rows == by_columns.rows == 3
+    for column in ("x", "y"):
+        assert (
+            by_rows.sketch(column).distinct == by_columns.sketch(column).distinct
+        )
+        assert (
+            by_rows.sketch(column).hot_values()
+            == by_columns.sketch(column).hot_values()
+        )
+
+
+# ----------------------------------------------------------------------
+# Mode toggle and ledger
+# ----------------------------------------------------------------------
+def test_default_mode_is_cost_based():
+    assert join_ordering() == ORDERING_COST
+
+
+def test_set_join_ordering_validates_and_returns_previous():
+    with pytest.raises(ValueError):
+        set_join_ordering("optimistic")
+    previous = set_join_ordering(ORDERING_STATIC)
+    try:
+        assert previous == ORDERING_COST
+        assert join_ordering() == ORDERING_STATIC
+    finally:
+        set_join_ordering(previous)
+
+
+def test_forced_join_ordering_restores_on_exit_and_error():
+    with forced_join_ordering(ORDERING_STATIC):
+        assert join_ordering() == ORDERING_STATIC
+    assert join_ordering() == ORDERING_COST
+    with pytest.raises(RuntimeError):
+        with forced_join_ordering(ORDERING_STATIC):
+            raise RuntimeError("boom")
+    assert join_ordering() == ORDERING_COST
+
+
+def test_ledger_records_estimates_vs_actuals():
+    before = ledger_snapshot()
+    record_cost_join(12.7, 9)
+    after = ledger_snapshot()
+    moved = ledger_delta(before, after)
+    assert moved["cost_joins"] == 1
+    assert moved["estimated_rows"] == 12
+    assert moved["actual_rows"] == 9
+    assert (12, 9) in recent_estimates()
+    assert after["mode"] == join_ordering()

@@ -270,7 +270,7 @@ def test_runtime_slice_covers_every_regime_and_flavour(seed):
     chosen = _runtime_slice(seed)
     assert {s.regime for s in chosen} == set(workloads.ALL_REGIMES)
     flavours = {s.name.split("/")[2] for s in chosen}
-    assert flavours == {"random", "planted", "unsat", "colour"}
+    assert flavours == {"random", "planted", "unsat", "colour", "zipf", "hub"}
 
 
 # ----------------------------------------------------------------------
@@ -412,7 +412,7 @@ def test_columnar_pass_covers_every_regime_and_flavour(session, seed):
             regimes.add(scenario.regime)
             flavours.add(scenario.name.split("/")[2])
     assert regimes == set(workloads.ALL_REGIMES)
-    assert flavours == {"random", "planted", "unsat", "colour"}
+    assert flavours == {"random", "planted", "unsat", "colour", "zipf", "hub"}
 
 
 # ----------------------------------------------------------------------
@@ -544,7 +544,7 @@ def test_incremental_pass_covers_every_regime_and_flavour(seed):
     chosen = [s for _, s in INCREMENTAL_CASES if s.seed == seed]
     assert {s.regime for s in chosen} == set(workloads.ALL_REGIMES)
     assert {s.name.split("/")[2] for s in chosen} == {
-        "random", "planted", "unsat", "colour"
+        "random", "planted", "unsat", "colour", "zipf", "hub"
     }
     # Every scenario admits a non-trivial schedule (the replay would
     # silently become a noop pass otherwise).
@@ -611,6 +611,30 @@ def test_delta_shipping_coverage_guard(runtimes):
     stats = runtimes[RUNTIME_PROCESS].stats()
     assert stats["delta_shipments"] > 0, "no delta shipment ever happened"
     assert stats["delta_bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# The skewed pass: the scenarios exist to exercise the cost-based ordering
+# machinery — hold the statistics ledger up as proof that it actually ran.
+# Wired as `make skew-smoke` in CI.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", SEEDS)
+def test_skewed_pass_exercises_cost_based_ordering(session, seed):
+    from repro.cq.statistics import ledger_delta, ledger_snapshot
+
+    before = ledger_snapshot()
+    for scenario in workloads.generate_workload(
+        seed=seed, regimes=[workloads.REGIME_SKEWED]
+    ):
+        result = session.answer(scenario.query, scenario.database)
+        assert result.rows == naive_enumerate_answers(
+            scenario.query, scenario.database
+        ), scenario.name
+    moved = ledger_delta(before, ledger_snapshot())
+    # Coverage guard: the skewed scenarios must drive the cost-based join
+    # ordering (triangle bags put >= 3 relations in the join pool), or this
+    # regime silently stops testing what it was added for.
+    assert moved["cost_joins"] > 0, "cost-based ordering never ran on the skewed pass"
 
 
 @functools.lru_cache(maxsize=128)

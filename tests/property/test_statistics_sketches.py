@@ -1,0 +1,156 @@
+"""Property tests for the statistics sketches the cost-based ordering
+stands on (:mod:`repro.cq.statistics`).
+
+Three families of invariants, over arbitrary value streams:
+
+* **Space-Saving bounds** — per value, ``estimate`` is an upper bound on
+  the true frequency, ``estimate - error`` a lower bound, and every value
+  whose true frequency exceeds ``total/capacity`` is tracked (the guarantee
+  hot-key detection relies on: a genuinely hot key is never missed);
+* **distinct monotonicity** — a :class:`ColumnSketch`'s reported distinct
+  count never decreases under append, in the exact range and across the
+  exact→KMV hand-off (the property incremental consumers rely on when
+  sketches are patched through the version seam);
+* **estimate-vs-exact** — on relations small enough that every value is
+  tracked exactly (within Space-Saving capacity, no evictions), the join
+  estimator reproduces the true join size exactly, and the semijoin
+  estimator the true surviving fraction bound.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cq.relational import NamedRelation, natural_join_all
+from repro.cq.statistics import (
+    SPACE_SAVING_CAPACITY,
+    ColumnSketch,
+    RelationStatistics,
+    SpaceSaving,
+    estimate_join_rows,
+    estimate_semijoin_fraction,
+)
+
+VALUES = st.lists(
+    st.integers(min_value=0, max_value=40), min_size=1, max_size=400
+)
+CAPACITY = st.integers(min_value=1, max_value=12)
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=VALUES, capacity=CAPACITY)
+def test_space_saving_bounds(values, capacity):
+    summary = SpaceSaving(capacity)
+    for value in values:
+        summary.add(value)
+    true = Counter(values)
+    assert summary.total == len(values)
+    assert len(summary) <= capacity
+    for value, frequency in true.items():
+        estimate, error = summary.estimate(value)
+        assert estimate >= frequency, "Space-Saving lost its upper bound"
+        assert estimate - error <= frequency, "Space-Saving lost its lower bound"
+
+
+@settings(max_examples=200, deadline=None)
+@given(values=VALUES, capacity=CAPACITY)
+def test_space_saving_tracks_every_true_heavy_hitter(values, capacity):
+    summary = SpaceSaving(capacity)
+    for value in values:
+        summary.add(value)
+    tracked = summary.upper_bounds()
+    threshold = len(values) / capacity
+    for value, frequency in Counter(values).items():
+        if frequency > threshold:
+            assert value in tracked, (
+                f"value {value} has frequency {frequency} > n/k={threshold} "
+                "but is not tracked"
+            )
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    values=VALUES,
+    split=st.integers(min_value=0, max_value=400),
+)
+def test_distinct_count_is_monotone_under_append(values, split):
+    sketch = ColumnSketch()
+    previous = 0.0
+    for value in values[: split % (len(values) + 1)]:
+        sketch.add(value)
+    previous = sketch.distinct if sketch.rows else 0.0
+    for value in values:
+        sketch.add(value)
+        current = sketch.distinct
+        assert current >= previous, "distinct estimate decreased under append"
+        previous = current
+    # In the exact range (always, for these sizes) the count is exact.
+    assert sketch.exact
+
+
+@settings(max_examples=150, deadline=None)
+@given(values=st.sets(st.integers(min_value=0, max_value=1000), max_size=200))
+def test_distinct_count_is_exact_below_the_limit(values):
+    sketch = ColumnSketch()
+    for value in values:
+        sketch.add(value)
+    if values:
+        assert sketch.distinct == len(values)
+        assert sketch.minimum == min(values)
+        assert sketch.maximum == max(values)
+
+
+SMALL_COLUMN = st.sets(
+    st.integers(min_value=0, max_value=60),
+    min_size=1,
+    max_size=SPACE_SAVING_CAPACITY,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(left=SMALL_COLUMN, right=SMALL_COLUMN)
+def test_join_estimate_is_exact_when_everything_is_tracked(left, right):
+    # Single-column relations with at most SPACE_SAVING_CAPACITY distinct
+    # values: every value is a tracked "hot" value with an exact count, so
+    # the skew-corrected estimator must reproduce the true join size.
+    relation_left = NamedRelation(("x",), {(v,) for v in left})
+    relation_right = NamedRelation(("x",), {(v,) for v in right})
+    stats_left = RelationStatistics.from_rows(("x",), relation_left.rows)
+    stats_right = RelationStatistics.from_rows(("x",), relation_right.rows)
+    estimate = estimate_join_rows(stats_left, stats_right, ("x",))
+    exact = len(left & right)
+    assert round(estimate) == exact
+
+
+@settings(max_examples=200, deadline=None)
+@given(left=SMALL_COLUMN, right=SMALL_COLUMN)
+def test_semijoin_fraction_is_exact_when_everything_is_tracked(left, right):
+    stats_left = RelationStatistics.from_rows(("x",), [(v,) for v in left])
+    stats_right = RelationStatistics.from_rows(("x",), [(v,) for v in right])
+    fraction = estimate_semijoin_fraction(stats_left, stats_right, ("x",))
+    exact = len(left & right) / len(left)
+    assert abs(fraction - exact) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    left=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=1, max_size=60
+    ),
+    right=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=1, max_size=60
+    ),
+    mid=st.lists(
+        st.tuples(st.integers(0, 6), st.integers(0, 6)), min_size=1, max_size=60
+    ),
+)
+def test_cost_based_multiway_join_matches_pairwise_reference(left, right, mid):
+    # The ordering decision must never change the *result*: a three-relation
+    # pool (the smallest with a genuine ordering choice, hence the cost
+    # path) joined by natural_join_all equals the fixed-order reference.
+    a = NamedRelation(("x", "y"), set(left))
+    b = NamedRelation(("y", "z"), set(right))
+    c = NamedRelation(("x", "z"), set(mid))
+    joined = natural_join_all([a, b, c])
+    reference = a.natural_join(b).natural_join(c).project(joined.columns)
+    assert joined.rows == reference.rows
